@@ -1,0 +1,79 @@
+// Command benchtab runs the repository's experiments (the reproduction of
+// the paper's Table 1 and Figure 1; see DESIGN.md §4 for the index) and
+// renders their tables.
+//
+// Usage:
+//
+//	benchtab [-quick] [-seed N] [-csv] [-out FILE] [E1,E3,... | all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	quick := flag.Bool("quick", false, "reduced sweep sizes (test scale)")
+	seed := flag.Uint64("seed", 42, "master random seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	out := flag.String("out", "", "output file (default stdout)")
+	workers := flag.Int("workers", 0, "simulator goroutine pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	ids := flag.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		ids = nil
+		for _, e := range bench.All() {
+			ids = append(ids, e.ID)
+		}
+	} else if len(ids) == 1 && strings.Contains(ids[0], ",") {
+		ids = strings.Split(ids[0], ",")
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+
+	cfg := bench.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+	for _, id := range ids {
+		exp, err := bench.ByID(strings.TrimSpace(id))
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s: %s ...\n", exp.ID, exp.Title)
+		tab, err := exp.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
+		if *csv {
+			err = tab.RenderCSV(w)
+		} else {
+			err = tab.Render(w)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

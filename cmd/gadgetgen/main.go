@@ -1,0 +1,96 @@
+// Command gadgetgen emits instances of the lower-bound gadget families of
+// Section 3.3 as edge lists (see package gadget for the constructions).
+//
+// Usage:
+//
+//	gadgetgen -family drucker -q 7 -intersect
+//	gadgetgen -family kr -k 3 -n 500
+//	gadgetgen -family odd -k 2 -n 30 -intersect -out inst.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/gadget"
+	"repro/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gadgetgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	family := flag.String("family", "drucker", "drucker | kr | odd")
+	q := flag.Int("q", 5, "projective-plane order (drucker)")
+	k := flag.Int("k", 2, "half cycle length (kr, odd)")
+	n := flag.Int("n", 100, "universe side size (kr: elements, odd: column size)")
+	intersect := flag.Bool("intersect", false, "plant an intersection (the cycle exists)")
+	density := flag.Float64("density", 0.3, "per-side element probability")
+	seed := flag.Uint64("seed", 1, "random seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch *family {
+	case "drucker":
+		tmpl, terr := gadget.NewDruckerC4(*q)
+		if terr != nil {
+			return terr
+		}
+		d := instance(tmpl.UniverseSize(), *density, *intersect, *seed)
+		g, err = tmpl.Build(d)
+		fmt.Fprintf(os.Stderr, "Drucker C4 gadget: universe %d, intersects=%v\n",
+			tmpl.UniverseSize(), d.Intersects())
+	case "kr":
+		tmpl, terr := gadget.NewKRC2k(*k, *n)
+		if terr != nil {
+			return terr
+		}
+		d := instance(tmpl.UniverseSize(), *density, *intersect, *seed)
+		g, err = tmpl.Build(d)
+		fmt.Fprintf(os.Stderr, "KR C_%d gadget: universe %d, intersects=%v\n",
+			2**k, tmpl.UniverseSize(), d.Intersects())
+	case "odd":
+		tmpl, terr := gadget.NewOddGadget(*k, *n)
+		if terr != nil {
+			return terr
+		}
+		d := instance(tmpl.UniverseSize(), *density, *intersect, *seed)
+		g, err = tmpl.Build(d)
+		fmt.Fprintf(os.Stderr, "odd C_%d gadget: universe %d, intersects=%v\n",
+			2**k+1, tmpl.UniverseSize(), d.Intersects())
+	default:
+		return fmt.Errorf("unknown family %q", *family)
+	}
+	if err != nil {
+		return err
+	}
+	return graph.WriteEdgeList(w, g)
+}
+
+func instance(universe int, density float64, intersect bool, seed uint64) *gadget.Disjointness {
+	d := gadget.RandomDisjointness(universe, density, !intersect, seed)
+	if intersect {
+		d.X[universe/2], d.Y[universe/2] = true, true
+	}
+	return d
+}

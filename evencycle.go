@@ -1,0 +1,364 @@
+// Package evencycle is a Go implementation of
+//
+//	Fraigniaud, Luce, Magniez, Todinca:
+//	"Even-Cycle Detection in the Randomized and Quantum CONGEST Model"
+//	(PODC 2024, arXiv:2402.12018)
+//
+// It decides C_{2k}-freeness in the CONGEST model of distributed computing
+// in O(n^{1-1/k}) rounds (Theorem 1, via colored BFS explorations with a
+// global congestion threshold), and — on a classically-simulated quantum
+// round ledger — in Õ(n^{1/2-1/2k}) rounds (Theorem 2, via
+// congestion-reduced explorations amplified by distributed quantum
+// Monte-Carlo amplification inside diameter-reduced components). Odd
+// cycles (Θ̃(√n) quantum) and bounded-length families
+// F_{2k} = {C_ℓ | 3 ≤ ℓ ≤ 2k} are covered as well.
+//
+// Every detector is one-sided: when it reports a cycle, the cycle is real
+// and returned as a witness that has been re-verified against the input
+// graph; a C-free input is never rejected.
+//
+// The package is a facade over the internal engine; see DESIGN.md for the
+// system inventory, EXPERIMENTS.md for the reproduction of the paper's
+// Table 1, and the examples/ directory for runnable programs.
+package evencycle
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lowprob"
+	"repro/internal/quantum"
+)
+
+// Graph is an immutable simple undirected graph (vertices 0..N-1).
+type Graph = graph.Graph
+
+// NodeID identifies a vertex.
+type NodeID = graph.NodeID
+
+// NewGraph builds a graph on n vertices from an edge list; self-loops and
+// duplicates are dropped, out-of-range endpoints grow the vertex set.
+func NewGraph(n int, edges [][2]NodeID) *Graph {
+	return graph.FromEdges(n, edges)
+}
+
+// ReadGraph parses the "n m" + "u v" edge-list format.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteGraph writes the edge-list format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// RandomGraph samples an Erdős–Rényi G(n,m) graph.
+func RandomGraph(n, m int, seed uint64) *Graph {
+	return graph.Gnm(n, m, graph.NewRand(seed))
+}
+
+// HighGirthGraph returns a graph with girth > minGirth — a guaranteed
+// C_ℓ-free instance for every ℓ ≤ minGirth.
+func HighGirthGraph(n, m, minGirth int, seed uint64) *Graph {
+	return graph.HighGirth(n, m, minGirth, graph.NewRand(seed))
+}
+
+// WithPlantedCycle returns host plus a planted simple cycle of length L
+// and the cycle's vertices.
+func WithPlantedCycle(host *Graph, L int, seed uint64) (*Graph, []NodeID, error) {
+	return graph.PlantCycle(host, L, graph.NewRand(seed))
+}
+
+// VerifyCycle checks that verts is a simple cycle of length len(verts)
+// in g. All witnesses returned by this package already pass it.
+func VerifyCycle(g *Graph, verts []NodeID) error {
+	return graph.IsSimpleCycle(g, verts, len(verts))
+}
+
+// Option tunes a detection run.
+type Option func(*config)
+
+type config struct {
+	eps        float64
+	iterations int
+	seed       uint64
+	workers    int
+	pipelined  bool
+	maxSims    int
+	delta      float64
+}
+
+// WithError sets the one-sided error probability ε (default 1/3).
+func WithError(eps float64) Option { return func(c *config) { c.eps = eps } }
+
+// WithIterations overrides the number of coloring repetitions (default:
+// the paper's ε̂(2k)^{2k}, which is constant in n but very large for
+// k ≥ 3 — long-running; see DESIGN.md).
+func WithIterations(k int) Option { return func(c *config) { c.iterations = k } }
+
+// WithSeed fixes the master random seed (runs are reproducible given the
+// graph and the seed).
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithWorkers sets the simulator's goroutine pool size (default
+// GOMAXPROCS).
+func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
+// WithPipelinedSchedule selects the pipelined color-BFS schedule instead
+// of the paper's batch schedule (same guarantees, different constants).
+func WithPipelinedSchedule() Option { return func(c *config) { c.pipelined = true } }
+
+// WithSimulationBudget caps the classical simulations realizing the
+// quantum amplification semantics (quantum detectors only; the round
+// ledger is unaffected).
+func WithSimulationBudget(sims int) Option { return func(c *config) { c.maxSims = sims } }
+
+// WithQuantumError sets the quantum target error δ (default 1/n²).
+func WithQuantumError(delta float64) Option { return func(c *config) { c.delta = delta } }
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// Result reports a classical detection run.
+type Result struct {
+	// Found is true iff a target cycle was detected; Witness then holds a
+	// verified simple cycle of the target length.
+	Found   bool
+	Witness []NodeID
+	// FoundLen is the witness length (equals the target length; for
+	// bounded-length detection it is the detected ℓ ≤ 2k).
+	FoundLen int
+	// Rounds is the executed CONGEST round count; Messages the total
+	// message count; Bits the model-level bandwidth those messages
+	// consumed; MaxCongestion the largest identifier set any node
+	// accumulated.
+	Rounds        int
+	Messages      int64
+	Bits          int64
+	MaxCongestion int
+	// Iterations is the number of coloring repetitions executed.
+	Iterations int
+}
+
+// Detect decides C_{2k}-freeness on g with the paper's classical
+// Algorithm 1 (Theorem 1): one-sided error, O(n^{1-1/k}) rounds.
+func Detect(g *Graph, k int, opts ...Option) (*Result, error) {
+	c := buildConfig(opts)
+	res, err := core.DetectEvenCycle(g, k, core.Options{
+		Eps:           c.eps,
+		MaxIterations: c.iterations,
+		Seed:          c.seed,
+		Workers:       c.workers,
+		Pipelined:     c.pipelined,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("evencycle: %w", err)
+	}
+	out := &Result{
+		Found:         res.Found,
+		Witness:       res.Witness,
+		Rounds:        res.Rounds,
+		Messages:      res.Messages,
+		Bits:          res.Bits,
+		MaxCongestion: res.MaxCongestion,
+		Iterations:    res.IterationsRun,
+	}
+	if res.Found {
+		out.FoundLen = 2 * k
+	}
+	return out, nil
+}
+
+// DetectBounded decides F_{2k}-freeness (any cycle of length ≤ 2k,
+// Section 3.5's classical base algorithm).
+func DetectBounded(g *Graph, k int, opts ...Option) (*Result, error) {
+	c := buildConfig(opts)
+	res, err := core.DetectBoundedCycle(g, k, core.Options{
+		Eps:           c.eps,
+		MaxIterations: c.iterations,
+		Seed:          c.seed,
+		Workers:       c.workers,
+		Pipelined:     c.pipelined,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("evencycle: %w", err)
+	}
+	return &Result{
+		Found:         res.Found,
+		Witness:       res.Witness,
+		FoundLen:      res.FoundLen,
+		Rounds:        res.Rounds,
+		Messages:      res.Messages,
+		Bits:          res.Bits,
+		MaxCongestion: res.MaxCongestion,
+		Iterations:    res.IterationsRun,
+	}, nil
+}
+
+// DetectOdd decides C_{2k+1}-freeness with the Section 3.4 randomized
+// base algorithm (classically repeated; see DetectOddQuantum for the
+// amplified version).
+func DetectOdd(g *Graph, k int, opts ...Option) (*Result, error) {
+	c := buildConfig(opts)
+	res, err := lowprob.DetectOdd(g, k, lowprob.OddOptions{
+		MaxIterations: c.iterations,
+		Seed:          c.seed,
+		Workers:       c.workers,
+		SeedProb:      1, // classical mode: every color-0 node participates
+	})
+	if err != nil {
+		return nil, fmt.Errorf("evencycle: %w", err)
+	}
+	out := &Result{
+		Found:      res.Found,
+		Witness:    res.Witness,
+		Rounds:     res.Rounds,
+		Messages:   res.Messages,
+		Iterations: res.IterationsRun,
+	}
+	if res.Found {
+		out.FoundLen = 2*k + 1
+	}
+	return out, nil
+}
+
+// ListCycles runs the listing variant (Section 1.2 of the paper): all
+// iterations execute and every distinct C_{2k} discovered (up to rotation
+// and reflection) is returned in canonical form, each verified against g.
+// With the faithful iteration count, every copy of C_{2k} is listed with
+// probability ≥ 1-ε.
+func ListCycles(g *Graph, k int, opts ...Option) ([][]NodeID, error) {
+	c := buildConfig(opts)
+	res, err := core.ListEvenCycles(g, k, core.Options{
+		Eps:           c.eps,
+		MaxIterations: c.iterations,
+		Seed:          c.seed,
+		Workers:       c.workers,
+		Pipelined:     c.pipelined,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("evencycle: %w", err)
+	}
+	return res.Cycles, nil
+}
+
+// LocalDetection is the local-detection output (Section 1.2): the usual
+// result plus the full set of rejecting nodes — exactly the members of the
+// detected cycle, informed by a Θ(k)-round notification protocol.
+type LocalDetection struct {
+	Result
+	// Rejecting lists every node that outputs reject.
+	Rejecting []NodeID
+}
+
+// DetectLocal decides C_{2k}-freeness and, on detection, upgrades the
+// single rejecting node to the local-detection output: every member of the
+// discovered cycle rejects.
+func DetectLocal(g *Graph, k int, opts ...Option) (*LocalDetection, error) {
+	c := buildConfig(opts)
+	res, err := core.DetectEvenCycleLocal(g, k, core.Options{
+		Eps:           c.eps,
+		MaxIterations: c.iterations,
+		Seed:          c.seed,
+		Workers:       c.workers,
+		Pipelined:     c.pipelined,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("evencycle: %w", err)
+	}
+	out := &LocalDetection{
+		Result: Result{
+			Found:         res.Found,
+			Witness:       res.Witness,
+			Rounds:        res.Rounds,
+			Messages:      res.Messages,
+			Bits:          res.Bits,
+			MaxCongestion: res.MaxCongestion,
+			Iterations:    res.IterationsRun,
+		},
+		Rejecting: res.Rejecting,
+	}
+	if res.Found {
+		out.FoundLen = 2 * k
+	}
+	return out, nil
+}
+
+// QuantumResult reports a quantum detection run: the verdict plus the
+// charged quantum round ledger (see DESIGN.md for the simulation
+// substitution).
+type QuantumResult struct {
+	Found   bool
+	Witness []NodeID
+	// QuantumRounds is the charged cost of Theorem 2's pipeline:
+	// decomposition + per-color max of log(1/δ)·O(1/√ε)·(D+T_setup).
+	QuantumRounds float64
+	// Components is the number of diameter-reduced components processed.
+	Components int
+	// Eps is the base (Lemma 12) success probability amplified from.
+	Eps float64
+}
+
+func quantumResult(res *quantum.Result) *QuantumResult {
+	return &QuantumResult{
+		Found:         res.Found,
+		Witness:       res.Witness,
+		QuantumRounds: res.QuantumRounds,
+		Components:    res.Components,
+		Eps:           res.Eps,
+	}
+}
+
+// DetectQuantum decides C_{2k}-freeness on the quantum CONGEST ledger
+// (Theorem 2): Õ(n^{1/2-1/2k}) charged rounds, error 1/poly(n).
+func DetectQuantum(g *Graph, k int, opts ...Option) (*QuantumResult, error) {
+	c := buildConfig(opts)
+	res, err := quantum.DetectEvenCycle(g, k, quantum.Options{
+		Delta:             c.delta,
+		MaxSims:           c.maxSims,
+		AttemptIterations: c.iterations,
+		Seed:              c.seed,
+		Workers:           c.workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("evencycle: %w", err)
+	}
+	return quantumResult(res), nil
+}
+
+// DetectOddQuantum decides C_{2k+1}-freeness in Θ̃(√n) charged quantum
+// rounds (Section 3.4).
+func DetectOddQuantum(g *Graph, k int, opts ...Option) (*QuantumResult, error) {
+	c := buildConfig(opts)
+	res, err := quantum.DetectOddCycle(g, k, quantum.Options{
+		Delta:             c.delta,
+		MaxSims:           c.maxSims,
+		AttemptIterations: c.iterations,
+		Seed:              c.seed,
+		Workers:           c.workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("evencycle: %w", err)
+	}
+	return quantumResult(res), nil
+}
+
+// DetectBoundedQuantum decides F_{2k}-freeness in Õ(n^{1/2-1/2k}) charged
+// quantum rounds (Section 3.5), improving van Apeldoorn–de Vos [PODC'22].
+func DetectBoundedQuantum(g *Graph, k int, opts ...Option) (*QuantumResult, error) {
+	c := buildConfig(opts)
+	res, err := quantum.DetectBoundedCycle(g, k, quantum.Options{
+		Delta:             c.delta,
+		MaxSims:           c.maxSims,
+		AttemptIterations: c.iterations,
+		Seed:              c.seed,
+		Workers:           c.workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("evencycle: %w", err)
+	}
+	return quantumResult(res), nil
+}

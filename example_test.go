@@ -1,0 +1,40 @@
+package evencycle_test
+
+import (
+	"fmt"
+
+	evencycle "repro"
+)
+
+// ExampleDetect decides C₄-freeness on a small graph and prints the
+// verified witness.
+func ExampleDetect() {
+	g := evencycle.NewGraph(6, [][2]evencycle.NodeID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0}, // a C₄
+		{3, 4}, {4, 5},
+	})
+	res, err := evencycle.Detect(g, 2, evencycle.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Found, len(res.Witness))
+	fmt.Println(evencycle.VerifyCycle(g, res.Witness))
+	// Output:
+	// true 4
+	// <nil>
+}
+
+// ExampleListCycles lists every distinct 4-cycle of K_{2,3}.
+func ExampleListCycles() {
+	g := evencycle.NewGraph(5, [][2]evencycle.NodeID{
+		{0, 2}, {0, 3}, {0, 4},
+		{1, 2}, {1, 3}, {1, 4},
+	})
+	cycles, err := evencycle.ListCycles(g, 2, evencycle.WithSeed(4))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(cycles))
+	// Output:
+	// 3
+}

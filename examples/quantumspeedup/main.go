@@ -1,0 +1,70 @@
+// Quantum speedup: the paper's quadratic amplification advantage, measured.
+//
+// Both the classical and the quantum route start from the same base
+// algorithm — the congestion-reduced detector of Lemma 12, which runs in
+// k^{O(k)} rounds and succeeds with small probability ε = Θ(1/n^{1-1/k}).
+// To reach error δ:
+//
+//	classical repetition:  ln(1/δ)·(1/ε)  executions,
+//	quantum amplification: ln(1/δ)·O(1/√ε) executions (Theorem 3).
+//
+// This example runs the actual pipeline on planted instances and prints
+// both costs with T_setup and the diameter measured on the simulator, plus
+// the resulting speedup — which grows like √(1/ε) ~ n^{(1-1/k)/2}.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	evencycle "repro"
+	"repro/internal/quantum"
+)
+
+func main() {
+	fmt.Println("C₄-freeness (k=2): classical vs quantum boosting of the Lemma 12 detector")
+	fmt.Printf("%8s  %12s  %18s  %16s  %8s\n",
+		"n", "base ε", "classical rounds", "quantum rounds", "speedup")
+	for _, n := range []int{500, 2000, 8000, 32000} {
+		host := evencycle.RandomGraph(n, 2*n, uint64(n))
+		g, _, err := evencycle.WithPlantedCycle(host, 4, uint64(n)+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		res, err := evencycle.DetectQuantum(g, 2,
+			evencycle.WithSeed(1),
+			evencycle.WithIterations(1),       // one coloring per attempt
+			evencycle.WithSimulationBudget(4)) // classical sims realizing semantics
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The classical route repeats the identical Setup ln(1/δ)/ε times.
+		delta := 1 / float64(n*n)
+		classical := quantum.ClassicalBoostRounds(res.Eps, delta, 0, 30)
+		fmt.Printf("%8d  %12.2e  %18.3g  %16.0f  %8.1f\n",
+			n, res.Eps, classical, res.QuantumRounds, classical/res.QuantumRounds)
+	}
+
+	fmt.Println()
+	fmt.Println("odd cycles C₅ (k=2): quantum Θ̃(√n) ledger (optimal up to polylogs)")
+	for _, n := range []int{500, 2000, 8000} {
+		host := evencycle.RandomGraph(n, 2*n, uint64(n))
+		g, _, err := evencycle.WithPlantedCycle(host, 5, uint64(n)+2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := evencycle.DetectOddQuantum(g, 2,
+			evencycle.WithSeed(1), evencycle.WithIterations(1),
+			evencycle.WithSimulationBudget(2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  n=%6d  quantum rounds %10.0f  base ε = %.2e\n",
+			n, res.QuantumRounds, res.Eps)
+	}
+	fmt.Println()
+	fmt.Println("note: quantum rounds are a charged ledger (Lemma 8/Theorem 3 semantics")
+	fmt.Println("simulated classically; T_setup and D measured on the simulator — DESIGN.md §2)")
+}

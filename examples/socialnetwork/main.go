@@ -1,0 +1,95 @@
+// Social-network scenario: cycle detection on a skewed-degree graph.
+//
+// Real interaction networks have heavy-tailed degrees — a few hubs and
+// many low-degree members. This is exactly the regime Algorithm 1's split
+// into light and heavy cases targets: cycles through hubs are found via
+// the random vertex sample S and the heavy-neighbor set W, while cycles
+// among ordinary members are found inside G[U] where the degree bound
+// keeps congestion low. This example builds a preferential-attachment
+// style graph, plants a short "friend circle" (a C₄ and a C₆) and locates
+// both.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	evencycle "repro"
+)
+
+func main() {
+	const n = 3000
+	g := preferentialAttachment(n, 2, 42)
+	fmt.Printf("network: %d members, %d ties, max degree %d\n",
+		g.NumNodes(), g.NumEdges(), g.MaxDegree())
+
+	// Plant a 4-circle among arbitrary members.
+	g, circle4, err := evencycle.WithPlantedCycle(g, 4, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// And a 6-circle.
+	g, circle6, err := evencycle.WithPlantedCycle(g, 6, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planted C₄ at %v and C₆ at %v\n\n", circle4, circle6)
+
+	res, err := evencycle.Detect(g, 2, evencycle.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(g, "C₄ (k=2)", res)
+
+	res, err = evencycle.Detect(g, 3, evencycle.WithSeed(1), evencycle.WithIterations(60000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(g, "C₆ (k=3)", res)
+
+	// The bounded-length detector answers "is there any circle of length
+	// ≤ 6?" in one shot.
+	bres, err := evencycle.DetectBounded(g, 3, evencycle.WithSeed(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("any cycle ≤ 6: found=%v (length %d) after %d rounds\n",
+		bres.Found, bres.FoundLen, bres.Rounds)
+}
+
+func report(g *evencycle.Graph, label string, res *evencycle.Result) {
+	fmt.Printf("%s: found=%v rounds=%d congestion=%d iterations=%d\n",
+		label, res.Found, res.Rounds, res.MaxCongestion, res.Iterations)
+	if res.Found {
+		fmt.Printf("  witness: %v\n", res.Witness)
+		if err := evencycle.VerifyCycle(g, res.Witness); err != nil {
+			log.Fatalf("  witness invalid: %v", err)
+		}
+	}
+	fmt.Println()
+}
+
+// preferentialAttachment grows a graph where each new vertex attaches to
+// `attach` endpoints of existing edges (degree-proportional sampling), so
+// early vertices become hubs.
+func preferentialAttachment(n, attach int, seed uint64) *evencycle.Graph {
+	rng := rand.New(rand.NewPCG(seed, seed^0x5eed))
+	var edges [][2]evencycle.NodeID
+	// Endpoint pool: each edge contributes both endpoints, so sampling the
+	// pool is degree-proportional.
+	pool := []evencycle.NodeID{0, 1}
+	edges = append(edges, [2]evencycle.NodeID{0, 1})
+	for v := evencycle.NodeID(2); int(v) < n; v++ {
+		seen := map[evencycle.NodeID]bool{}
+		for len(seen) < attach {
+			target := pool[rng.IntN(len(pool))]
+			if target != v && !seen[target] {
+				seen[target] = true
+				edges = append(edges, [2]evencycle.NodeID{v, target})
+				pool = append(pool, v, target)
+			}
+		}
+	}
+	return evencycle.NewGraph(n, edges)
+}

@@ -1,0 +1,219 @@
+// Package baseline implements the algorithms the paper compares against in
+// Table 1:
+//
+//   - the local-threshold detector of Censor-Hillel et al. [DISC'20]
+//     (C_{2k}-freeness in O(n^{1-1/k}) rounds for k ∈ {2,3,4,5}, whose
+//     technique provably does not extend to k ≥ 6 [SIROCCO'23]),
+//   - a deterministic full-information k-ball detector in the spirit of
+//     Korhonen–Rybicki [OPODIS'17] (Θ̃(n) rounds on bounded-degree
+//     graphs),
+//   - the round-budget shape of Eden et al. [DISC'19]
+//     (Õ(n^{1-2/(k²-2k+4)}) for even k ≥ 4, Õ(n^{1-2/(k²-k+2)}) for odd
+//     k ≥ 3), used as the crossover curve in experiment E2,
+//   - naive unthresholded color coding (the congestion blow-up the global
+//     threshold prevents).
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// LocalThresholdOptions tunes the [DISC'20]-style detector.
+type LocalThresholdOptions struct {
+	// Tau is the constant local threshold τ_k (0 means 16). The original
+	// analysis proves a suitable constant exists for k ∈ {2,…,5}; its
+	// value is not spelled out, so it is a parameter here (experiment A2
+	// sweeps it).
+	Tau int
+	// Attempts overrides the number of (source, coloring) attempts;
+	// 0 means the faithful Θ(n^{1-1/k}) (with constant 4·(2k)^{2k}
+	// mirroring the color-coding repetition).
+	Attempts int
+	// AttemptFactor scales the faithful attempt count without replacing
+	// it (ignored when Attempts > 0; 0 means 1).
+	AttemptFactor float64
+	// HasFixedSource pins the source to FixedSource in every attempt
+	// instead of sampling it uniformly (used by the A2 trap experiments).
+	HasFixedSource bool
+	FixedSource    graph.NodeID
+	Seed           uint64
+	Workers        int
+	KeepGoing      bool
+}
+
+// LocalThresholdResult reports a run.
+type LocalThresholdResult struct {
+	Found         bool
+	Witness       []graph.NodeID
+	Rounds        int
+	Messages      int64
+	AttemptsRun   int
+	MaxCongestion int
+}
+
+// DetectLocalThreshold runs the local-threshold algorithm of
+// Censor-Hillel et al.: each attempt selects a source s uniformly at
+// random (shared randomness), colors every node uniformly in {0,…,2k-1},
+// and lets the color-0 neighbors of s launch a color-BFS with the constant
+// threshold τ_k. Each attempt costs at most k·τ_k = O(1) rounds; the
+// Θ(n^{1-1/k}) attempts give constant success probability for
+// k ∈ {2,…,5}. For k ≥ 6 no constant threshold works on all instances
+// (Fraigniaud et al. [SIROCCO'23]) — experiment A2 exhibits the failure.
+func DetectLocalThreshold(g *graph.Graph, k int, opt LocalThresholdOptions) (*LocalThresholdResult, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("baseline: local threshold needs k ≥ 2, got %d", k)
+	}
+	n := g.NumNodes()
+	if n < 2*k {
+		return &LocalThresholdResult{}, nil
+	}
+	tau := opt.Tau
+	if tau == 0 {
+		tau = 16
+	}
+	attempts := opt.Attempts
+	if attempts == 0 {
+		factor := opt.AttemptFactor
+		if factor == 0 {
+			factor = 1
+		}
+		base := 4 * math.Pow(2*float64(k), 2*float64(k)) *
+			math.Pow(float64(n), 1-1/float64(k)) * factor
+		if base > math.MaxInt32 {
+			base = math.MaxInt32
+		}
+		attempts = int(math.Ceil(base))
+	}
+
+	net := congest.NewNetwork(g, opt.Seed)
+	eng := congest.NewEngine(net)
+	eng.Workers = opt.Workers
+
+	all := make([]bool, n)
+	for v := range all {
+		all[v] = true
+	}
+	colors := make([]int8, n)
+	inX := make([]bool, n)
+	rng := graph.NewRand(opt.Seed ^ 0x10ca1)
+	L := 2 * k
+
+	res := &LocalThresholdResult{}
+	total := &congest.Report{}
+	for a := 0; a < attempts; a++ {
+		res.AttemptsRun = a + 1
+		// Shared randomness: the uniformly random source of this attempt.
+		s := graph.NodeID(rng.Int32N(int32(n)))
+		if opt.HasFixedSource {
+			s = opt.FixedSource
+		}
+		for v := range colors {
+			colors[v] = int8(rng.IntN(L))
+		}
+		for v := range inX {
+			inX[v] = false
+		}
+		for _, w := range g.Neighbors(s) {
+			inX[w] = true
+		}
+		bfs, err := core.NewColorBFS(n, core.ColorBFSSpec{
+			L:         L,
+			Color:     colors,
+			InH:       all,
+			InX:       inX,
+			Threshold: tau,
+			SeedProb:  1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("baseline: local threshold: %w", err)
+		}
+		rep, err := bfs.Run(eng)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: local threshold: %w", err)
+		}
+		total.Accumulate(rep)
+		if c := bfs.MaxCongestion(); c > res.MaxCongestion {
+			res.MaxCongestion = c
+		}
+		if ds := bfs.Detections(); len(ds) > 0 && !res.Found {
+			witness, err := bfs.Witness(ds[0])
+			if err != nil {
+				return nil, fmt.Errorf("baseline: local threshold witness: %w", err)
+			}
+			if err := graph.IsSimpleCycle(g, witness, L); err != nil {
+				return nil, fmt.Errorf("baseline: local threshold invalid witness: %w", err)
+			}
+			res.Found = true
+			res.Witness = witness
+		}
+		if res.Found && !opt.KeepGoing {
+			break
+		}
+	}
+	res.Rounds = total.Rounds
+	res.Messages = total.Messages
+	return res, nil
+}
+
+// NaiveDetect runs unthresholded colored BFS (threshold = n, every node a
+// seed) — classical color coding with no congestion control. Its round
+// count blows up with the identifier load; it is the negative control for
+// the threshold experiments.
+func NaiveDetect(g *graph.Graph, k int, iterations int, seed uint64) (*LocalThresholdResult, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("baseline: naive detection needs k ≥ 2")
+	}
+	n := g.NumNodes()
+	net := congest.NewNetwork(g, seed)
+	eng := congest.NewEngine(net)
+	all := make([]bool, n)
+	for v := range all {
+		all[v] = true
+	}
+	colors := make([]int8, n)
+	rng := graph.NewRand(seed ^ 0x0a11)
+	L := 2 * k
+	res := &LocalThresholdResult{}
+	total := &congest.Report{}
+	for it := 0; it < iterations; it++ {
+		res.AttemptsRun = it + 1
+		for v := range colors {
+			colors[v] = int8(rng.IntN(L))
+		}
+		bfs, err := core.NewColorBFS(n, core.ColorBFSSpec{
+			L: L, Color: colors, InH: all, InX: all,
+			Threshold: n + 1, SeedProb: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := bfs.Run(eng)
+		if err != nil {
+			return nil, err
+		}
+		total.Accumulate(rep)
+		if c := bfs.MaxCongestion(); c > res.MaxCongestion {
+			res.MaxCongestion = c
+		}
+		if ds := bfs.Detections(); len(ds) > 0 && !res.Found {
+			witness, err := bfs.Witness(ds[0])
+			if err != nil {
+				return nil, err
+			}
+			if err := graph.IsSimpleCycle(g, witness, L); err != nil {
+				return nil, err
+			}
+			res.Found = true
+			res.Witness = witness
+			break
+		}
+	}
+	res.Rounds = total.Rounds
+	res.Messages = total.Messages
+	return res, nil
+}

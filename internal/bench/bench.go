@@ -1,0 +1,121 @@
+// Package bench is the experiment harness that regenerates the paper's
+// Table 1 rows and Figure 1 empirically: parameter sweeps over n, log–log
+// slope fitting against the theoretical exponents, and plain-text/CSV
+// table rendering. The per-experiment index lives in DESIGN.md; measured
+// results are recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+)
+
+// FitSlope fits y = c·x^s by least squares on (log x, log y) and returns
+// the exponent s. Points with non-positive coordinates are skipped.
+func FitSlope(xs, ys []float64) (slope float64, ok bool) {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	n := float64(len(lx))
+	if n < 2 {
+		return 0, false
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range lx {
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, false
+	}
+	return (n*sxy - sx*sy) / den, true
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a free-text note (assumptions, fitted slopes, verdicts).
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes an aligned plain-text table.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	sep := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, note := range t.Notes {
+		if _, err := fmt.Fprintf(w, "  * %s\n", note); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderCSV writes the table as CSV (header + rows; notes as # comments).
+func (t *Table) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(t.Header, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	for _, note := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// f formats a float compactly.
+func f(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000 || math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

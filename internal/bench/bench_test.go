@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFitSlope(t *testing.T) {
+	// y = 3·x^0.75
+	var xs, ys []float64
+	for _, x := range []float64{10, 100, 1000, 10000} {
+		xs = append(xs, x)
+		ys = append(ys, 3*math.Pow(x, 0.75))
+	}
+	slope, ok := FitSlope(xs, ys)
+	if !ok || math.Abs(slope-0.75) > 1e-9 {
+		t.Fatalf("slope = %v ok=%v, want 0.75", slope, ok)
+	}
+	if _, ok := FitSlope([]float64{1}, []float64{2}); ok {
+		t.Fatal("single point fitted")
+	}
+	// Non-positive points are skipped.
+	slope, ok = FitSlope([]float64{-1, 10, 100, 1000}, []float64{5, 3 * math.Pow(10, 0.5), 3 * math.Pow(100, 0.5), 3 * math.Pow(1000, 0.5)})
+	if !ok || math.Abs(slope-0.5) > 1e-9 {
+		t.Fatalf("slope with skip = %v", slope)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:     "T",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddNote("note %d", 7)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"## T — demo", "a", "note 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "a,b") {
+		t.Fatalf("csv missing header: %s", buf.String())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 12 {
+		t.Fatalf("registry has %d experiments", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, err := ByID("E1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+func TestScaledHelpers(t *testing.T) {
+	// c_2 = 8: p = 8/√10000 = 0.08.
+	if p := scaledP(10000, 2); math.Abs(p-0.08) > 1e-12 {
+		t.Fatalf("scaledP = %v, want 0.08", p)
+	}
+	if p := scaledP(4, 2); p > 1 {
+		t.Fatalf("scaledP not capped: %v", p)
+	}
+	eps, err := scaledEps(2)(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// τ = 2·4·10000·0.08 = 6400; ε = 1/19200.
+	if math.Abs(eps-1.0/19200) > 1e-12 {
+		t.Fatalf("scaledEps = %v, want 1/19200", eps)
+	}
+}
+
+// Smoke-run the fast experiments end to end in quick mode; the heavy
+// sweeps run via cmd/benchtab and the root benchmarks.
+func TestQuickExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments skipped in -short mode")
+	}
+	cfg := Config{Quick: true, Seed: 1}
+	for _, id := range []string{"E4", "E8", "E9", "A2"} {
+		exp, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := exp.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty table", id)
+		}
+		var buf bytes.Buffer
+		if err := tab.Render(&buf); err != nil {
+			t.Fatalf("%s render: %v", id, err)
+		}
+	}
+}
+
+// Every registered experiment must complete in quick mode and produce a
+// renderable non-empty table (the full coverage run; slower).
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	cfg := Config{Quick: true, Seed: 2}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tab, err := exp.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if len(tab.Rows) == 0 || len(tab.Header) == 0 {
+				t.Fatalf("%s: empty table", exp.ID)
+			}
+			var buf bytes.Buffer
+			if err := tab.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := tab.RenderCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

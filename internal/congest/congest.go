@@ -1,0 +1,157 @@
+// Package congest implements the CONGEST model of distributed computing as
+// a deterministic, round-synchronous simulator.
+//
+// The model (Peleg 2000, as used by the paper): the network is a simple
+// connected n-vertex graph; one computing node per vertex; computation
+// proceeds in lockstep rounds; in each round every node may send one
+// O(log n)-bit message to each of its neighbors, receives the messages sent
+// to it, and performs arbitrary local computation. Nodes know their own
+// O(log n)-bit identifier, their incident edges, and (as in the paper) the
+// number n of vertices.
+//
+// Simulation contract:
+//
+//   - One Message per directed edge per round, enforced; a second send on
+//     the same edge in the same round aborts the run with an error.
+//   - A Message carries a kind byte and two machine words — a constant
+//     number of identifiers/counters, i.e. O(log n) bits. Protocols that
+//     need to ship a set of identifiers must do so one message per round,
+//     which is exactly how congestion becomes round complexity.
+//   - Handlers for distinct nodes run concurrently (a goroutine worker pool
+//     with a barrier per round maps goroutines onto CONGEST rounds); a
+//     handler may only touch its own node's state, send to neighbors, and
+//     schedule its own future wake-ups, so execution is transcript-
+//     deterministic for a fixed master seed.
+//   - Rounds in which no node is active are not simulated (the clock
+//     fast-forwards to the next scheduled wake-up) but they still elapse:
+//     the reported round count is the CONGEST time of the execution, i.e.
+//     the span from round 0 to the last round with activity. This is the
+//     quantity the paper's theorems bound.
+package congest
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/graph"
+)
+
+// NodeID identifies a node; it coincides with the vertex ID of the
+// underlying graph.
+type NodeID = graph.NodeID
+
+// Message is the unit of communication: a kind byte plus two words, i.e.
+// O(log n) bits. From is filled by the runtime on delivery.
+type Message struct {
+	From NodeID
+	Kind uint8
+	A, B uint64
+}
+
+// Handler is a distributed protocol: per-node state lives inside the
+// implementation, indexed by node ID; the engine guarantees that
+// HandleRound is invoked at most once per node per round and that
+// invocations for distinct nodes never share state unless the handler
+// itself shares it (it must not).
+type Handler interface {
+	// Init is called once, sequentially, before round 0. It typically
+	// allocates per-node state and schedules initial wake-ups via
+	// rt.WakeAt.
+	Init(rt *Runtime)
+	// HandleRound is called for node u at round r with the messages
+	// delivered to u at the beginning of r. The inbox slice is only valid
+	// for the duration of the call.
+	HandleRound(rt *Runtime, u NodeID, r int, inbox []Message)
+}
+
+// Rejection records a node's reject output together with the witness cycle
+// it can reconstruct (possibly nil when the protocol offers none).
+type Rejection struct {
+	Node    NodeID
+	Witness []graph.NodeID
+}
+
+// Report summarizes one engine run.
+type Report struct {
+	// Rounds is the number of executed rounds: the last round in which any
+	// node was active, plus one. Idle gaps between scheduled wake-ups are
+	// skipped by the simulator and excluded (no protocol in this
+	// repository idles intentionally).
+	Rounds int
+	// Messages is the total number of messages delivered.
+	Messages int64
+	// Bits is the model-level bandwidth consumed: every message carries a
+	// kind byte plus up to two identifiers/counters, i.e.
+	// 8 + 2·⌈log₂ n⌉ bits in the O(log n)-bit regime of the model.
+	Bits int64
+	// MaxInbox is the maximum number of messages received by a single node
+	// in a single round (a congestion measure).
+	MaxInbox int
+	// Rejections lists all reject outputs.
+	Rejections []Rejection
+	// Halted reports whether a handler requested a global stop.
+	Halted bool
+	// Timeline holds per-round statistics when Engine.Timeline is set.
+	Timeline []RoundStat
+}
+
+// MessageBits returns the model-level size of one message on an n-node
+// network: a kind byte plus two ⌈log₂ n⌉-bit words.
+func MessageBits(n int) int64 {
+	bits := 1
+	for 1<<bits < n {
+		bits++
+	}
+	return int64(8 + 2*bits)
+}
+
+// Accumulate adds r's counters into t (for sequential protocol
+// composition).
+func (t *Report) Accumulate(r *Report) {
+	t.Rounds += r.Rounds
+	t.Messages += r.Messages
+	t.Bits += r.Bits
+	if r.MaxInbox > t.MaxInbox {
+		t.MaxInbox = r.MaxInbox
+	}
+	t.Rejections = append(t.Rejections, r.Rejections...)
+	t.Halted = t.Halted || r.Halted
+}
+
+// Network is the immutable execution substrate: topology plus model
+// parameters shared by all sessions run on it.
+type Network struct {
+	g    *graph.Graph
+	seed uint64
+}
+
+// NewNetwork wraps a graph as a CONGEST network with the given master seed
+// (per-node randomness streams are derived from it).
+func NewNetwork(g *graph.Graph, seed uint64) *Network {
+	return &Network{g: g, seed: seed}
+}
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// NumNodes returns the network size (global knowledge, as in the paper).
+func (n *Network) NumNodes() int { return n.g.NumNodes() }
+
+// Seed returns the master seed.
+func (n *Network) Seed() uint64 { return n.seed }
+
+// nodeRand derives the deterministic random stream of node u for session
+// sess.
+func (n *Network) nodeRand(u NodeID, sess uint64) *rand.Rand {
+	s := n.seed ^ (uint64(u)+1)*0x9e3779b97f4a7c15 ^ (sess+1)*0xbf58476d1ce4e5b9
+	return rand.New(rand.NewPCG(s, s^0x94d049bb133111eb))
+}
+
+// errProtocol wraps protocol-level violations (bandwidth, locality).
+type errProtocol struct{ msg string }
+
+func (e *errProtocol) Error() string { return "congest: " + e.msg }
+
+func protocolErrorf(format string, args ...any) error {
+	return &errProtocol{msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,370 @@
+package congest
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine executes handlers on a network, one session at a time. An Engine
+// is not safe for concurrent Run calls.
+type Engine struct {
+	net *Network
+	// MaxRounds aborts runaway protocols; 0 means the default cap.
+	MaxRounds int
+	// Workers is the size of the goroutine pool mapping node handlers onto
+	// rounds; 0 means GOMAXPROCS.
+	Workers int
+	// StopOnReject halts the session at the end of the first round in
+	// which some node rejected.
+	StopOnReject bool
+	// DropProb injects adversarial message loss: each staged message is
+	// discarded at delivery time with this probability (deterministic
+	// given the network seed). The CONGEST model itself is fault-free;
+	// this knob exists to machine-check that one-sidedness is structural —
+	// under any loss rate the detectors may miss cycles but can never
+	// fabricate one.
+	DropProb float64
+	// Timeline collects per-round statistics into Report.Timeline.
+	Timeline bool
+
+	session uint64
+}
+
+// RoundStat is one entry of a collected timeline.
+type RoundStat struct {
+	Round    int
+	Active   int   // nodes whose handler ran
+	Messages int64 // messages delivered out of this round
+}
+
+// NewEngine returns an engine for the network.
+func NewEngine(net *Network) *Engine {
+	return &Engine{net: net}
+}
+
+// Network returns the engine's network.
+func (e *Engine) Network() *Network { return e.net }
+
+const defaultMaxRounds = 50_000_000
+
+// Runtime is the per-session interface handlers use to interact with the
+// simulated network. Methods marked "node-local" may be called only from
+// within HandleRound (or Init) and, when called for node u, only by u's
+// handler invocation.
+type Runtime struct {
+	net  *Network
+	sess uint64
+
+	// Per-node wake requests: wake[u] = earliest future round at which u
+	// wants to run (-1 = none). Written only by u's own handler.
+	wake []int32
+
+	// Outgoing messages staged by senders during the current round.
+	// out[u] is written only by u's handler.
+	out [][]outMsg
+
+	// lastSent[u][slot] = round at which adjacency slot `slot` of u last
+	// carried a message (bandwidth enforcement). Lazily allocated.
+	lastSent [][]int32
+
+	// rngs[u] is u's deterministic random stream, created on first use by
+	// u's own handler.
+	rngs []*rand.Rand
+
+	// inbox[u] holds the messages delivered to u this round.
+	inbox [][]Message
+
+	round int
+
+	halt atomic.Bool
+
+	mu         sync.Mutex
+	rejections []Rejection
+	violation  error
+}
+
+type outMsg struct {
+	to  NodeID
+	msg Message
+}
+
+// N returns the number of nodes in the network (global knowledge).
+func (rt *Runtime) N() int { return rt.net.NumNodes() }
+
+// Round returns the current round number.
+func (rt *Runtime) Round() int { return rt.round }
+
+// Degree returns the degree of u (node-local knowledge).
+func (rt *Runtime) Degree(u NodeID) int { return rt.net.g.Degree(u) }
+
+// Neighbors returns u's adjacency list (node-local knowledge). The slice
+// must not be modified.
+func (rt *Runtime) Neighbors(u NodeID) []NodeID { return rt.net.g.Neighbors(u) }
+
+// Rand returns u's deterministic random stream. Node-local.
+func (rt *Runtime) Rand(u NodeID) *rand.Rand {
+	if rt.rngs[u] == nil {
+		rt.rngs[u] = rt.net.nodeRand(u, rt.sess)
+	}
+	return rt.rngs[u]
+}
+
+// Send stages a message from u to its neighbor v for delivery at the start
+// of the next round. It enforces the CONGEST constraints: v must be a
+// neighbor of u, and each directed edge carries at most one message per
+// round. Node-local.
+func (rt *Runtime) Send(u, v NodeID, kind uint8, a, b uint64) {
+	slot := rt.neighborSlot(u, v)
+	if slot < 0 {
+		rt.fail(protocolErrorf("round %d: node %d sent to non-neighbor %d", rt.round, u, v))
+		return
+	}
+	if rt.lastSent[u] == nil {
+		ls := make([]int32, rt.net.g.Degree(u))
+		for i := range ls {
+			ls[i] = -1
+		}
+		rt.lastSent[u] = ls
+	}
+	if rt.lastSent[u][slot] == int32(rt.round) {
+		rt.fail(protocolErrorf("round %d: node %d sent twice on edge to %d (bandwidth violation)", rt.round, u, v))
+		return
+	}
+	rt.lastSent[u][slot] = int32(rt.round)
+	rt.out[u] = append(rt.out[u], outMsg{to: v, msg: Message{From: u, Kind: kind, A: a, B: b}})
+}
+
+func (rt *Runtime) neighborSlot(u, v NodeID) int {
+	adj := rt.net.g.Neighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	if i < len(adj) && adj[i] == v {
+		return i
+	}
+	return -1
+}
+
+// WakeAt schedules node u to run at round r (which must not be in the
+// past). Node-local (or from Init, where the current round is 0).
+func (rt *Runtime) WakeAt(u NodeID, r int) {
+	if r < rt.round {
+		rt.fail(protocolErrorf("node %d scheduled wake at past round %d (now %d)", u, r, rt.round))
+		return
+	}
+	if rt.wake[u] < 0 || int32(r) < rt.wake[u] {
+		rt.wake[u] = int32(r)
+	}
+}
+
+// Reject records that node u outputs reject, with an optional witness
+// cycle. Safe for concurrent use.
+func (rt *Runtime) Reject(u NodeID, witness []NodeID) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.rejections = append(rt.rejections, Rejection{Node: u, Witness: witness})
+}
+
+// Halt requests a global stop at the end of the current round. Safe for
+// concurrent use.
+func (rt *Runtime) Halt() { rt.halt.Store(true) }
+
+func (rt *Runtime) fail(err error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.violation == nil {
+		rt.violation = err
+	}
+	rt.halt.Store(true)
+}
+
+func (rt *Runtime) rejectedLocked() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.rejections) > 0
+}
+
+// Run executes one session of the handler until quiescence (no pending
+// messages and no scheduled wake-ups), a halt request, or the round cap.
+//
+// The returned Report counts rounds in CONGEST time: Rounds is the index of
+// the last round with activity, plus one; idle gaps before a scheduled
+// wake-up are not simulated but do elapse (and are therefore counted).
+func (e *Engine) Run(h Handler) (*Report, error) {
+	n := e.net.NumNodes()
+	sess := e.session
+	e.session++
+	rt := &Runtime{
+		net:      e.net,
+		sess:     sess,
+		wake:     make([]int32, n),
+		out:      make([][]outMsg, n),
+		lastSent: make([][]int32, n),
+		rngs:     make([]*rand.Rand, n),
+		inbox:    make([][]Message, n),
+	}
+	for i := range rt.wake {
+		rt.wake[i] = -1
+	}
+	h.Init(rt)
+	if rt.violation != nil {
+		return nil, rt.violation
+	}
+
+	maxRounds := e.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	rep := &Report{}
+	msgBits := MessageBits(n)
+	var dropRng *rand.Rand
+	if e.DropProb > 0 {
+		dropRng = e.net.nodeRand(-1, sess)
+	}
+	// pool: candidate nodes for the current round (receivers of the
+	// previous round's messages plus nodes with pending wake-ups), sorted.
+	pool := make([]NodeID, 0, n)
+	due := make([]NodeID, 0, n)
+	waiting := make([]NodeID, 0, n)
+	next := make([]NodeID, 0, n)
+	inPool := make([]int32, n) // round stamp for dedup when building next
+	for i := range inPool {
+		inPool[i] = -1
+	}
+	for u := 0; u < n; u++ {
+		if rt.wake[u] >= 0 {
+			pool = append(pool, NodeID(u))
+		}
+	}
+
+	for round := 0; len(pool) > 0; round++ {
+		if round >= maxRounds {
+			return nil, fmt.Errorf("congest: exceeded %d rounds (runaway protocol?)", maxRounds)
+		}
+
+		// Partition the pool into nodes due now and nodes waiting for a
+		// future wake-up.
+		due = due[:0]
+		waiting = waiting[:0]
+		earliest := int32(-1)
+		for _, u := range pool {
+			w := rt.wake[u]
+			if len(rt.inbox[u]) > 0 || (w >= 0 && int(w) <= round) {
+				due = append(due, u)
+				if w >= 0 && int(w) <= round {
+					rt.wake[u] = -1
+				}
+			} else {
+				waiting = append(waiting, u)
+				if earliest < 0 || w < earliest {
+					earliest = w
+				}
+			}
+		}
+		if len(due) == 0 {
+			// Fast-forward the clock to the earliest scheduled wake-up.
+			round = int(earliest) - 1
+			continue
+		}
+		rt.round = round
+		rep.Rounds = round + 1
+		for _, u := range due {
+			if load := len(rt.inbox[u]); load > rep.MaxInbox {
+				rep.MaxInbox = load
+			}
+		}
+
+		// Execute handlers (possibly in parallel).
+		e.runHandlers(rt, h, due, round, workers)
+		if rt.violation != nil {
+			return nil, rt.violation
+		}
+
+		// Consume inboxes, deliver staged messages, and build the next
+		// pool: message receivers, re-woken due nodes, and still-waiting
+		// nodes.
+		next = next[:0]
+		mark := func(u NodeID) {
+			if inPool[u] != int32(round) {
+				inPool[u] = int32(round)
+				next = append(next, u)
+			}
+		}
+		for _, u := range due {
+			rt.inbox[u] = rt.inbox[u][:0]
+		}
+		var delivered int64
+		for _, u := range due {
+			for _, om := range rt.out[u] {
+				if dropRng != nil && dropRng.Float64() < e.DropProb {
+					continue
+				}
+				rt.inbox[om.to] = append(rt.inbox[om.to], om.msg)
+				rep.Messages++
+				rep.Bits += msgBits
+				delivered++
+				mark(om.to)
+			}
+			rt.out[u] = rt.out[u][:0]
+			if rt.wake[u] >= 0 {
+				mark(u)
+			}
+		}
+		if e.Timeline {
+			rep.Timeline = append(rep.Timeline, RoundStat{
+				Round: round, Active: len(due), Messages: delivered,
+			})
+		}
+		for _, u := range waiting {
+			mark(u)
+		}
+		pool = append(pool[:0], next...)
+		sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+
+		if rt.halt.Load() {
+			rep.Halted = true
+			break
+		}
+		if e.StopOnReject && rt.rejectedLocked() {
+			break
+		}
+	}
+	rep.Rejections = rt.rejections
+	return rep, nil
+}
+
+// runHandlers invokes the handler for every due node, in parallel when the
+// batch is large enough to amortize goroutine overhead.
+func (e *Engine) runHandlers(rt *Runtime, h Handler, due []NodeID, round int, workers int) {
+	const parallelThreshold = 256
+	if workers <= 1 || len(due) < parallelThreshold {
+		for _, u := range due {
+			h.HandleRound(rt, u, round, rt.inbox[u])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(due) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(due) {
+			break
+		}
+		hi := min(lo+chunk, len(due))
+		wg.Add(1)
+		go func(part []NodeID) {
+			defer wg.Done()
+			for _, u := range part {
+				h.HandleRound(rt, u, round, rt.inbox[u])
+			}
+		}(due[lo:hi])
+	}
+	wg.Wait()
+}

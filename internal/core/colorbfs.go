@@ -1,0 +1,488 @@
+// Package core implements the paper's primary contribution: Algorithm 1
+// (deciding C_{2k}-freeness with a global congestion threshold), its
+// color-BFS-with-threshold subroutine in both the paper's batch schedule
+// and a pipelined variant, the construction of the vertex sets U, S and W,
+// witness extraction, and the Density Lemma machinery (see density.go).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+// Message kinds used by color-BFS sessions.
+const (
+	kindSeed uint8 = 10 // phase-1 message from a color-0 seed; A = seed ID
+	kindFwd  uint8 = 11 // forwarded identifier; A = seed ID, B = senderColor | dir<<8
+)
+
+const dirDesc = 1 << 8
+
+// ColorBFSSpec describes one invocation of the color-BFS-with-threshold
+// procedure color-BFS(k, H, c, X, τ) of Algorithm 1, generalized to
+//
+//   - arbitrary cycle length L (even L = 2k as in Algorithm 1, odd
+//     L = 2k+1 as in Section 3.4),
+//   - randomized seed activation with probability SeedProb and an
+//     alternative constant threshold, which yields exactly Algorithm 2
+//     (randomized-color-BFS) when SeedProb = 1/τ and Threshold = 4,
+//   - an optional merged mode (DetectSkip) in which nodes colored m+1 also
+//     feed nodes colored m-1, detecting C_{L-1} in the same run
+//     (Section 3.5's conjoint testing of C_{2ℓ-1} and C_{2ℓ}).
+//
+// Vertices of H are those with InH true; seeds are InX ∩ InH with color 0.
+// The search looks for an identifier that travelled from a seed to a node
+// colored m = ⌊L/2⌋ along two well-colored paths: ascending through colors
+// 0,1,…,m and descending through colors 0,L-1,…,m.
+type ColorBFSSpec struct {
+	L          int     // target cycle length, ≥ 3
+	Color      []int8  // c(v) ∈ {0,…,L-1} for every vertex
+	InH        []bool  // subgraph membership
+	InX        []bool  // seed-set membership
+	Threshold  int     // τ: forwarders discard their set when it exceeds τ
+	SeedProb   float64 // activation probability of each seed (Algorithm 2)
+	DetectSkip bool    // additionally detect C_{L-1} (merged F_{2k} mode)
+	Pipelined  bool    // pipelined schedule instead of the batch schedule
+}
+
+// Detection records one identifier collision at a detector node, i.e. one
+// discovered cycle.
+type Detection struct {
+	Node graph.NodeID
+	Seed uint64
+	Skip bool // true: a C_{L-1} found via the merged mode
+}
+
+// ColorBFS executes one color-BFS invocation on an engine. It is created
+// per call via NewColorBFS and is not reusable.
+type ColorBFS struct {
+	spec ColorBFSSpec
+	m    int // detector color ⌊L/2⌋
+	tmax int // number of forwarding phases: max(m, L-m)
+
+	// Per-node identifier sets; maps are lazily allocated and store
+	// id → parent (the neighbor that first delivered the id), which is the
+	// information witness extraction walks.
+	asc, desc, skip []map[uint64]graph.NodeID
+	ascOver         []bool
+	descOver        []bool
+
+	mu         sync.Mutex
+	detections []Detection
+
+	// Pipelined-mode forwarding queues.
+	queue    [][]uint64
+	queueIdx []int
+}
+
+// NewColorBFS validates the spec and prepares an invocation for a graph on
+// n vertices.
+func NewColorBFS(n int, spec ColorBFSSpec) (*ColorBFS, error) {
+	if spec.L < 3 {
+		return nil, fmt.Errorf("core: cycle length %d < 3", spec.L)
+	}
+	if len(spec.Color) != n || len(spec.InH) != n || len(spec.InX) != n {
+		return nil, fmt.Errorf("core: spec arrays must have length %d", n)
+	}
+	if spec.Threshold < 1 {
+		return nil, fmt.Errorf("core: threshold %d < 1", spec.Threshold)
+	}
+	if spec.SeedProb <= 0 || spec.SeedProb > 1 {
+		return nil, fmt.Errorf("core: seed probability %v outside (0,1]", spec.SeedProb)
+	}
+	if spec.DetectSkip && spec.L%2 != 0 {
+		return nil, fmt.Errorf("core: merged C_{L-1} mode requires even L, got %d", spec.L)
+	}
+	m := spec.L / 2
+	b := &ColorBFS{
+		spec: spec,
+		m:    m,
+		tmax: max(m, spec.L-m),
+		asc:  make([]map[uint64]graph.NodeID, n),
+		desc: make([]map[uint64]graph.NodeID, n),
+	}
+	b.ascOver = make([]bool, n)
+	b.descOver = make([]bool, n)
+	if spec.DetectSkip {
+		b.skip = make([]map[uint64]graph.NodeID, n)
+	}
+	return b, nil
+}
+
+// Role predicates. Colors: 0 seeds; 1..m-1 ascending forwarders; m
+// detector; m+1..L-1 descending forwarders; in skip mode m-1 also detects.
+
+func (b *ColorBFS) isAscForwarder(c int8) bool { return c >= 1 && int(c) <= b.m-1 }
+func (b *ColorBFS) isDescForwarder(c int8) bool {
+	return int(c) >= b.m+1 && int(c) <= b.spec.L-1
+}
+
+// sendPhase returns the batch phase (1-based) in which a node of color c
+// transmits, or 0 if it never transmits. Seeds transmit in phase 1;
+// an ascending forwarder colored c transmits in phase c+1; a descending
+// forwarder colored c transmits in phase L-c+1.
+func (b *ColorBFS) sendPhase(c int8) int {
+	switch {
+	case c == 0:
+		return 1
+	case b.isAscForwarder(c):
+		return int(c) + 1
+	case b.isDescForwarder(c):
+		return b.spec.L - int(c) + 1
+	default:
+		return 0
+	}
+}
+
+// accept processes an incoming identifier at node v according to the
+// receiver-side rules and reports whether a detection occurred.
+// Receiver-side filtering (rather than sender-side color knowledge) keeps
+// every node's decisions local; it costs extra messages on wrongly-colored
+// edges but never extra rounds, so round complexity is unaffected.
+func (b *ColorBFS) accept(v graph.NodeID, c int8, m congest.Message) {
+	if !b.spec.InH[v] {
+		return
+	}
+	id := m.A
+	switch m.Kind {
+	case kindSeed:
+		if int(c) == 1 {
+			b.insertAsc(v, c, id, m.From)
+		}
+		if int(c) == b.spec.L-1 {
+			b.insertDesc(v, c, id, m.From)
+		}
+	case kindFwd:
+		sc := int(m.B) & 0xff
+		descDir := m.B&dirDesc != 0
+		if !descDir && int(c) == sc+1 && int(c) <= b.m {
+			b.insertAsc(v, c, id, m.From)
+		}
+		if descDir && int(c) == sc-1 && int(c) >= b.m {
+			b.insertDesc(v, c, id, m.From)
+		}
+		if descDir && b.spec.DetectSkip && sc == b.m+1 && int(c) == b.m-1 {
+			b.insertSkip(v, id, m.From)
+		}
+	}
+}
+
+func (b *ColorBFS) insertAsc(v graph.NodeID, c int8, id uint64, from graph.NodeID) {
+	if b.ascOver[v] {
+		return
+	}
+	set := b.asc[v]
+	if set == nil {
+		set = make(map[uint64]graph.NodeID, 4)
+		b.asc[v] = set
+	}
+	if _, dup := set[id]; dup {
+		return
+	}
+	// The forwarding threshold τ applies to forwarders: a set that would
+	// exceed τ is discarded entirely (Instruction 19 of Algorithm 1).
+	// In skip mode the color-(m-1) detectors are also forwarders, so their
+	// ascending set obeys the same rule.
+	if b.isAscForwarder(c) && len(set) >= b.spec.Threshold {
+		b.ascOver[v] = true
+		return
+	}
+	set[id] = from
+	if int(c) == b.m {
+		if _, hit := b.descSet(v)[id]; hit {
+			b.record(Detection{Node: v, Seed: id})
+		}
+	}
+	if b.spec.DetectSkip && int(c) == b.m-1 {
+		if _, hit := b.skipSet(v)[id]; hit {
+			b.record(Detection{Node: v, Seed: id, Skip: true})
+		}
+	}
+}
+
+func (b *ColorBFS) insertDesc(v graph.NodeID, c int8, id uint64, from graph.NodeID) {
+	if b.descOver[v] {
+		return
+	}
+	set := b.desc[v]
+	if set == nil {
+		set = make(map[uint64]graph.NodeID, 4)
+		b.desc[v] = set
+	}
+	if _, dup := set[id]; dup {
+		return
+	}
+	if b.isDescForwarder(c) && len(set) >= b.spec.Threshold {
+		b.descOver[v] = true
+		return
+	}
+	set[id] = from
+	if int(c) == b.m {
+		if _, hit := b.ascSet(v)[id]; hit {
+			b.record(Detection{Node: v, Seed: id})
+		}
+	}
+}
+
+func (b *ColorBFS) insertSkip(v graph.NodeID, id uint64, from graph.NodeID) {
+	set := b.skip[v]
+	if set == nil {
+		set = make(map[uint64]graph.NodeID, 4)
+		b.skip[v] = set
+	}
+	if _, dup := set[id]; dup {
+		return
+	}
+	set[id] = from
+	if !b.ascOver[v] {
+		if _, hit := b.ascSet(v)[id]; hit {
+			b.record(Detection{Node: v, Seed: id, Skip: true})
+		}
+	}
+}
+
+func (b *ColorBFS) ascSet(v graph.NodeID) map[uint64]graph.NodeID  { return b.asc[v] }
+func (b *ColorBFS) descSet(v graph.NodeID) map[uint64]graph.NodeID { return b.desc[v] }
+func (b *ColorBFS) skipSet(v graph.NodeID) map[uint64]graph.NodeID { return b.skip[v] }
+
+func (b *ColorBFS) record(d Detection) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.detections = append(b.detections, d)
+}
+
+// Detections returns the identifier collisions found by the run.
+func (b *ColorBFS) Detections() []Detection { return b.detections }
+
+// MaxCongestion returns the largest identifier set accumulated at any
+// single node on either side — the congestion quantity that the paper's
+// threshold τ bounds for forwarders.
+func (b *ColorBFS) MaxCongestion() int {
+	best := 0
+	for v := range b.asc {
+		if len(b.asc[v]) > best {
+			best = len(b.asc[v])
+		}
+		if len(b.desc[v]) > best {
+			best = len(b.desc[v])
+		}
+	}
+	return best
+}
+
+// Overflowed reports whether any forwarder discarded its set.
+func (b *ColorBFS) Overflowed() bool {
+	for v := range b.ascOver {
+		if b.ascOver[v] || b.descOver[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the invocation on the engine and returns the accumulated
+// report. Batch mode runs the paper's phase-synchronous schedule as one
+// engine session per phase (each phase ends at quiescence, i.e. after
+// max_v |queue(v)| rounds — the early exit changes no message's timing
+// relative to a fixed τ-round phase, it only skips the idle tail).
+// Pipelined mode runs a single session in which identifiers are forwarded
+// as they arrive.
+func (b *ColorBFS) Run(e *congest.Engine) (*congest.Report, error) {
+	if b.spec.Pipelined {
+		return b.runPipelined(e)
+	}
+	return b.runBatch(e)
+}
+
+func (b *ColorBFS) runBatch(e *congest.Engine) (*congest.Report, error) {
+	total := &congest.Report{}
+	for phase := 1; phase <= b.tmax; phase++ {
+		ph := &batchPhase{bfs: b, phase: phase}
+		rep, err := e.Run(ph)
+		if err != nil {
+			return nil, fmt.Errorf("core: color-BFS phase %d: %w", phase, err)
+		}
+		total.Accumulate(rep)
+	}
+	return total, nil
+}
+
+// batchPhase is the engine handler for a single batch phase: the phase's
+// senders transmit their identifier sets one per round; receivers
+// accumulate.
+type batchPhase struct {
+	bfs   *ColorBFS
+	phase int
+
+	queue    [][]uint64
+	queueIdx []int
+}
+
+var _ congest.Handler = (*batchPhase)(nil)
+
+func (p *batchPhase) Init(rt *congest.Runtime) {
+	b := p.bfs
+	n := rt.N()
+	p.queue = make([][]uint64, n)
+	p.queueIdx = make([]int, n)
+	for u := 0; u < n; u++ {
+		v := graph.NodeID(u)
+		if !b.spec.InH[v] {
+			continue
+		}
+		c := b.spec.Color[v]
+		if b.sendPhase(c) != p.phase {
+			continue
+		}
+		var ids []uint64
+		switch {
+		case c == 0:
+			if !b.spec.InX[v] {
+				continue
+			}
+			// Algorithm 2's randomized activation (Instruction 1).
+			if b.spec.SeedProb < 1 && rt.Rand(v).Float64() >= b.spec.SeedProb {
+				continue
+			}
+			ids = []uint64{uint64(v)}
+		case b.isAscForwarder(c):
+			if b.ascOver[v] || len(b.asc[v]) == 0 {
+				continue
+			}
+			ids = sortedIDs(b.asc[v])
+		default: // descending forwarder
+			if b.descOver[v] || len(b.desc[v]) == 0 {
+				continue
+			}
+			ids = sortedIDs(b.desc[v])
+		}
+		p.queue[v] = ids
+		rt.WakeAt(v, 0)
+	}
+}
+
+func (p *batchPhase) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, inbox []congest.Message) {
+	b := p.bfs
+	c := b.spec.Color[u]
+	for _, m := range inbox {
+		b.accept(u, c, m)
+	}
+	q := p.queue[u]
+	if idx := p.queueIdx[u]; idx < len(q) {
+		id := q[idx]
+		p.queueIdx[u]++
+		kind, payload := kindFwd, uint64(c)
+		if c == 0 {
+			kind, payload = kindSeed, 0
+		} else if b.isDescForwarder(c) {
+			payload |= dirDesc
+		}
+		for _, w := range rt.Neighbors(u) {
+			rt.Send(u, w, kind, id, payload)
+		}
+		if p.queueIdx[u] < len(q) {
+			rt.WakeAt(u, r+1)
+		}
+	}
+}
+
+func sortedIDs(set map[uint64]graph.NodeID) []uint64 {
+	ids := make([]uint64, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// runPipelined executes the pipelined schedule: one engine session,
+// identifiers forwarded as they arrive, with the threshold acting as a
+// cutoff (a forwarder that exceeds τ stops forwarding; identifiers it
+// already relayed still witness well-colored paths, so one-sided
+// correctness is preserved — this is ablation A1 of DESIGN.md).
+func (b *ColorBFS) runPipelined(e *congest.Engine) (*congest.Report, error) {
+	n := e.Network().NumNodes()
+	b.queue = make([][]uint64, n)
+	b.queueIdx = make([]int, n)
+	rep, err := e.Run(&pipelinedRun{bfs: b})
+	if err != nil {
+		return nil, fmt.Errorf("core: pipelined color-BFS: %w", err)
+	}
+	return rep, nil
+}
+
+type pipelinedRun struct {
+	bfs *ColorBFS
+}
+
+var _ congest.Handler = (*pipelinedRun)(nil)
+
+func (p *pipelinedRun) Init(rt *congest.Runtime) {
+	b := p.bfs
+	for u := 0; u < rt.N(); u++ {
+		v := graph.NodeID(u)
+		if !b.spec.InH[v] || b.spec.Color[v] != 0 || !b.spec.InX[v] {
+			continue
+		}
+		if b.spec.SeedProb < 1 && rt.Rand(v).Float64() >= b.spec.SeedProb {
+			continue
+		}
+		b.queue[v] = []uint64{uint64(v)}
+		rt.WakeAt(v, 0)
+	}
+}
+
+func (p *pipelinedRun) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, inbox []congest.Message) {
+	b := p.bfs
+	c := b.spec.Color[u]
+	forwarder := b.isAscForwarder(c) || b.isDescForwarder(c)
+	for _, m := range inbox {
+		var before int
+		if forwarder {
+			before = p.setSize(u, c)
+		}
+		b.accept(u, c, m)
+		if forwarder && p.setSize(u, c) > before && !p.overflowed(u, c) {
+			b.queue[u] = append(b.queue[u], m.A)
+		}
+	}
+	if p.overflowed(u, c) {
+		b.queue[u] = nil
+		return
+	}
+	q := b.queue[u]
+	if idx := b.queueIdx[u]; idx < len(q) {
+		id := q[idx]
+		b.queueIdx[u]++
+		kind, payload := kindFwd, uint64(c)
+		if c == 0 {
+			kind, payload = kindSeed, 0
+		} else if b.isDescForwarder(c) {
+			payload |= dirDesc
+		}
+		for _, w := range rt.Neighbors(u) {
+			rt.Send(u, w, kind, id, payload)
+		}
+		if b.queueIdx[u] < len(q) {
+			rt.WakeAt(u, r+1)
+		}
+	}
+}
+
+func (p *pipelinedRun) setSize(u graph.NodeID, c int8) int {
+	if p.bfs.isAscForwarder(c) {
+		return len(p.bfs.asc[u])
+	}
+	return len(p.bfs.desc[u])
+}
+
+func (p *pipelinedRun) overflowed(u graph.NodeID, c int8) bool {
+	if p.bfs.isAscForwarder(c) {
+		return p.bfs.ascOver[u]
+	}
+	return p.bfs.descOver[u]
+}

@@ -1,0 +1,598 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// This file implements the combinatorial core of the paper (Section 2.2.3):
+// the Density Lemma (Lemma 4) together with its constructive proof — the
+// OUT/IN(v,γ) sparsification (Eqs. 3–8), the Lemma 5 path realization, and
+// the Lemma 6 three-path cycle construction (paths P, P′, P″; Figure 1).
+//
+// It is deliberately a centralized procedure: the distributed algorithm
+// never runs it — Algorithm 1 only relies on the *existence* statement
+// (a congested node implies a 2k-cycle through S). Materializing the
+// construction lets the test suite check the dichotomy mechanically: for
+// every instance, either the density bound |W₀(v)| ≤ 2^{i-1}(k-1)|S| holds
+// at every node, or a verified 2k-cycle intersecting S is produced.
+
+// Layer labels for DensityInstance.Layer.
+const (
+	LayerNone int8 = -2 // vertex not participating
+	LayerS    int8 = -1 // vertex in S
+	LayerW0   int8 = 0  // vertex in W₀ (= V₀)
+	// positive values j = 1..k-1 denote V_j
+)
+
+// DensityInstance is an input to the Density Lemma: a graph together with
+// the disjoint vertex sets S, W₀ = V₀, V₁, …, V_{k-1} encoded as a layer
+// assignment.
+type DensityInstance struct {
+	G     *graph.Graph
+	K     int    // the k of C_{2k}
+	Layer []int8 // per-vertex label (see constants above)
+}
+
+// DensityWitness is the constructive outcome of a density violation: the
+// three paths of Lemma 6 and their union, a simple 2k-cycle intersecting S.
+type DensityWitness struct {
+	V      graph.NodeID   // the node with IN(V,0) ≠ ∅
+	LayerI int            // its layer i
+	P      []graph.NodeID // alternating W₀/S path, 2(k-i) vertices
+	PPrime []graph.NodeID // (w, v′₁, …, v′_{i-1}, V)
+	PDbl   []graph.NodeID // (s, w″, v″₁, …, v″_{i-1}, V)
+	Cycle  []graph.NodeID // the assembled 2k-cycle
+}
+
+// DensityResult reports the dichotomy.
+type DensityResult struct {
+	// Violation is the first (smallest layer, then smallest ID) node whose
+	// W₀-reach exceeds the bound, or -1 when the density bound holds
+	// everywhere.
+	Violation graph.NodeID
+	// ViolationLayer is the layer i of the violating node.
+	ViolationLayer int
+	// ReachSize is |W₀(v)| at the violating node, and Bound the value
+	// 2^{i-1}(k-1)|S| it exceeds.
+	ReachSize, Bound int
+	// Witness is the constructed cycle (present iff Violation ≥ 0).
+	Witness *DensityWitness
+
+	// MaxReach[i] is max_{v ∈ V_i} |W₀(v)| for diagnostics.
+	MaxReach []int
+	SizeS    int
+	SizeW0   int
+}
+
+// Validate checks the structural preconditions of Lemma 4: layers are
+// within range and every W₀ vertex has at least k² neighbors in S.
+func (in *DensityInstance) Validate() error {
+	if in.K < 2 {
+		return fmt.Errorf("core: density instance needs k ≥ 2, got %d", in.K)
+	}
+	n := in.G.NumNodes()
+	if len(in.Layer) != n {
+		return fmt.Errorf("core: layer array has %d entries for %d vertices", len(in.Layer), n)
+	}
+	for v, l := range in.Layer {
+		if l < LayerNone || int(l) > in.K-1 {
+			return fmt.Errorf("core: vertex %d has invalid layer %d", v, l)
+		}
+		if l == LayerW0 {
+			cnt := 0
+			for _, u := range in.G.Neighbors(graph.NodeID(v)) {
+				if in.Layer[u] == LayerS {
+					cnt++
+				}
+			}
+			if cnt < in.K*in.K {
+				return fmt.Errorf("core: W₀ vertex %d has %d S-neighbors, needs ≥ k² = %d",
+					v, cnt, in.K*in.K)
+			}
+		}
+	}
+	return nil
+}
+
+// AnalyzeDensity evaluates the Density Lemma dichotomy on the instance:
+// it computes the reach sets W₀(v) for every layered vertex, finds the
+// first violation of the bound |W₀(v)| ≤ 2^{i-1}(k-1)|S| if any, and in
+// that case materializes the Lemma 6 cycle construction. The returned
+// witness cycle is verified to be a simple 2k-cycle intersecting S before
+// returning (an extraction failure is reported as an error — it would
+// falsify the lemma).
+func AnalyzeDensity(in *DensityInstance) (*DensityResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := in.G.NumNodes()
+	res := &DensityResult{Violation: -1, MaxReach: make([]int, in.K)}
+
+	// Index W₀ for bitset reach computation.
+	w0Index := make([]int32, n)
+	var w0List []graph.NodeID
+	for v := 0; v < n; v++ {
+		w0Index[v] = -1
+		if in.Layer[v] == LayerW0 {
+			w0Index[v] = int32(len(w0List))
+			w0List = append(w0List, graph.NodeID(v))
+		}
+		if in.Layer[v] == LayerS {
+			res.SizeS++
+		}
+	}
+	res.SizeW0 = len(w0List)
+	words := (len(w0List) + 63) / 64
+
+	// reach[v] = bitset of W₀ vertices connected to v by a layered path
+	// (w, v₁, …, v_i = v) — exactly the sets W₀(v) of Lemma 4.
+	reach := make([][]uint64, n)
+	popcnt := func(bs []uint64) int {
+		total := 0
+		for _, w := range bs {
+			total += popcount(w)
+		}
+		return total
+	}
+	for i := 1; i <= in.K-1; i++ {
+		for v := 0; v < n; v++ {
+			if int(in.Layer[v]) != i {
+				continue
+			}
+			bs := make([]uint64, words)
+			for _, u := range in.G.Neighbors(graph.NodeID(v)) {
+				switch {
+				case i == 1 && in.Layer[u] == LayerW0:
+					bs[w0Index[u]/64] |= 1 << (uint(w0Index[u]) % 64)
+				case i > 1 && int(in.Layer[u]) == i-1 && reach[u] != nil:
+					for w := range bs {
+						bs[w] |= reach[u][w]
+					}
+				}
+			}
+			reach[v] = bs
+			size := popcnt(bs)
+			if size > res.MaxReach[i] {
+				res.MaxReach[i] = size
+			}
+			bound := densityBound(i, in.K, res.SizeS)
+			if size > bound && res.Violation < 0 {
+				res.Violation = graph.NodeID(v)
+				res.ViolationLayer = i
+				res.ReachSize = size
+				res.Bound = bound
+			}
+		}
+		if res.Violation >= 0 {
+			break
+		}
+	}
+	if res.Violation < 0 {
+		return res, nil
+	}
+
+	witness, err := ExtractDensityCycle(in)
+	if err != nil {
+		return nil, fmt.Errorf("core: density bound violated at node %d (|W₀(v)|=%d > %d) but extraction failed: %w",
+			res.Violation, res.ReachSize, res.Bound, err)
+	}
+	res.Witness = witness
+	return res, nil
+}
+
+// densityBound is 2^{i-1}(k-1)|S|, capped to avoid overflow.
+func densityBound(i, k, sizeS int) int {
+	b := math.Pow(2, float64(i-1)) * float64(k-1) * float64(sizeS)
+	if b > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(b)
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }
+
+// ---------------------------------------------------------------------------
+// The OUT/IN sparsification (Eqs. 3–8) and Lemma 6 extraction.
+
+// swEdge is an edge of E(S, W₀).
+type swEdge struct {
+	s, w graph.NodeID
+}
+
+// sparsifier holds the per-node OUT sets and, for the node under
+// extraction, the nested IN(v,γ) levels.
+type sparsifier struct {
+	in    *DensityInstance
+	edges []swEdge                 // all edges of E(S, W₀)
+	byW   map[graph.NodeID][]int32 // incident edge ids per W₀ vertex
+	out   []map[int32]struct{}     // OUT(v) per vertex (edge-id sets)
+	inSet []map[int32]struct{}     // IN(v) per vertex
+	// levels[v] is the chain IN(v,0) ⊆ … ⊆ IN(v,2q) (index γ → edge set),
+	// kept for every processed vertex so extraction can replay it.
+	levels [][][]int32
+}
+
+func newSparsifier(in *DensityInstance) *sparsifier {
+	n := in.G.NumNodes()
+	sp := &sparsifier{
+		in:     in,
+		byW:    make(map[graph.NodeID][]int32),
+		out:    make([]map[int32]struct{}, n),
+		inSet:  make([]map[int32]struct{}, n),
+		levels: make([][][]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		if in.Layer[v] != LayerW0 {
+			continue
+		}
+		w := graph.NodeID(v)
+		for _, u := range in.G.Neighbors(w) {
+			if in.Layer[u] == LayerS {
+				id := int32(len(sp.edges))
+				sp.edges = append(sp.edges, swEdge{s: u, w: w})
+				sp.byW[w] = append(sp.byW[w], id)
+			}
+		}
+	}
+	// OUT(w) = E({w}, S) for every w ∈ W₀ (Eq. 3).
+	for w, ids := range sp.byW {
+		set := make(map[int32]struct{}, len(ids))
+		for _, id := range ids {
+			set[id] = struct{}{}
+		}
+		sp.out[w] = set
+	}
+	return sp
+}
+
+// build computes IN(v), the level chain, and OUT(v) for every vertex of
+// layers 1..upto, returning the first vertex (smallest layer, then ID)
+// with IN(v,0) ≠ ∅, or -1.
+func (sp *sparsifier) build(upto int) graph.NodeID {
+	firstHot := graph.NodeID(-1)
+	for i := 1; i <= upto; i++ {
+		for v := 0; v < sp.in.G.NumNodes(); v++ {
+			if int(sp.in.Layer[v]) != i {
+				continue
+			}
+			node := graph.NodeID(v)
+			sp.processNode(node, i)
+			if firstHot < 0 && len(sp.levels[node]) > 0 && len(sp.levels[node][0]) > 0 {
+				firstHot = node
+			}
+		}
+		if firstHot >= 0 {
+			return firstHot
+		}
+	}
+	return firstHot
+}
+
+// processNode computes IN(v) (Eq. 4), the chain IN(v,2q) ⊇ … ⊇ IN(v,0)
+// (Eqs. 5–7), and OUT(v) (Eq. 8) for v in layer i.
+func (sp *sparsifier) processNode(v graph.NodeID, i int) {
+	inSet := make(map[int32]struct{})
+	for _, u := range sp.in.G.Neighbors(v) {
+		prev := int8(i - 1)
+		if i == 1 {
+			prev = LayerW0
+		}
+		if sp.in.Layer[u] != prev {
+			continue
+		}
+		for id := range sp.out[u] {
+			inSet[id] = struct{}{}
+		}
+	}
+	sp.inSet[v] = inSet
+
+	q := (sp.in.K - i) / 2
+	out := make(map[int32]struct{})
+	bound := densityBound(i, sp.in.K, 1) // 2^{i-1}(k-1); |S| factor not used here
+	// Split IN(v) by the Eq. 5 degree test on S-endpoints.
+	degS := sp.degreeByS(inSet)
+	level2q := make([]int32, 0, len(inSet))
+	for id := range inSet {
+		if degS[sp.edges[id].s] > bound {
+			level2q = append(level2q, id)
+		} else {
+			out[id] = struct{}{} // first clause of Eq. 8
+		}
+	}
+	sort.Slice(level2q, func(a, b int) bool { return level2q[a] < level2q[b] })
+
+	levels := make([][]int32, 2*q+1)
+	levels[2*q] = level2q
+	cur := level2q
+	for gamma := q; gamma >= 1; gamma-- {
+		// Eq. 6: 2γ → 2γ-1, filter by W-degree > 2γ.
+		degW := sp.degreeByW(cur)
+		lvlOdd := cur[:0:0]
+		for _, id := range cur {
+			if degW[sp.edges[id].w] > 2*gamma {
+				lvlOdd = append(lvlOdd, id)
+			}
+		}
+		levels[2*gamma-1] = lvlOdd
+		// Eq. 7: 2γ-1 → 2γ-2, filter by S-degree > 2γ-1; removed edges
+		// enter OUT(v) (second clause of Eq. 8).
+		degS := sp.degreeByS2(lvlOdd)
+		lvlEven := lvlOdd[:0:0]
+		for _, id := range lvlOdd {
+			if degS[sp.edges[id].s] > 2*gamma-1 {
+				lvlEven = append(lvlEven, id)
+			} else {
+				out[id] = struct{}{}
+			}
+		}
+		levels[2*gamma-2] = lvlEven
+		cur = lvlEven
+	}
+	sp.levels[v] = levels
+	sp.out[v] = out
+}
+
+func (sp *sparsifier) degreeByS(set map[int32]struct{}) map[graph.NodeID]int {
+	deg := make(map[graph.NodeID]int)
+	for id := range set {
+		deg[sp.edges[id].s]++
+	}
+	return deg
+}
+
+func (sp *sparsifier) degreeByS2(ids []int32) map[graph.NodeID]int {
+	deg := make(map[graph.NodeID]int)
+	for _, id := range ids {
+		deg[sp.edges[id].s]++
+	}
+	return deg
+}
+
+func (sp *sparsifier) degreeByW(ids []int32) map[graph.NodeID]int {
+	deg := make(map[graph.NodeID]int)
+	for _, id := range ids {
+		deg[sp.edges[id].w]++
+	}
+	return deg
+}
+
+// ExtractDensityCycle runs the sparsification over all layers and, at the
+// first vertex v with IN(v,0) ≠ ∅, materializes the Lemma 6 construction:
+// path P (Claim 1) inside IN(v,2q), and paths P′ and P″ (Claim 2) through
+// the layers. The assembled 2k-cycle is verified before returning.
+func ExtractDensityCycle(in *DensityInstance) (*DensityWitness, error) {
+	sp := newSparsifier(in)
+	hot := sp.build(in.K - 1)
+	if hot < 0 {
+		return nil, fmt.Errorf("no vertex with IN(v,0) ≠ ∅ (Lemma 7 premise holds)")
+	}
+	i := int(in.Layer[hot])
+	w := &DensityWitness{V: hot, LayerI: i}
+
+	p, err := sp.buildClaim1Path(hot, i)
+	if err != nil {
+		return nil, fmt.Errorf("claim 1 path: %w", err)
+	}
+	w.P = p
+
+	// P′: realize the edge of P incident to its W₀-endpoint through the
+	// layers (Lemma 5).
+	wEnd, sEnd := p[0], p[len(p)-1]
+	eW, err := sp.findEdge(p[0], p[1])
+	if err != nil {
+		return nil, err
+	}
+	pPrime, err := sp.lemma5Path(eW, hot, i)
+	if err != nil {
+		return nil, fmt.Errorf("claim 2 P′: %w", err)
+	}
+	w.PPrime = pPrime
+
+	// P″: pick an edge {sEnd, w″} ∈ IN(v) avoiding P's vertices and every
+	// OUT(v′_j) along P′, then realize it through the layers.
+	onP := make(map[graph.NodeID]struct{}, len(p))
+	for _, x := range p {
+		onP[x] = struct{}{}
+	}
+	avoidOut := make([]map[int32]struct{}, 0, i)
+	for _, vj := range pPrime[1 : len(pPrime)-1] { // the v′_j of P′
+		avoidOut = append(avoidOut, sp.out[vj])
+	}
+	var eDbl int32 = -1
+	for id := range sp.inSet[hot] {
+		e := sp.edges[id]
+		if e.s != sEnd {
+			continue
+		}
+		if _, hit := onP[e.w]; hit {
+			continue
+		}
+		blocked := false
+		for _, os := range avoidOut {
+			if _, in := os[id]; in {
+				blocked = true
+				break
+			}
+		}
+		if !blocked && (eDbl < 0 || id < eDbl) {
+			eDbl = id
+		}
+	}
+	if eDbl < 0 {
+		return nil, fmt.Errorf("claim 2: no admissible edge at S-endpoint %d", sEnd)
+	}
+	tail, err := sp.lemma5Path(eDbl, hot, i)
+	if err != nil {
+		return nil, fmt.Errorf("claim 2 P″: %w", err)
+	}
+	// tail = (w″, v″₁, …, v″_{i-1}, v); prepend s.
+	w.PDbl = append([]graph.NodeID{sEnd}, tail...)
+
+	// Assemble the cycle: v, v′_{i-1}, …, v′₁, w, …P interior…, s, w″,
+	// v″₁, …, v″_{i-1} and close back at v.
+	cycle := make([]graph.NodeID, 0, 2*in.K)
+	cycle = append(cycle, hot)
+	for j := len(pPrime) - 2; j >= 1; j-- {
+		cycle = append(cycle, pPrime[j])
+	}
+	cycle = append(cycle, p...) // wEnd … sEnd
+	cycle = append(cycle, tail[:len(tail)-1]...)
+	_ = wEnd
+	w.Cycle = cycle
+
+	if err := graph.IsSimpleCycle(in.G, cycle, 2*in.K); err != nil {
+		return nil, fmt.Errorf("assembled cycle invalid: %w", err)
+	}
+	hasS := false
+	for _, x := range cycle {
+		if in.Layer[x] == LayerS {
+			hasS = true
+		}
+	}
+	if !hasS {
+		return nil, fmt.Errorf("assembled cycle avoids S")
+	}
+	return w, nil
+}
+
+// buildClaim1Path constructs the alternating path P of Claim 1: 2(k-i)
+// vertices alternating between W₀ and S, all edges inside IN(v,2q),
+// starting at a W₀ vertex and ending at an S vertex.
+func (sp *sparsifier) buildClaim1Path(v graph.NodeID, i int) ([]graph.NodeID, error) {
+	k := sp.in.K
+	q := (k - i) / 2
+	levels := sp.levels[v]
+
+	// Adjacency views per level.
+	adj := func(level []int32, x graph.NodeID) []int32 {
+		var out []int32
+		for _, id := range level {
+			if sp.edges[id].s == x || sp.edges[id].w == x {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+
+	if len(levels[0]) == 0 {
+		return nil, fmt.Errorf("IN(v,0) empty")
+	}
+	// Base: s1 = an S-endpoint of an edge in IN(v,0).
+	s1 := sp.edges[levels[0][0]].s
+
+	used := map[graph.NodeID]struct{}{s1: {}}
+	// path as a deque: grows at both ends. front endpoint / back endpoint.
+	path := []graph.NodeID{s1}
+	front, back := s1, s1
+
+	extend := func(endpoint graph.NodeID, level []int32, wantW bool) (graph.NodeID, error) {
+		for _, id := range adj(level, endpoint) {
+			e := sp.edges[id]
+			cand := e.w
+			if !wantW {
+				cand = e.s
+			}
+			if (wantW && e.s != endpoint) || (!wantW && e.w != endpoint) {
+				continue
+			}
+			if _, dup := used[cand]; dup {
+				continue
+			}
+			used[cand] = struct{}{}
+			return cand, nil
+		}
+		return -1, fmt.Errorf("no fresh extension at %d (level size %d)", endpoint, len(level))
+	}
+
+	for gamma := 0; gamma < q; gamma++ {
+		// Extend both ends with fresh W₀ vertices via IN(v,2γ+1).
+		wF, err := extend(front, levels[2*gamma+1], true)
+		if err != nil {
+			return nil, err
+		}
+		wB, err := extend(back, levels[2*gamma+1], true)
+		if err != nil {
+			return nil, err
+		}
+		// Then fresh S vertices via IN(v,2γ+2).
+		sF, err := extend(wF, levels[2*gamma+2], false)
+		if err != nil {
+			return nil, err
+		}
+		sB, err := extend(wB, levels[2*gamma+2], false)
+		if err != nil {
+			return nil, err
+		}
+		path = append([]graph.NodeID{sF, wF}, path...)
+		path = append(path, wB, sB)
+		front, back = sF, sB
+	}
+
+	if (k-i)%2 == 0 {
+		// P_q has 2(k-i)+1 vertices S…S; drop the front endpoint so the
+		// path starts at a W₀ vertex.
+		path = path[1:]
+	} else {
+		// P_q has 2(k-i)-1 vertices; extend the front with one more fresh
+		// W₀ vertex via IN(v,2q).
+		wX, err := extend(front, levels[2*q], true)
+		if err != nil {
+			return nil, err
+		}
+		path = append([]graph.NodeID{wX}, path...)
+	}
+	if len(path) != 2*(k-i) {
+		return nil, fmt.Errorf("path has %d vertices, want %d", len(path), 2*(k-i))
+	}
+	if sp.in.Layer[path[0]] != LayerW0 || sp.in.Layer[path[len(path)-1]] != LayerS {
+		return nil, fmt.Errorf("path endpoints mis-typed")
+	}
+	return path, nil
+}
+
+// findEdge locates the edge id of {w,s} (in either endpoint order) in
+// E(S,W₀).
+func (sp *sparsifier) findEdge(a, b graph.NodeID) (int32, error) {
+	w := a
+	if sp.in.Layer[a] != LayerW0 {
+		w = b
+	}
+	for _, id := range sp.byW[w] {
+		e := sp.edges[id]
+		if (e.w == a && e.s == b) || (e.w == b && e.s == a) {
+			return id, nil
+		}
+	}
+	return -1, fmt.Errorf("edge {%d,%d} not in E(S,W₀)", a, b)
+}
+
+// lemma5Path realizes an edge e ∈ IN(v) as a layered path
+// (w, v₁, …, v_{i-1}, v) with e ∈ OUT(v_j) for every j (Lemma 5).
+func (sp *sparsifier) lemma5Path(e int32, v graph.NodeID, i int) ([]graph.NodeID, error) {
+	w := sp.edges[e].w
+	if i == 1 {
+		if !sp.in.G.HasEdge(w, v) {
+			return nil, fmt.Errorf("layer-1 vertex %d not adjacent to W₀ endpoint %d", v, w)
+		}
+		return []graph.NodeID{w, v}, nil
+	}
+	for _, u := range sp.in.G.Neighbors(v) {
+		if int(sp.in.Layer[u]) != i-1 {
+			continue
+		}
+		if _, ok := sp.out[u][e]; !ok {
+			continue
+		}
+		prefix, err := sp.lemma5Path(e, u, i-1)
+		if err != nil {
+			continue
+		}
+		return append(prefix, v), nil
+	}
+	return nil, fmt.Errorf("no layer-%d neighbor of %d carries edge %d in OUT", i-1, v, e)
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// buildDenseInstance constructs a layered instance engineered to violate
+// the density bound: |S| S-vertices, w0 W₀-vertices each adjacent to all of
+// S (so the k² precondition holds when |S| ≥ k²), a chain of layer vertices
+// v₁ ∈ V₁ … adjacent to everything in the previous layer so W₀(v) = W₀.
+func buildDenseInstance(k, sizeS, sizeW0, depth int) *DensityInstance {
+	b := graph.NewBuilder(0)
+	layer := make([]int8, 0)
+	addNode := func(l int8) graph.NodeID {
+		id := graph.NodeID(len(layer))
+		layer = append(layer, l)
+		b.AddNodes(len(layer))
+		return id
+	}
+	sNodes := make([]graph.NodeID, sizeS)
+	for i := range sNodes {
+		sNodes[i] = addNode(LayerS)
+	}
+	wNodes := make([]graph.NodeID, sizeW0)
+	for i := range wNodes {
+		wNodes[i] = addNode(LayerW0)
+		for _, s := range sNodes {
+			b.AddEdge(wNodes[i], s)
+		}
+	}
+	prev := wNodes
+	for d := 1; d <= depth; d++ {
+		v := addNode(int8(d))
+		for _, u := range prev {
+			b.AddEdge(v, u)
+		}
+		prev = []graph.NodeID{v}
+	}
+	return &DensityInstance{G: b.Build(), K: k, Layer: layer}
+}
+
+func TestDensityValidate(t *testing.T) {
+	in := buildDenseInstance(2, 4, 10, 1)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	// Break the k² precondition: one W₀ node with a single S-neighbor.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	bad := &DensityInstance{G: b.Build(), K: 2, Layer: []int8{LayerW0, LayerS, LayerNone}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("W₀ vertex with 1 S-neighbor accepted (k²=4 required)")
+	}
+	if err := (&DensityInstance{G: b.Build(), K: 1, Layer: []int8{0, 0, 0}}).Validate(); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+// A violation must always be paired with a verified 2k-cycle through S —
+// the Density Lemma dichotomy.
+func TestDensityViolationYieldsCycle(t *testing.T) {
+	for _, tc := range []struct{ k, sizeS, sizeW0, depth int }{
+		{2, 4, 10, 1},
+		{3, 9, 40, 1},
+		{3, 9, 40, 2},
+		{4, 16, 120, 2},
+		{4, 16, 200, 3},
+		{5, 25, 500, 2},
+	} {
+		in := buildDenseInstance(tc.k, tc.sizeS, tc.sizeW0, tc.depth)
+		res, err := AnalyzeDensity(in)
+		if err != nil {
+			t.Fatalf("k=%d depth=%d: %v", tc.k, tc.depth, err)
+		}
+		if res.Violation < 0 {
+			// The instance was engineered to violate at the deepest layer:
+			// |W₀(v)| = sizeW0 must exceed 2^{i-1}(k-1)·sizeS.
+			t.Fatalf("k=%d depth=%d: expected violation (reach %v vs |S|=%d)",
+				tc.k, tc.depth, res.MaxReach, res.SizeS)
+		}
+		if res.Witness == nil {
+			t.Fatalf("k=%d depth=%d: violation without witness", tc.k, tc.depth)
+		}
+		cyc := res.Witness.Cycle
+		if err := graph.IsSimpleCycle(in.G, cyc, 2*tc.k); err != nil {
+			t.Fatalf("k=%d depth=%d: bad cycle %v: %v", tc.k, tc.depth, cyc, err)
+		}
+		touchesS := false
+		for _, v := range cyc {
+			if in.Layer[v] == LayerS {
+				touchesS = true
+			}
+		}
+		if !touchesS {
+			t.Fatalf("k=%d depth=%d: cycle avoids S", tc.k, tc.depth)
+		}
+	}
+}
+
+// Sparse instances must satisfy the bound and report no violation.
+func TestDensityBoundHoldsOnSparse(t *testing.T) {
+	// W₀ nodes see exactly k² S-nodes; each layer vertex sees only one
+	// W₀/previous-layer vertex, so |W₀(v)| = 1 ≤ (k-1)|S|.
+	k := 3
+	b := graph.NewBuilder(0)
+	var layer []int8
+	add := func(l int8) graph.NodeID {
+		id := graph.NodeID(len(layer))
+		layer = append(layer, l)
+		b.AddNodes(len(layer))
+		return id
+	}
+	var sNodes []graph.NodeID
+	for i := 0; i < k*k; i++ {
+		sNodes = append(sNodes, add(LayerS))
+	}
+	w := add(LayerW0)
+	for _, s := range sNodes {
+		b.AddEdge(w, s)
+	}
+	v1 := add(1)
+	b.AddEdge(v1, w)
+	v2 := add(2)
+	b.AddEdge(v2, v1)
+	in := &DensityInstance{G: b.Build(), K: k, Layer: layer}
+	res, err := AnalyzeDensity(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation >= 0 {
+		t.Fatalf("unexpected violation at %d", res.Violation)
+	}
+	if res.MaxReach[1] != 1 || res.MaxReach[2] != 1 {
+		t.Fatalf("MaxReach = %v, want [_,1,1]", res.MaxReach)
+	}
+}
+
+// Property: on random layered instances, AnalyzeDensity never errors —
+// every violation is extractable (this mechanically checks Lemmas 4–7).
+func TestDensityDichotomyRandomized(t *testing.T) {
+	rng := graph.NewRand(99)
+	violations, holds := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		k := 2 + int(rng.Int32N(3)) // k ∈ {2,3,4}
+		sizeS := k*k + int(rng.Int32N(10))
+		sizeW0 := 1 + int(rng.Int32N(60))
+		nLayerTotal := int(rng.Int32N(12))
+
+		b := graph.NewBuilder(0)
+		var layer []int8
+		add := func(l int8) graph.NodeID {
+			id := graph.NodeID(len(layer))
+			layer = append(layer, l)
+			b.AddNodes(len(layer))
+			return id
+		}
+		var sNodes, wNodes []graph.NodeID
+		for i := 0; i < sizeS; i++ {
+			sNodes = append(sNodes, add(LayerS))
+		}
+		for i := 0; i < sizeW0; i++ {
+			w := add(LayerW0)
+			wNodes = append(wNodes, w)
+			// Every W₀ vertex: ≥ k² random S-neighbors.
+			perm := rng.Perm(sizeS)
+			deg := k*k + int(rng.Int32N(int32(sizeS-k*k+1)))
+			for _, j := range perm[:deg] {
+				b.AddEdge(w, sNodes[j])
+			}
+		}
+		prevLayer := wNodes
+		for d := 1; d <= k-1 && nLayerTotal > 0; d++ {
+			cnt := 1 + int(rng.Int32N(int32(nLayerTotal)))
+			var cur []graph.NodeID
+			for c := 0; c < cnt; c++ {
+				v := add(int8(d))
+				cur = append(cur, v)
+				// Random subset of previous layer.
+				for _, u := range prevLayer {
+					if rng.Float64() < 0.6 {
+						b.AddEdge(v, u)
+					}
+				}
+			}
+			prevLayer = cur
+		}
+		in := &DensityInstance{G: b.Build(), K: k, Layer: layer}
+		res, err := AnalyzeDensity(in)
+		if err != nil {
+			t.Fatalf("trial %d (k=%d |S|=%d |W0|=%d): %v", trial, k, sizeS, sizeW0, err)
+		}
+		if res.Violation >= 0 {
+			violations++
+			if err := graph.IsSimpleCycle(in.G, res.Witness.Cycle, 2*k); err != nil {
+				t.Fatalf("trial %d: invalid extracted cycle: %v", trial, err)
+			}
+		} else {
+			holds++
+		}
+	}
+	t.Logf("density dichotomy over random instances: %d violations, %d bounds held", violations, holds)
+}
+
+// The Figure 1 scenario: k=5, i=2 — a 10-cycle extracted through the
+// nested IN sets, decomposed as P (6 vertices), P′ (w,v′₁,v) and
+// P″ (s,w″,v″₁,v).
+func TestDensityFigure1Scenario(t *testing.T) {
+	in := buildDenseInstance(5, 25, 600, 2)
+	res, err := AnalyzeDensity(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation < 0 {
+		t.Fatalf("Figure 1 instance: no violation (reach %v, |S|=%d)", res.MaxReach, res.SizeS)
+	}
+	w := res.Witness
+	if w.LayerI < 1 {
+		t.Fatalf("witness layer = %d", w.LayerI)
+	}
+	if len(w.Cycle) != 10 {
+		t.Fatalf("cycle length %d, want 10", len(w.Cycle))
+	}
+	if len(w.P) != 2*(5-w.LayerI) {
+		t.Fatalf("|P| = %d, want %d", len(w.P), 2*(5-w.LayerI))
+	}
+	if len(w.PPrime) != w.LayerI+1 {
+		t.Fatalf("|P′| = %d, want %d", len(w.PPrime), w.LayerI+1)
+	}
+	if len(w.PDbl) != w.LayerI+2 {
+		t.Fatalf("|P″| = %d, want %d", len(w.PDbl), w.LayerI+2)
+	}
+	if err := graph.IsSimpleCycle(in.G, w.Cycle, 10); err != nil {
+		t.Fatalf("invalid cycle: %v", err)
+	}
+}

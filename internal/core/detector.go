@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+// Options tunes a run of Algorithm 1. The zero value requests the paper's
+// faithful parameterization with ε = 1/3.
+type Options struct {
+	// Eps is the one-sided error probability; 0 means 1/3.
+	Eps float64
+	// MaxIterations overrides the number of coloring repetitions K; 0
+	// keeps the faithful (constant-in-n but enormous) value. Experiments
+	// set a small value, which only lowers the success probability;
+	// classical amplification of the low-probability detector sets a large
+	// one. One-sidedness is unaffected either way.
+	MaxIterations int
+	// Threshold overrides τ (0 keeps the faithful value). Used by
+	// congestion ablations.
+	Threshold int
+	// POverride overrides the selection probability p of S (0 keeps the
+	// faithful ε̂·2k²/n^{1/k}). Scaling experiments use p = c/n^{1/k} with
+	// a small c: the exponent of the round complexity in n — the measured
+	// quantity — is unchanged, while the paper's constants (which exist to
+	// guarantee the success probability and only matter at astronomical n
+	// for k ≥ 3) stop dominating the instance sizes a simulation can run.
+	POverride float64
+	// SeedProb activates each color-0 seed independently with this
+	// probability (0 means 1, the deterministic activation of
+	// Algorithm 1). Values < 1 yield the congestion-reduced Algorithm 2.
+	SeedProb float64
+	// BFSThreshold overrides the threshold used inside color-BFS only,
+	// leaving τ-derived set sizes alone; 0 means "same as Threshold".
+	// Algorithm 2 sets this to 4.
+	BFSThreshold int
+	// Pipelined selects the pipelined color-BFS schedule (ablation A1).
+	Pipelined bool
+	// EarlyStop ends the iteration loop at the first detection (on by
+	// default via DetectEvenCycle; set KeepGoing to run all iterations).
+	KeepGoing bool
+	// Seed is the master random seed.
+	Seed uint64
+	// Workers configures engine parallelism (0 = GOMAXPROCS).
+	Workers int
+	// MaxRounds bounds each engine session (0 = engine default).
+	MaxRounds int
+	// DropProb injects adversarial message loss (see congest.Engine);
+	// detection may be missed under loss but one-sidedness is structural.
+	DropProb float64
+}
+
+// Result reports the outcome and cost of a detection run.
+type Result struct {
+	// Found is true when some node rejected; by one-sidedness the input
+	// then provably contains the target cycle, and Witness holds it.
+	Found    bool
+	Witness  []graph.NodeID
+	Detector graph.NodeID
+
+	// Rounds is the executed CONGEST round count, summed over every
+	// session of the run (set construction plus all color-BFS phases).
+	Rounds int
+	// Messages is the total message count, and Bits the model-level
+	// bandwidth they consumed (Messages × (8 + 2⌈log₂ n⌉)).
+	Messages int64
+	Bits     int64
+	// MaxCongestion is the largest identifier set any node accumulated.
+	MaxCongestion int
+	// Overflowed reports whether any forwarder hit the threshold.
+	Overflowed bool
+	// IterationsRun is the number of coloring repetitions executed.
+	IterationsRun int
+
+	// Set sizes from the construction phase.
+	SizeU, SizeS, SizeW int
+
+	// Params echoes the parameterization used.
+	Params Params
+}
+
+// DetectEvenCycle runs Algorithm 1, deciding C_{2k}-freeness on g with
+// one-sided error: if it reports Found, g contains C_{2k} (the witness is
+// re-verified against g before returning); if g contains C_{2k}, it reports
+// Found with probability ≥ 1-ε under the faithful parameterization.
+func DetectEvenCycle(g *graph.Graph, k int, opt Options) (*Result, error) {
+	eps := opt.Eps
+	if eps == 0 {
+		eps = 1.0 / 3
+	}
+	params, err := NewParams(g.NumNodes(), k, eps)
+	if err != nil {
+		return nil, err
+	}
+	if opt.MaxIterations > 0 {
+		params.Iterations = opt.MaxIterations
+	}
+	if opt.POverride > 0 {
+		params.ApplyP(opt.POverride)
+	}
+	if opt.Threshold > 0 {
+		params.Tau = opt.Threshold
+	}
+	return runAlgorithm1(g, params, opt)
+}
+
+// runAlgorithm1 executes the three-call structure of Algorithm 1 for the
+// given (possibly overridden) parameters.
+func runAlgorithm1(g *graph.Graph, params Params, opt Options) (*Result, error) {
+	res, _, _, _, err := runAlgorithm1Capturing(g, params, opt)
+	return res, err
+}
+
+// runAlgorithm1Capturing is runAlgorithm1 but additionally returns the
+// detecting ColorBFS instance, its detection and the engine, so that
+// follow-up protocols (witness notification, Section 1.2's local
+// detection) can run on the same session state.
+func runAlgorithm1Capturing(g *graph.Graph, params Params, opt Options) (*Result, *ColorBFS, Detection, *congest.Engine, error) {
+	n := g.NumNodes()
+	net := congest.NewNetwork(g, opt.Seed)
+	eng := congest.NewEngine(net)
+	eng.Workers = opt.Workers
+	eng.MaxRounds = opt.MaxRounds
+	eng.DropProb = opt.DropProb
+
+	res := &Result{Params: params}
+	total := &congest.Report{}
+	var detBFS *ColorBFS
+	var det Detection
+
+	// Instructions 1–5: construct U, S, W (one communication round).
+	sets := &Sets{Params: params}
+	rep, err := eng.Run(sets)
+	if err != nil {
+		return nil, nil, det, nil, fmt.Errorf("core: set construction: %w", err)
+	}
+	sets.Finish()
+	total.Accumulate(rep)
+	res.SizeU, res.SizeS, res.SizeW = sets.SizeU, sets.SizeS, sets.SizeW
+
+	seedProb := opt.SeedProb
+	if seedProb == 0 {
+		seedProb = 1
+	}
+	bfsThreshold := opt.BFSThreshold
+	if bfsThreshold == 0 {
+		bfsThreshold = params.Tau
+	}
+
+	all := make([]bool, n)
+	notS := make([]bool, n)
+	for v := 0; v < n; v++ {
+		all[v] = true
+		notS[v] = !sets.InS[v]
+	}
+	colors := make([]int8, n)
+	colorRng := rand.New(rand.NewPCG(opt.Seed^0xa5a5a5a5, opt.Seed+1))
+	L := 2 * params.K
+
+	// Instruction 7: K search phases.
+	for it := 0; it < params.Iterations; it++ {
+		res.IterationsRun = it + 1
+		// Instruction 8: fresh uniform coloring (node-local randomness,
+		// zero rounds; drawn centrally from the master seed for
+		// reproducibility).
+		for v := range colors {
+			colors[v] = int8(colorRng.IntN(L))
+		}
+
+		calls := []struct {
+			name     string
+			inH, inX []bool
+		}{
+			{"light (G[U],U)", sets.InU, sets.InU}, // Instruction 9
+			{"selected (G,S)", all, sets.InS},      // Instruction 10
+			{"heavy (G∖S,W)", notS, sets.InW},      // Instruction 11
+		}
+		for _, call := range calls {
+			bfs, err := NewColorBFS(n, ColorBFSSpec{
+				L:         L,
+				Color:     colors,
+				InH:       call.inH,
+				InX:       call.inX,
+				Threshold: bfsThreshold,
+				SeedProb:  seedProb,
+				Pipelined: opt.Pipelined,
+			})
+			if err != nil {
+				return nil, nil, det, nil, fmt.Errorf("core: %s: %w", call.name, err)
+			}
+			rep, err := bfs.Run(eng)
+			if err != nil {
+				return nil, nil, det, nil, fmt.Errorf("core: %s: %w", call.name, err)
+			}
+			total.Accumulate(rep)
+			if c := bfs.MaxCongestion(); c > res.MaxCongestion {
+				res.MaxCongestion = c
+			}
+			res.Overflowed = res.Overflowed || bfs.Overflowed()
+			if len(bfs.Detections()) > 0 && !res.Found {
+				d := bfs.Detections()[0]
+				witness, err := bfs.Witness(d)
+				if err != nil {
+					return nil, nil, det, nil, fmt.Errorf("core: %s: %w", call.name, err)
+				}
+				if err := graph.IsSimpleCycle(g, witness, L); err != nil {
+					return nil, nil, det, nil, fmt.Errorf("core: %s produced invalid witness %v: %w", call.name, witness, err)
+				}
+				res.Found = true
+				res.Witness = witness
+				res.Detector = d.Node
+				detBFS = bfs
+				det = d
+			}
+		}
+		if res.Found && !opt.KeepGoing {
+			break
+		}
+	}
+	res.Rounds = total.Rounds
+	res.Messages = total.Messages
+	res.Bits = total.Bits
+	return res, detBFS, det, eng, nil
+}

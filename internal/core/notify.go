@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+const kindNotify uint8 = 13 // membership token: A = seed id, B = direction
+
+// This file implements the *local detection* variant discussed in the
+// paper's Section 1.2: local detection requires each node to output
+// accept/reject according to whether it belongs to a copy of the target
+// subgraph. The decision algorithm gives one rejecting node (the color-m
+// detector); WitnessNotify upgrades it distributively — the detector sends
+// membership tokens backward along the two parent chains of the detected
+// identifier, so every vertex of the discovered cycle rejects. The
+// notification takes L extra rounds and O(L) messages.
+
+// WitnessNotify is a CONGEST protocol run after a ColorBFS detection; on
+// completion, Member[v] is true exactly for the vertices of the detected
+// cycle.
+type WitnessNotify struct {
+	BFS *ColorBFS
+	Det Detection
+
+	Member []bool
+}
+
+var _ congest.Handler = (*WitnessNotify)(nil)
+
+// Init wakes the detector.
+func (w *WitnessNotify) Init(rt *congest.Runtime) {
+	w.Member = make([]bool, rt.N())
+	rt.WakeAt(w.Det.Node, 0)
+}
+
+// HandleRound implements congest.Handler.
+func (w *WitnessNotify) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, inbox []congest.Message) {
+	b := w.BFS
+	id := w.Det.Seed
+	if r == 0 && u == w.Det.Node {
+		w.Member[u] = true
+		// Ascending chain.
+		if p, ok := b.asc[u][id]; ok {
+			rt.Send(u, p, kindNotify, id, 0)
+		}
+		// Descending chain: for a skip detection the first hop is the
+		// skip relay, which then continues through its descending map.
+		if w.Det.Skip {
+			if p, ok := b.skip[u][id]; ok {
+				rt.Send(u, p, kindNotify, id, 1)
+			}
+		} else if p, ok := b.desc[u][id]; ok {
+			rt.Send(u, p, kindNotify, id, 1)
+		}
+		return
+	}
+	for _, m := range inbox {
+		if m.Kind != kindNotify || m.A != id {
+			continue
+		}
+		w.Member[u] = true
+		if uint64(u) == id {
+			continue // the seed: both chains terminate here
+		}
+		var parent graph.NodeID
+		var ok bool
+		if m.B == 0 {
+			parent, ok = b.asc[u][id]
+		} else {
+			parent, ok = b.desc[u][id]
+		}
+		if ok {
+			rt.Send(u, parent, kindNotify, id, m.B)
+		}
+	}
+}
+
+// LocalResult extends a detection with the local-detection output.
+type LocalResult struct {
+	*Result
+	// Rejecting lists every node that outputs reject: the members of the
+	// detected cycle (empty when nothing was found).
+	Rejecting []graph.NodeID
+	// NotifyRounds is the extra cost of the membership notification.
+	NotifyRounds int
+}
+
+// DetectEvenCycleLocal runs Algorithm 1 and, on detection, the
+// witness-notification protocol, returning the full rejecting set — the
+// local-detection output of Section 1.2.
+func DetectEvenCycleLocal(g *graph.Graph, k int, opt Options) (*LocalResult, error) {
+	// Re-run the final detecting color-BFS is not needed: we re-execute
+	// the whole driver but capture the detecting BFS by replaying the
+	// winning call with the same seeds. Simpler and faithful: run the
+	// driver, then reconstruct membership from the witness directly via a
+	// notification session on a fresh ColorBFS replay is not available —
+	// instead the driver below duplicates runAlgorithm1's loop, keeping
+	// the detecting ColorBFS alive for the notification.
+	eps := opt.Eps
+	if eps == 0 {
+		eps = 1.0 / 3
+	}
+	params, err := NewParams(g.NumNodes(), k, eps)
+	if err != nil {
+		return nil, err
+	}
+	if opt.MaxIterations > 0 {
+		params.Iterations = opt.MaxIterations
+	}
+	if opt.POverride > 0 {
+		params.ApplyP(opt.POverride)
+	}
+	if opt.Threshold > 0 {
+		params.Tau = opt.Threshold
+	}
+	res, bfs, det, eng, err := runAlgorithm1Capturing(g, params, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := &LocalResult{Result: res}
+	if !res.Found {
+		return out, nil
+	}
+	notify := &WitnessNotify{BFS: bfs, Det: det}
+	rep, err := eng.Run(notify)
+	if err != nil {
+		return nil, fmt.Errorf("core: witness notification: %w", err)
+	}
+	out.NotifyRounds = rep.Rounds
+	out.Rounds += rep.Rounds
+	out.Messages += rep.Messages
+	for v, member := range notify.Member {
+		if member {
+			out.Rejecting = append(out.Rejecting, graph.NodeID(v))
+		}
+	}
+	// Sanity: the rejecting set must be exactly the witness vertices.
+	if len(out.Rejecting) != len(res.Witness) {
+		return nil, fmt.Errorf("core: notification reached %d nodes, witness has %d",
+			len(out.Rejecting), len(res.Witness))
+	}
+	return out, nil
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestLocalDetectionMatchesWitness(t *testing.T) {
+	rng := graph.NewRand(55)
+	for trial := 0; trial < 10; trial++ {
+		g, _, err := graph.PlantedLight(120, 4, 2.0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := DetectEvenCycleLocal(g, 2, Options{Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			continue
+		}
+		want := append([]graph.NodeID{}, res.Witness...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := append([]graph.NodeID{}, res.Rejecting...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: rejecting %v vs witness %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: rejecting %v vs witness %v", trial, got, want)
+			}
+		}
+		if res.NotifyRounds == 0 || res.NotifyRounds > 10 {
+			t.Fatalf("trial %d: notification took %d rounds, want Θ(L)", trial, res.NotifyRounds)
+		}
+	}
+}
+
+func TestLocalDetectionOnFreeGraph(t *testing.T) {
+	rng := graph.NewRand(66)
+	g := graph.HighGirth(100, 120, 4, rng)
+	res, err := DetectEvenCycleLocal(g, 2, Options{Seed: 1, MaxIterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found || len(res.Rejecting) != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}

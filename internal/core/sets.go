@@ -1,0 +1,84 @@
+package core
+
+import (
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+const kindSelect uint8 = 12 // "I am in S" announcement
+
+// Sets constructs the three vertex sets of Algorithm 1 distributively
+// (Instructions 1–5):
+//
+//	U = { u : deg(u) ≤ n^{1/k} }             (local computation)
+//	S = { u : Bernoulli(p) }                 (local randomness)
+//	W = { u ∉ S : |N(u) ∩ S| ≥ k² }          (one communication round:
+//	                                          S-members announce themselves)
+type Sets struct {
+	Params Params
+
+	// WAllNeighbors switches the W rule to the Section 3.5 variant
+	// (bounded-length detection): W = all neighbors of S, with no
+	// degree-count requirement.
+	WAllNeighbors bool
+
+	InU, InS, InW []bool
+	SCount        []int32 // |N(u) ∩ S|
+
+	SizeU, SizeS, SizeW int
+}
+
+var _ congest.Handler = (*Sets)(nil)
+
+// Init implements congest.Handler.
+func (s *Sets) Init(rt *congest.Runtime) {
+	n := rt.N()
+	s.InU = make([]bool, n)
+	s.InS = make([]bool, n)
+	s.InW = make([]bool, n)
+	s.SCount = make([]int32, n)
+	for u := 0; u < n; u++ {
+		rt.WakeAt(graph.NodeID(u), 0)
+	}
+}
+
+// HandleRound implements congest.Handler.
+func (s *Sets) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, inbox []congest.Message) {
+	switch r {
+	case 0:
+		s.InU[u] = rt.Degree(u) <= s.Params.LightMax
+		s.InS[u] = rt.Rand(u).Float64() < s.Params.P
+		if s.InS[u] {
+			for _, v := range rt.Neighbors(u) {
+				rt.Send(u, v, kindSelect, 0, 0)
+			}
+		}
+	default:
+		for _, m := range inbox {
+			if m.Kind == kindSelect {
+				s.SCount[u]++
+			}
+		}
+		if s.WAllNeighbors {
+			s.InW[u] = s.SCount[u] >= 1
+		} else {
+			s.InW[u] = !s.InS[u] && int(s.SCount[u]) >= s.Params.K*s.Params.K
+		}
+	}
+}
+
+// Finish tallies set sizes; call after the session completes.
+func (s *Sets) Finish() {
+	s.SizeU, s.SizeS, s.SizeW = 0, 0, 0
+	for i := range s.InU {
+		if s.InU[i] {
+			s.SizeU++
+		}
+		if s.InS[i] {
+			s.SizeS++
+		}
+		if s.InW[i] {
+			s.SizeW++
+		}
+	}
+}

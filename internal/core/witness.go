@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Witness reconstructs the cycle certified by a detection, walking the
+// parent pointers recorded at identifier insertion. The reconstruction is a
+// simulator-side convenience: the paper's rejection argument
+// (Section 2.2, "Acceptance without error") proves the same cycle exists
+// whenever a node rejects — here we materialize it so that every rejection
+// in the test suite can be re-verified against the input graph.
+//
+// The returned vertex sequence has length L for a regular detection and
+// L-1 for a skip (merged C_{L-1}) detection, ordered so that consecutive
+// vertices (cyclically) are adjacent.
+func (b *ColorBFS) Witness(d Detection) ([]graph.NodeID, error) {
+	seed := graph.NodeID(d.Seed)
+	wantLen := b.spec.L
+	ascSteps := b.m
+	if d.Skip {
+		wantLen = b.spec.L - 1
+		ascSteps = b.m - 1
+	}
+
+	// Ascending side: detector → colors m-1, …, 1 → seed.
+	ascPath, err := b.walk(b.asc, d.Node, d.Seed, ascSteps, seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: ascending witness walk: %w", err)
+	}
+
+	// Descending side: detector → colors m+1, …, L-1 → seed (for a skip
+	// detection the first hop uses the skip pointer to the (m+1)-colored
+	// relay, then continues through the descending maps).
+	var descPath []graph.NodeID
+	if d.Skip {
+		relay, ok := b.skip[d.Node][d.Seed]
+		if !ok {
+			return nil, fmt.Errorf("core: skip pointer missing at node %d", d.Node)
+		}
+		rest, err := b.walk(b.desc, relay, d.Seed, b.spec.L-b.m-1, seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: descending witness walk (skip): %w", err)
+		}
+		descPath = append([]graph.NodeID{relay}, rest...)
+	} else {
+		descPath, err = b.walk(b.desc, d.Node, d.Seed, b.spec.L-b.m, seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: descending witness walk: %w", err)
+		}
+	}
+
+	// Assemble: seed, ascending internals in increasing color order,
+	// detector, descending internals in decreasing color order.
+	cycle := make([]graph.NodeID, 0, wantLen)
+	cycle = append(cycle, seed)
+	for i := len(ascPath) - 2; i >= 0; i-- { // ascPath ends at seed
+		cycle = append(cycle, ascPath[i])
+	}
+	cycle = append(cycle, d.Node)
+	for i := 0; i < len(descPath)-1; i++ {
+		cycle = append(cycle, descPath[i])
+	}
+	if len(cycle) != wantLen {
+		return nil, fmt.Errorf("core: witness has %d vertices, want %d", len(cycle), wantLen)
+	}
+	return cycle, nil
+}
+
+// walk follows parent pointers for `steps` hops starting one hop below
+// `from`, returning the visited vertices (excluding `from`, ending at what
+// should be the seed).
+func (b *ColorBFS) walk(maps []map[uint64]graph.NodeID, from graph.NodeID, id uint64, steps int, seed graph.NodeID) ([]graph.NodeID, error) {
+	out := make([]graph.NodeID, 0, steps)
+	cur := from
+	for i := 0; i < steps; i++ {
+		next, ok := maps[cur][id]
+		if !ok {
+			return nil, fmt.Errorf("parent pointer missing at node %d (hop %d)", cur, i)
+		}
+		out = append(out, next)
+		cur = next
+	}
+	if cur != seed {
+		return nil, fmt.Errorf("walk ended at %d, want seed %d", cur, seed)
+	}
+	return out, nil
+}

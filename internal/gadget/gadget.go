@@ -1,0 +1,242 @@
+// Package gadget builds the hard-instance families underlying the paper's
+// lower-bound reductions (Section 3.3): graphs parameterized by a two-party
+// Set-Disjointness instance (x, y) such that the target cycle exists if and
+// only if the sets intersect.
+//
+// These are the inputs of experiment E7. The communication-complexity
+// theorems themselves ([4]: any r-round quantum protocol for Disjointness
+// on N elements needs Ω(r + N/r) qubits) cannot be reproduced empirically;
+// what we reproduce is the *instance structure* of the reductions of
+// Drucker et al. [PODC'14] (C₄, N = Θ(n^{3/2})) and Korhonen–Rybicki
+// [OPODIS'17] (C_{2k}, N = Θ(n)), plus the odd-cycle family
+// (N = Θ(n²)), each verified against exact search.
+package gadget
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Disjointness is a two-party Set-Disjointness instance over [N].
+type Disjointness struct {
+	X, Y []bool
+}
+
+// NewDisjointness allocates an all-zero instance of size n.
+func NewDisjointness(n int) *Disjointness {
+	return &Disjointness{X: make([]bool, n), Y: make([]bool, n)}
+}
+
+// Intersects reports whether some element is in both sets.
+func (d *Disjointness) Intersects() bool {
+	for i := range d.X {
+		if d.X[i] && d.Y[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// RandomDisjointness samples an instance where each element enters each
+// side independently with probability p, then (if forceDisjoint) removes
+// intersections from Y.
+func RandomDisjointness(n int, p float64, forceDisjoint bool, seed uint64) *Disjointness {
+	rng := graph.NewRand(seed)
+	d := NewDisjointness(n)
+	for i := 0; i < n; i++ {
+		d.X[i] = rng.Float64() < p
+		d.Y[i] = rng.Float64() < p
+		if forceDisjoint && d.X[i] && d.Y[i] {
+			d.Y[i] = false
+		}
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Drucker et al. C₄ gadget.
+
+// DruckerC4 is the template of the [PODC'14] C₄ lower-bound family: a
+// C₄-free bipartite base graph G₀ (the point–line incidence graph of
+// PG(2,q), with N = (q+1)(q²+q+1) = Θ(n^{3/2}) edges), duplicated into an
+// Alice copy and a Bob copy joined by a perfect matching. Alice keeps base
+// edge e_i in her copy iff x_i; Bob keeps e_i in his copy iff y_i. The
+// result contains a C₄ iff some e_i is kept by both (the matching plus the
+// two copies of e_i), because G₀ itself is C₄-free.
+type DruckerC4 struct {
+	base  *graph.Graph
+	edges [][2]graph.NodeID
+}
+
+// NewDruckerC4 builds the template for prime order q.
+func NewDruckerC4(q int) (*DruckerC4, error) {
+	base, err := graph.ProjectivePlaneIncidence(q)
+	if err != nil {
+		return nil, fmt.Errorf("gadget: DruckerC4: %w", err)
+	}
+	return &DruckerC4{base: base, edges: base.Edges()}, nil
+}
+
+// UniverseSize returns N, the number of Disjointness elements.
+func (t *DruckerC4) UniverseSize() int { return len(t.edges) }
+
+// NumNodes returns the vertex count of built instances (2·|V(G₀)|).
+func (t *DruckerC4) NumNodes() int { return 2 * t.base.NumNodes() }
+
+// Build materializes the instance for (x,y). Vertices: Alice copy
+// 0..|V|-1, Bob copy |V|..2|V|-1.
+func (t *DruckerC4) Build(d *Disjointness) (*graph.Graph, error) {
+	if len(d.X) != len(t.edges) || len(d.Y) != len(t.edges) {
+		return nil, fmt.Errorf("gadget: DruckerC4 universe is %d, got |x|=%d |y|=%d",
+			len(t.edges), len(d.X), len(d.Y))
+	}
+	nv := t.base.NumNodes()
+	b := graph.NewBuilder(2 * nv)
+	for v := 0; v < nv; v++ {
+		b.AddEdge(graph.NodeID(v), graph.NodeID(v+nv)) // perfect matching
+	}
+	for i, e := range t.edges {
+		if d.X[i] {
+			b.AddEdge(e[0], e[1])
+		}
+		if d.Y[i] {
+			b.AddEdge(e[0]+graph.NodeID(nv), e[1]+graph.NodeID(nv))
+		}
+	}
+	return b.Build(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Korhonen–Rybicki C_{2k} gadget.
+
+// KRC2k is the [OPODIS'17]-style C_{2k} family with N = Θ(n) elements: a
+// hub u and per-element terminals w_i; Alice contributes a (k-1)-edge path
+// u⇝w_i iff x_i, Bob a (k+1)-edge path w_i⇝u iff y_i. Every cycle must
+// leave and re-enter the hub through the two arms of a single terminal, so
+// a C_{2k} (indeed, any cycle at all) exists iff the sets intersect.
+type KRC2k struct {
+	k, n int
+}
+
+// NewKRC2k builds the template for C_{2k} over a universe of n elements.
+func NewKRC2k(k, n int) (*KRC2k, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("gadget: KRC2k needs k ≥ 2, got %d", k)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("gadget: KRC2k needs n ≥ 1")
+	}
+	return &KRC2k{k: k, n: n}, nil
+}
+
+// UniverseSize returns the number of Disjointness elements.
+func (t *KRC2k) UniverseSize() int { return t.n }
+
+// Build materializes the instance: vertex 0 is the hub, vertices 1..n the
+// terminals, then arm interiors.
+func (t *KRC2k) Build(d *Disjointness) (*graph.Graph, error) {
+	if len(d.X) != t.n || len(d.Y) != t.n {
+		return nil, fmt.Errorf("gadget: KRC2k universe is %d, got |x|=%d |y|=%d", t.n, len(d.X), len(d.Y))
+	}
+	b := graph.NewBuilder(1 + t.n)
+	const hub = graph.NodeID(0)
+	next := graph.NodeID(1 + t.n)
+	addPath := func(from, to graph.NodeID, edges int) {
+		prev := from
+		for s := 0; s < edges-1; s++ {
+			b.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+		b.AddEdge(prev, to)
+	}
+	for i := 0; i < t.n; i++ {
+		w := graph.NodeID(1 + i)
+		if d.X[i] {
+			addPath(hub, w, t.k-1) // Alice arm
+		}
+		if d.Y[i] {
+			addPath(w, hub, t.k+1) // Bob arm
+		}
+	}
+	return b.Build(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Odd-cycle gadget (Section 3.3.2), N = Θ(n²).
+
+// OddGadget is the C_{2k+1} family over ordered pairs (i,j) ∈ [m]²: four
+// vertex columns A, A′, B, B′ of size m with matchings a_t—b_t and
+// a′_t—b′_t; Alice contributes a k-edge path a_i ⇝ a′_j iff x_{ij}, Bob a
+// (k-1)-edge path b_i ⇝ b′_j iff y_{ij}.
+//
+// Why the iff holds: arms flip the primed/unprimed column parity while
+// matching edges preserve it, so every cycle uses an even number A+B of
+// arms; its length is kA + (k-1)B + M with M (the matching edges used)
+// even. For length 2k+1 the only solution with k ≥ 2 is A = B = 1, M = 2,
+// which forces the two arms to share the pair (i,j) — i.e. x_{ij} ∧ y_{ij}.
+// (Cycles with A+B ≥ 4 arms have length ≥ 4k-2 > 2k+1; pure-Alice or
+// pure-Bob combinations would need an odd M.)
+type OddGadget struct {
+	k, m int
+}
+
+// NewOddGadget builds the template for C_{2k+1} with side size m
+// (universe m² pairs).
+func NewOddGadget(k, m int) (*OddGadget, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("gadget: OddGadget needs k ≥ 2, got %d", k)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("gadget: OddGadget needs m ≥ 1")
+	}
+	return &OddGadget{k: k, m: m}, nil
+}
+
+// UniverseSize returns m².
+func (t *OddGadget) UniverseSize() int { return t.m * t.m }
+
+// Index maps an ordered pair to its universe element.
+func (t *OddGadget) Index(i, j int) int { return i*t.m + j }
+
+// Build materializes the instance. Columns: A = 0..m-1, A′ = m..2m-1,
+// B = 2m..3m-1, B′ = 3m..4m-1, then arm interiors.
+func (t *OddGadget) Build(d *Disjointness) (*graph.Graph, error) {
+	if len(d.X) != t.UniverseSize() || len(d.Y) != t.UniverseSize() {
+		return nil, fmt.Errorf("gadget: OddGadget universe is %d, got |x|=%d |y|=%d",
+			t.UniverseSize(), len(d.X), len(d.Y))
+	}
+	m := t.m
+	b := graph.NewBuilder(4 * m)
+	colA := func(i int) graph.NodeID { return graph.NodeID(i) }
+	colAp := func(i int) graph.NodeID { return graph.NodeID(m + i) }
+	colB := func(i int) graph.NodeID { return graph.NodeID(2*m + i) }
+	colBp := func(i int) graph.NodeID { return graph.NodeID(3*m + i) }
+	for i := 0; i < m; i++ {
+		b.AddEdge(colA(i), colB(i))
+		b.AddEdge(colAp(i), colBp(i))
+	}
+	next := graph.NodeID(4 * m)
+	addPath := func(from, to graph.NodeID, edges int) {
+		prev := from
+		for s := 0; s < edges-1; s++ {
+			b.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+		b.AddEdge(prev, to)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			idx := t.Index(i, j)
+			if d.X[idx] {
+				addPath(colA(i), colAp(j), t.k) // Alice arm, k edges
+			}
+			if d.Y[idx] {
+				addPath(colB(i), colBp(j), t.k-1) // Bob arm, k-1 edges
+			}
+		}
+	}
+	return b.Build(), nil
+}

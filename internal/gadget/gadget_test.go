@@ -1,0 +1,188 @@
+package gadget
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestDisjointnessBasics(t *testing.T) {
+	d := NewDisjointness(5)
+	if d.Intersects() {
+		t.Fatal("empty instance intersects")
+	}
+	d.X[2], d.Y[2] = true, true
+	if !d.Intersects() {
+		t.Fatal("intersection missed")
+	}
+	forced := RandomDisjointness(200, 0.5, true, 1)
+	if forced.Intersects() {
+		t.Fatal("forceDisjoint produced an intersection")
+	}
+}
+
+// The C₄ gadget: iff-property checked by exact search across random
+// instances.
+func TestDruckerC4Iff(t *testing.T) {
+	tmpl, err := NewDruckerC4(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tmpl.UniverseSize()
+	if n != 4*13 {
+		t.Fatalf("universe = %d, want 52 for q=3", n)
+	}
+	for seed := uint64(0); seed < 6; seed++ {
+		intersecting := seed%2 == 0
+		d := RandomDisjointness(n, 0.3, !intersecting, seed)
+		if intersecting {
+			i := int(seed) % n
+			d.X[i], d.Y[i] = true, true
+		}
+		g, err := tmpl.Build(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		has := graph.HasCycleLen(g, 4)
+		if has != d.Intersects() {
+			t.Fatalf("seed %d: C₄ present=%v but intersects=%v", seed, has, d.Intersects())
+		}
+	}
+}
+
+func TestDruckerC4EdgeCount(t *testing.T) {
+	tmpl, err := NewDruckerC4(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N = (q+1)(q²+q+1) = 6·31 = 186 = Θ(n^{3/2}) with n = 2·62 = 124.
+	if tmpl.UniverseSize() != 186 {
+		t.Fatalf("universe = %d, want 186", tmpl.UniverseSize())
+	}
+	if tmpl.NumNodes() != 124 {
+		t.Fatalf("nodes = %d, want 124", tmpl.NumNodes())
+	}
+}
+
+func TestKRC2kIff(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		tmpl, err := NewKRC2k(k, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := uint64(0); seed < 6; seed++ {
+			intersecting := seed%2 == 1
+			d := RandomDisjointness(12, 0.4, !intersecting, seed+100)
+			if intersecting {
+				i := int(seed) % 12
+				d.X[i], d.Y[i] = true, true
+			}
+			g, err := tmpl.Build(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			has := graph.HasCycleLen(g, 2*k)
+			if has != d.Intersects() {
+				t.Fatalf("k=%d seed %d: C_%d present=%v, intersects=%v",
+					k, seed, 2*k, has, d.Intersects())
+			}
+			// Stronger: the gadget is cycle-free when disjoint.
+			if !d.Intersects() && graph.Girth(g) != -1 {
+				t.Fatalf("k=%d seed %d: disjoint instance has girth %d", k, seed, graph.Girth(g))
+			}
+		}
+	}
+}
+
+func TestOddGadgetIff(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		tmpl, err := NewOddGadget(k, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := uint64(0); seed < 6; seed++ {
+			intersecting := seed%2 == 0
+			d := RandomDisjointness(tmpl.UniverseSize(), 0.15, !intersecting, seed+200)
+			if intersecting {
+				idx := tmpl.Index(int(seed)%5, (int(seed)+2)%5)
+				d.X[idx], d.Y[idx] = true, true
+			}
+			g, err := tmpl.Build(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			has := graph.HasCycleLen(g, 2*k+1)
+			if has != d.Intersects() {
+				t.Fatalf("k=%d seed %d: C_%d present=%v, intersects=%v",
+					k, seed, 2*k+1, has, d.Intersects())
+			}
+		}
+	}
+}
+
+// Property test: the odd gadget never contains ANY odd cycle of length
+// 2k+1 unless the sets intersect, for arbitrary bit patterns.
+func TestOddGadgetIffQuick(t *testing.T) {
+	tmpl, err := NewOddGadget(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(xBits, yBits uint16) bool {
+		d := NewDisjointness(16)
+		for i := 0; i < 16; i++ {
+			d.X[i] = xBits&(1<<i) != 0
+			d.Y[i] = yBits&(1<<i) != 0
+		}
+		g, err := tmpl.Build(d)
+		if err != nil {
+			return false
+		}
+		return graph.HasCycleLen(g, 5) == d.Intersects()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property test for KR: arbitrary bit patterns.
+func TestKRC2kIffQuick(t *testing.T) {
+	tmpl, err := NewKRC2k(3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(xBits, yBits uint16) bool {
+		d := NewDisjointness(16)
+		for i := 0; i < 16; i++ {
+			d.X[i] = xBits&(1<<i) != 0
+			d.Y[i] = yBits&(1<<i) != 0
+		}
+		g, err := tmpl.Build(d)
+		if err != nil {
+			return false
+		}
+		return graph.HasCycleLen(g, 6) == d.Intersects()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGadgetValidation(t *testing.T) {
+	if _, err := NewKRC2k(1, 5); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := NewKRC2k(2, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewOddGadget(1, 5); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := NewDruckerC4(4); err == nil {
+		t.Fatal("non-prime q accepted")
+	}
+	tmpl, _ := NewKRC2k(2, 5)
+	if _, err := tmpl.Build(NewDisjointness(4)); err == nil {
+		t.Fatal("wrong universe size accepted")
+	}
+}

@@ -1,0 +1,286 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// NewRand returns the deterministic RNG used across the repository, seeded
+// from a single master seed.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// Gnm samples a uniform simple graph with n vertices and m edges
+// (Erdős–Rényi G(n,m)).
+func Gnm(n, m int, rng *rand.Rand) *Graph {
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	b := NewBuilder(n)
+	seen := make(map[uint64]struct{}, m)
+	for len(seen) < m {
+		u := rng.Int32N(int32(n))
+		v := rng.Int32N(int32(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(uint32(v))
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// Gnp samples an Erdős–Rényi G(n,p) graph using geometric skipping, so the
+// cost is proportional to the number of edges rather than n².
+func Gnp(n int, p float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	if p <= 0 {
+		return b.Build()
+	}
+	if p >= 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+		return b.Build()
+	}
+	logq := math.Log1p(-p)
+	// Enumerate candidate pairs (u,v), u<v, in row-major order with skips.
+	idx := int64(-1)
+	total := int64(n) * int64(n-1) / 2
+	for {
+		skip := int64(math.Floor(math.Log(1-rng.Float64()) / logq))
+		idx += 1 + skip
+		if idx >= total {
+			break
+		}
+		u, v := pairFromIndex(idx, n)
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// pairFromIndex maps a linear index in [0, n(n-1)/2) to the corresponding
+// pair (u,v) with u < v, enumerated row by row.
+func pairFromIndex(idx int64, n int) (int32, int32) {
+	u := int64(0)
+	rowLen := int64(n - 1)
+	for idx >= rowLen {
+		idx -= rowLen
+		u++
+		rowLen--
+	}
+	return int32(u), int32(u + 1 + idx)
+}
+
+// RandomRegular samples a d-regular graph on n vertices via the
+// configuration model with rejection of self-loops and multi-edges.
+// n*d must be even. It retries until a simple d-regular graph is produced.
+func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: n*d must be even (n=%d d=%d)", n, d)
+	}
+	if d >= n {
+		return nil, fmt.Errorf("graph: degree %d too large for %d vertices", d, n)
+	}
+	stubs := make([]int32, 0, n*d)
+	for attempt := 0; attempt < 200; attempt++ {
+		stubs = stubs[:0]
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, int32(v))
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		ok := true
+		seen := make(map[uint64]struct{}, n*d/2)
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v {
+				ok = false
+				break
+			}
+			a, c := u, v
+			if a > c {
+				a, c = c, a
+			}
+			key := uint64(a)<<32 | uint64(uint32(c))
+			if _, dup := seen[key]; dup {
+				ok = false
+				break
+			}
+			seen[key] = struct{}{}
+		}
+		if !ok {
+			continue
+		}
+		b := NewBuilder(n)
+		for i := 0; i < len(stubs); i += 2 {
+			b.AddEdge(stubs[i], stubs[i+1])
+		}
+		return b.Build(), nil
+	}
+	return nil, fmt.Errorf("graph: failed to sample %d-regular graph on %d vertices", d, n)
+}
+
+// Cycle returns the cycle C_n.
+func Cycle(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n))
+	}
+	return b.Build()
+}
+
+// Path returns the path P_n on n vertices.
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.Build()
+}
+
+// Grid returns the rows×cols grid graph (girth 4 when both dims ≥ 2).
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns the d-dimensional hypercube graph (2^d vertices,
+// girth 4 for d ≥ 2).
+func Hypercube(d int) *Graph {
+	n := 1 << d
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			w := v ^ (1 << bit)
+			if w > v {
+				b.AddEdge(int32(v), int32(w))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBipartite returns K_{a,b} (girth 4 when a,b ≥ 2).
+func CompleteBipartite(a, b int) *Graph {
+	bld := NewBuilder(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			bld.AddEdge(int32(i), int32(a+j))
+		}
+	}
+	return bld.Build()
+}
+
+// Theta returns a theta graph: two hub vertices joined by `arms` internally
+// disjoint paths, each of the given length (in edges). Any two arms of
+// lengths a and b form a cycle of length a+b.
+func Theta(arms int, length int) *Graph {
+	if length < 1 || arms < 1 {
+		return NewBuilder(0).Build()
+	}
+	b := NewBuilder(2)
+	const hubU, hubV = int32(0), int32(1)
+	next := int32(2)
+	for a := 0; a < arms; a++ {
+		prev := hubU
+		for step := 0; step < length-1; step++ {
+			b.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+		b.AddEdge(prev, hubV)
+	}
+	return b.Build()
+}
+
+// Star returns the star K_{1,leaves} with the hub at vertex 0.
+func Star(leaves int) *Graph {
+	b := NewBuilder(leaves + 1)
+	for i := 1; i <= leaves; i++ {
+		b.AddEdge(0, int32(i))
+	}
+	return b.Build()
+}
+
+// Tree samples a uniform random labelled tree on n vertices via a Prüfer
+// sequence. Trees are the canonical cycle-free instances.
+func Tree(n int, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	if n <= 1 {
+		return b.Build()
+	}
+	if n == 2 {
+		b.AddEdge(0, 1)
+		return b.Build()
+	}
+	prufer := make([]int32, n-2)
+	deg := make([]int32, n)
+	for i := range deg {
+		deg[i] = 1
+	}
+	for i := range prufer {
+		prufer[i] = rng.Int32N(int32(n))
+		deg[prufer[i]]++
+	}
+	// Standard decoding with a pointer-scan over leaves.
+	ptr := int32(0)
+	for deg[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for _, v := range prufer {
+		b.AddEdge(leaf, v)
+		deg[v]--
+		if deg[v] == 1 && v < ptr {
+			leaf = v
+		} else {
+			ptr++
+			for deg[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	// Two leaves remain; the larger one is n-1.
+	b.AddEdge(leaf, int32(n-1))
+	return b.Build()
+}
+
+// Union returns the disjoint union of two graphs, with h's vertices shifted
+// by g.NumNodes().
+func Union(g, h *Graph) *Graph {
+	off := int32(g.NumNodes())
+	b := NewBuilder(g.NumNodes() + h.NumNodes())
+	for _, e := range g.Edges() {
+		b.AddEdge(e[0], e[1])
+	}
+	for _, e := range h.Edges() {
+		b.AddEdge(e[0]+off, e[1]+off)
+	}
+	return b.Build()
+}

@@ -1,0 +1,316 @@
+// Package graph provides the static-graph substrate used by every layer of
+// the repository: a compact immutable adjacency representation, generators
+// for the instance families the experiments need (random graphs, planted
+// cycles, high-girth incidence graphs; lower-bound gadgets are in package
+// gadget), and exact reference checkers (cycle search, girth, diameter) that
+// the test suite uses to validate the distributed detectors.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a vertex. Vertices are always 0..N-1.
+type NodeID = int32
+
+// Graph is an immutable simple undirected graph in CSR (compressed sparse
+// row) form. The zero value is the empty graph.
+type Graph struct {
+	offsets []int32 // len n+1; row pointers into targets
+	targets []int32 // concatenated sorted adjacency lists
+}
+
+// NumNodes returns the number of vertices.
+func (g *Graph) NumNodes() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.targets) / 2 }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v NodeID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []int32 {
+	return g.targets[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	adj := g.Neighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// MaxDegree returns the maximum degree, or 0 for the empty graph.
+func (g *Graph) MaxDegree() int {
+	best := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.Degree(NodeID(v)); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Edges returns all edges as pairs with u < v, in lexicographic order.
+func (g *Graph) Edges() [][2]NodeID {
+	out := make([][2]NodeID, 0, g.NumEdges())
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				out = append(out, [2]NodeID{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Builder accumulates edges and produces a Graph. Duplicate edges and
+// self-loops are dropped. The zero value is not usable; call NewBuilder.
+type Builder struct {
+	n     int
+	edges [][2]int32
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u,v}. Self-loops are ignored.
+// Out-of-range endpoints grow the vertex set.
+func (b *Builder) AddEdge(u, v NodeID) {
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	if int(v) >= b.n {
+		b.n = int(v) + 1
+	}
+	b.edges = append(b.edges, [2]int32{u, v})
+}
+
+// NumNodes returns the current number of vertices.
+func (b *Builder) NumNodes() int { return b.n }
+
+// AddNodes ensures the graph has at least n vertices.
+func (b *Builder) AddNodes(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// Build produces the immutable graph. The builder may be reused afterwards.
+func (b *Builder) Build() *Graph {
+	deg := make([]int32, b.n+1)
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	// Deduplicate in place.
+	uniq := b.edges[:0]
+	var last [2]int32 = [2]int32{-1, -1}
+	for _, e := range b.edges {
+		if e != last {
+			uniq = append(uniq, e)
+			last = e
+		}
+	}
+	for _, e := range uniq {
+		deg[e[0]+1]++
+		deg[e[1]+1]++
+	}
+	offsets := make([]int32, b.n+1)
+	for i := 1; i <= b.n; i++ {
+		offsets[i] = offsets[i-1] + deg[i]
+	}
+	targets := make([]int32, offsets[b.n])
+	cursor := make([]int32, b.n)
+	copy(cursor, offsets[:b.n])
+	for _, e := range uniq {
+		targets[cursor[e[0]]] = e[1]
+		cursor[e[0]]++
+		targets[cursor[e[1]]] = e[0]
+		cursor[e[1]]++
+	}
+	g := &Graph{offsets: offsets, targets: targets}
+	// Rows were filled in edge order; sort each row for HasEdge.
+	for v := 0; v < b.n; v++ {
+		row := g.targets[g.offsets[v]:g.offsets[v+1]]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+	}
+	return g
+}
+
+// FromEdges builds a graph on n vertices from the given edge list.
+func FromEdges(n int, edges [][2]NodeID) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// InducedSubgraph returns the subgraph induced by the vertices with
+// keep[v] == true, together with the mapping from new IDs to original IDs.
+func (g *Graph) InducedSubgraph(keep []bool) (*Graph, []NodeID) {
+	n := g.NumNodes()
+	remap := make([]int32, n)
+	orig := make([]NodeID, 0, n)
+	for v := 0; v < n; v++ {
+		if keep[v] {
+			remap[v] = int32(len(orig))
+			orig = append(orig, NodeID(v))
+		} else {
+			remap[v] = -1
+		}
+	}
+	b := NewBuilder(len(orig))
+	for _, u := range orig {
+		for _, w := range g.Neighbors(u) {
+			if keep[w] && u < w {
+				b.AddEdge(remap[u], remap[w])
+			}
+		}
+	}
+	return b.Build(), orig
+}
+
+// ConnectedComponents returns, for each vertex, its component index, and the
+// number of components.
+func (g *Graph) ConnectedComponents() ([]int32, int) {
+	n := g.NumNodes()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := int32(0)
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = next
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(u) {
+				if comp[w] < 0 {
+					comp[w] = next
+					queue = append(queue, w)
+				}
+			}
+		}
+		next++
+	}
+	return comp, int(next)
+}
+
+// BFSDistances runs a breadth-first search from src and returns the distance
+// array (-1 for unreachable vertices).
+func (g *Graph) BFSDistances(src NodeID) []int32 {
+	n := g.NumNodes()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(u) {
+			if dist[w] < 0 {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the exact diameter of the graph (max eccentricity over
+// all vertices), or -1 if the graph is disconnected or empty. It runs a BFS
+// from every vertex and is intended for tests and small instances.
+func (g *Graph) Diameter() int {
+	n := g.NumNodes()
+	if n == 0 {
+		return -1
+	}
+	best := 0
+	for v := 0; v < n; v++ {
+		dist := g.BFSDistances(NodeID(v))
+		for _, d := range dist {
+			if d < 0 {
+				return -1
+			}
+			if int(d) > best {
+				best = int(d)
+			}
+		}
+	}
+	return best
+}
+
+// DiameterApprox returns a 2-approximation of the diameter via double BFS
+// from src (the eccentricity of the farthest vertex found). Returns -1 for a
+// disconnected graph.
+func (g *Graph) DiameterApprox(src NodeID) int {
+	dist := g.BFSDistances(src)
+	far, best := src, int32(0)
+	for v, d := range dist {
+		if d < 0 {
+			return -1
+		}
+		if d > best {
+			best, far = d, NodeID(v)
+		}
+	}
+	dist = g.BFSDistances(far)
+	best = 0
+	for _, d := range dist {
+		if d > best {
+			best = d
+		}
+	}
+	return int(best)
+}
+
+// Validate checks structural invariants of the CSR representation. It is
+// used by property tests on builders and generators.
+func (g *Graph) Validate() error {
+	n := g.NumNodes()
+	for v := 0; v < n; v++ {
+		row := g.Neighbors(NodeID(v))
+		for i, w := range row {
+			if int(w) < 0 || int(w) >= n {
+				return fmt.Errorf("vertex %d: neighbor %d out of range", v, w)
+			}
+			if int(w) == v {
+				return fmt.Errorf("vertex %d: self-loop", v)
+			}
+			if i > 0 && row[i-1] >= w {
+				return fmt.Errorf("vertex %d: adjacency not strictly sorted", v)
+			}
+			if !g.HasEdge(w, NodeID(v)) {
+				return fmt.Errorf("edge {%d,%d} not symmetric", v, w)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,421 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate, reversed
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 2) // self loop, dropped
+	b.AddEdge(3, 2)
+	g := b.Build()
+	if got := g.NumNodes(); got != 4 {
+		t.Fatalf("NumNodes = %d, want 4", got)
+	}
+	if got := g.NumEdges(); got != 3 {
+		t.Fatalf("NumEdges = %d, want 3", got)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge {0,1} missing")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("unexpected edge {0,2}")
+	}
+	if g.HasEdge(2, 2) {
+		t.Error("self loop survived")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBuilderGrowsVertexSet(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 7)
+	g := b.Build()
+	if got := g.NumNodes(); got != 8 {
+		t.Fatalf("NumNodes = %d, want 8", got)
+	}
+}
+
+func TestDegreesAndNeighbors(t *testing.T) {
+	g := Star(5)
+	if got := g.Degree(0); got != 5 {
+		t.Fatalf("hub degree = %d, want 5", got)
+	}
+	for v := NodeID(1); v <= 5; v++ {
+		if got := g.Degree(v); got != 1 {
+			t.Fatalf("leaf %d degree = %d, want 1", v, got)
+		}
+	}
+	if got := g.MaxDegree(); got != 5 {
+		t.Fatalf("MaxDegree = %d, want 5", got)
+	}
+}
+
+func TestCycleGraph(t *testing.T) {
+	for _, n := range []int{3, 4, 7, 10} {
+		g := Cycle(n)
+		if g.NumEdges() != n {
+			t.Fatalf("C_%d: edges = %d", n, g.NumEdges())
+		}
+		if got := Girth(g); got != n {
+			t.Fatalf("C_%d: girth = %d", n, got)
+		}
+		if !HasCycleLen(g, n) {
+			t.Fatalf("C_%d: HasCycleLen(%d) = false", n, n)
+		}
+		if n > 3 && HasCycleLen(g, n-1) {
+			t.Fatalf("C_%d: found bogus C_%d", n, n-1)
+		}
+	}
+}
+
+func TestFindCycleLenReturnsValidCycle(t *testing.T) {
+	rng := NewRand(42)
+	for trial := 0; trial < 20; trial++ {
+		g := Gnm(30, 60, rng)
+		for L := 3; L <= 8; L++ {
+			cyc := FindCycleLen(g, L)
+			if cyc == nil {
+				continue
+			}
+			if err := IsSimpleCycle(g, cyc, L); err != nil {
+				t.Fatalf("trial %d L=%d: invalid cycle %v: %v", trial, L, cyc, err)
+			}
+		}
+	}
+}
+
+func TestGirthMatchesBruteForce(t *testing.T) {
+	rng := NewRand(7)
+	for trial := 0; trial < 30; trial++ {
+		g := Gnm(16, 4+int(rng.Int32N(20)), rng)
+		want := girthBrute(g, 16)
+		got := Girth(g)
+		if got != want {
+			t.Fatalf("trial %d: Girth = %d, brute = %d (edges=%v)", trial, got, want, g.Edges())
+		}
+	}
+}
+
+func TestGirthAcyclic(t *testing.T) {
+	rng := NewRand(3)
+	tree := Tree(40, rng)
+	if got := Girth(tree); got != -1 {
+		t.Fatalf("tree girth = %d, want -1", got)
+	}
+	if got := Girth(Path(10)); got != -1 {
+		t.Fatalf("path girth = %d, want -1", got)
+	}
+}
+
+func TestTreeProperties(t *testing.T) {
+	rng := NewRand(11)
+	for _, n := range []int{1, 2, 3, 10, 100} {
+		g := Tree(n, rng)
+		wantEdges := n - 1
+		if n <= 1 {
+			wantEdges = 0
+		}
+		if g.NumEdges() != wantEdges {
+			t.Fatalf("Tree(%d): %d edges, want %d", n, g.NumEdges(), wantEdges)
+		}
+		if n > 0 {
+			if _, comps := g.ConnectedComponents(); comps != 1 {
+				t.Fatalf("Tree(%d): %d components", n, comps)
+			}
+		}
+		if Girth(g) != -1 {
+			t.Fatalf("Tree(%d) contains a cycle", n)
+		}
+	}
+}
+
+func TestGridHypercubeGirth(t *testing.T) {
+	if got := Girth(Grid(3, 4)); got != 4 {
+		t.Fatalf("grid girth = %d, want 4", got)
+	}
+	if got := Girth(Hypercube(3)); got != 4 {
+		t.Fatalf("hypercube girth = %d, want 4", got)
+	}
+	if got := Girth(CompleteBipartite(3, 3)); got != 4 {
+		t.Fatalf("K33 girth = %d, want 4", got)
+	}
+}
+
+func TestTheta(t *testing.T) {
+	g := Theta(3, 4) // three arms of length 4: shortest cycle 8
+	if got := Girth(g); got != 8 {
+		t.Fatalf("theta girth = %d, want 8", got)
+	}
+	if !HasCycleLen(g, 8) {
+		t.Fatal("theta missing C_8")
+	}
+	// Asymmetric arms via two separate graphs is covered in gadget tests.
+}
+
+func TestGnpEdgeCount(t *testing.T) {
+	rng := NewRand(5)
+	n, p := 400, 0.02
+	g := Gnp(n, p, rng)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	want := p * float64(n) * float64(n-1) / 2
+	got := float64(g.NumEdges())
+	if got < want*0.7 || got > want*1.3 {
+		t.Fatalf("Gnp edges = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestGnpExtremes(t *testing.T) {
+	rng := NewRand(5)
+	if g := Gnp(10, 0, rng); g.NumEdges() != 0 {
+		t.Fatal("Gnp(p=0) has edges")
+	}
+	if g := Gnp(6, 1, rng); g.NumEdges() != 15 {
+		t.Fatalf("Gnp(p=1) edges = %d, want 15", g.NumEdges())
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := NewRand(9)
+	g, err := RandomRegular(50, 3, rng)
+	if err != nil {
+		t.Fatalf("RandomRegular: %v", err)
+	}
+	for v := 0; v < 50; v++ {
+		if g.Degree(NodeID(v)) != 3 {
+			t.Fatalf("vertex %d degree = %d", v, g.Degree(NodeID(v)))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if _, err := RandomRegular(5, 3, rng); err == nil {
+		t.Fatal("odd n*d accepted")
+	}
+}
+
+func TestPlantCycle(t *testing.T) {
+	rng := NewRand(21)
+	host := Gnm(60, 40, rng)
+	for _, L := range []int{4, 6, 8} {
+		g, cyc, err := PlantCycle(host, L, rng)
+		if err != nil {
+			t.Fatalf("PlantCycle(%d): %v", L, err)
+		}
+		if err := IsSimpleCycle(g, cyc, L); err != nil {
+			t.Fatalf("planted cycle invalid: %v", err)
+		}
+		if !HasCycleLen(g, L) {
+			t.Fatalf("planted C_%d not found by exact search", L)
+		}
+	}
+	if _, _, err := PlantCycle(Path(3), 8, rng); err == nil {
+		t.Fatal("planting C_8 in 3 vertices should fail")
+	}
+}
+
+func TestPlantedHeavy(t *testing.T) {
+	rng := NewRand(33)
+	g, cyc, err := PlantedHeavy(200, 6, 40, 2.0, rng)
+	if err != nil {
+		t.Fatalf("PlantedHeavy: %v", err)
+	}
+	if err := IsSimpleCycle(g, cyc, 6); err != nil {
+		t.Fatalf("planted cycle invalid: %v", err)
+	}
+	if got := g.Degree(cyc[0]); got < 40 {
+		t.Fatalf("hub degree = %d, want ≥ 40", got)
+	}
+}
+
+func TestHighGirth(t *testing.T) {
+	rng := NewRand(17)
+	for _, minG := range []int{4, 6, 8} {
+		g := HighGirth(150, 200, minG, rng)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+		if girth := Girth(g); girth != -1 && girth <= minG {
+			t.Fatalf("HighGirth(minG=%d): girth = %d", minG, girth)
+		}
+		if g.NumEdges() == 0 {
+			t.Fatalf("HighGirth(minG=%d): no edges", minG)
+		}
+	}
+}
+
+func TestProjectivePlaneIncidence(t *testing.T) {
+	for _, q := range []int{2, 3, 5} {
+		g, err := ProjectivePlaneIncidence(q)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		nPts := q*q + q + 1
+		if got := g.NumNodes(); got != 2*nPts {
+			t.Fatalf("q=%d: nodes = %d, want %d", q, got, 2*nPts)
+		}
+		if got := g.NumEdges(); got != (q+1)*nPts {
+			t.Fatalf("q=%d: edges = %d, want %d", q, got, (q+1)*nPts)
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if d := g.Degree(NodeID(v)); d != q+1 {
+				t.Fatalf("q=%d: vertex %d degree %d, want %d", q, v, d, q+1)
+			}
+		}
+		if girth := Girth(g); girth != 6 {
+			t.Fatalf("q=%d: girth = %d, want 6", q, girth)
+		}
+	}
+	if _, err := ProjectivePlaneIncidence(4); err == nil {
+		t.Fatal("non-prime order accepted")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Cycle(6)
+	keep := []bool{true, true, true, true, false, false}
+	sub, orig := g.InducedSubgraph(keep)
+	if sub.NumNodes() != 4 {
+		t.Fatalf("sub nodes = %d", sub.NumNodes())
+	}
+	if sub.NumEdges() != 3 {
+		t.Fatalf("sub edges = %d, want 3 (path 0-1-2-3)", sub.NumEdges())
+	}
+	if len(orig) != 4 || orig[0] != 0 || orig[3] != 3 {
+		t.Fatalf("orig mapping = %v", orig)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := Union(Cycle(4), Cycle(5))
+	comp, num := g.ConnectedComponents()
+	if num != 2 {
+		t.Fatalf("components = %d, want 2", num)
+	}
+	if comp[0] == comp[4] {
+		t.Fatal("distinct cycles share a component")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if got := Path(5).Diameter(); got != 4 {
+		t.Fatalf("path diameter = %d, want 4", got)
+	}
+	if got := Cycle(8).Diameter(); got != 4 {
+		t.Fatalf("C8 diameter = %d, want 4", got)
+	}
+	if got := Union(Path(2), Path(2)).Diameter(); got != -1 {
+		t.Fatalf("disconnected diameter = %d, want -1", got)
+	}
+	approx := Path(9).DiameterApprox(4)
+	if approx < 4 || approx > 8 {
+		t.Fatalf("DiameterApprox = %d outside [4,8]", approx)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := Path(5)
+	d := g.BFSDistances(0)
+	for i, want := range []int32{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Fatalf("dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := NewRand(77)
+	g := Gnm(40, 80, rng)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	h, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if h.NumNodes() != g.NumNodes() || h.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip mismatch: %d/%d vs %d/%d",
+			h.NumNodes(), h.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if !h.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v lost in round trip", e)
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(bytes.NewBufferString("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadEdgeList(bytes.NewBufferString("3 1\n0 x\n")); err == nil {
+		t.Fatal("garbage field accepted")
+	}
+	if _, err := ReadEdgeList(bytes.NewBufferString("3 1\n0 1 2\n")); err == nil {
+		t.Fatal("three-field line accepted")
+	}
+}
+
+func TestPairFromIndex(t *testing.T) {
+	n := 6
+	seen := make(map[[2]int32]bool)
+	total := int64(n * (n - 1) / 2)
+	for idx := int64(0); idx < total; idx++ {
+		u, v := pairFromIndex(idx, n)
+		if u >= v || v >= int32(n) {
+			t.Fatalf("pairFromIndex(%d) = (%d,%d) invalid", idx, u, v)
+		}
+		key := [2]int32{u, v}
+		if seen[key] {
+			t.Fatalf("pair (%d,%d) repeated", u, v)
+		}
+		seen[key] = true
+	}
+	if len(seen) != int(total) {
+		t.Fatalf("enumerated %d pairs, want %d", len(seen), total)
+	}
+}
+
+// Property: Build always yields a structurally valid graph regardless of the
+// edge stream fed to the builder.
+func TestBuilderValidQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		b := NewBuilder(1)
+		for i := 0; i+1 < len(raw); i += 2 {
+			b.AddEdge(int32(raw[i]%97), int32(raw[i+1]%97))
+		}
+		return b.Build().Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: IsSimpleCycle accepts exactly the rotations of a planted cycle.
+func TestIsSimpleCycleRotations(t *testing.T) {
+	g := Cycle(7)
+	verts := []NodeID{0, 1, 2, 3, 4, 5, 6}
+	for r := 0; r < 7; r++ {
+		rot := append(append([]NodeID{}, verts[r:]...), verts[:r]...)
+		if err := IsSimpleCycle(g, rot, 7); err != nil {
+			t.Fatalf("rotation %d rejected: %v", r, err)
+		}
+	}
+	bad := []NodeID{0, 2, 4, 6, 1, 3, 5}
+	if err := IsSimpleCycle(g, bad, 7); err == nil {
+		t.Fatal("non-cycle ordering accepted")
+	}
+	if err := IsSimpleCycle(g, verts[:6], 6); err == nil {
+		t.Fatal("broken 6-cycle accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package graph
+
+import "fmt"
+
+// ProjectivePlaneIncidence returns the point–line incidence graph of the
+// projective plane PG(2,q) for a prime q: a bipartite graph with
+// 2(q²+q+1) vertices (points first, then lines), degree q+1, Θ(n^{3/2})
+// edges, and girth 6 — in particular it is C₄-free. This is the classical
+// extremal gadget underlying the Drucker et al. [PODC'14] C₄ lower bound,
+// and it doubles as the canonical dense-but-C₄-free instance family.
+func ProjectivePlaneIncidence(q int) (*Graph, error) {
+	if q < 2 || !isPrime(q) {
+		return nil, fmt.Errorf("graph: projective plane order %d is not a supported prime", q)
+	}
+	pts := canonicalPoints(q)
+	index := make(map[[3]int16]int32, len(pts))
+	for i, p := range pts {
+		index[p] = int32(i)
+	}
+	nPts := len(pts) // q²+q+1
+	b := NewBuilder(2 * nPts)
+	// Lines have the same canonical representatives as points (duality).
+	for li, line := range pts {
+		for _, p := range linePoints(line, q) {
+			pi, ok := index[canonical(p, q)]
+			if !ok {
+				return nil, fmt.Errorf("graph: internal error: point %v not canonical", p)
+			}
+			b.AddEdge(pi, int32(nPts+li))
+		}
+	}
+	return b.Build(), nil
+}
+
+func isPrime(q int) bool {
+	if q < 2 {
+		return false
+	}
+	for d := 2; d*d <= q; d++ {
+		if q%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// canonicalPoints enumerates one representative of each projective point of
+// PG(2,q): (1,y,z), (0,1,z), (0,0,1).
+func canonicalPoints(q int) [][3]int16 {
+	pts := make([][3]int16, 0, q*q+q+1)
+	for y := 0; y < q; y++ {
+		for z := 0; z < q; z++ {
+			pts = append(pts, [3]int16{1, int16(y), int16(z)})
+		}
+	}
+	for z := 0; z < q; z++ {
+		pts = append(pts, [3]int16{0, 1, int16(z)})
+	}
+	pts = append(pts, [3]int16{0, 0, 1})
+	return pts
+}
+
+// canonical scales a nonzero homogeneous triple so its first nonzero
+// coordinate is 1.
+func canonical(p [3]int16, q int) [3]int16 {
+	var lead int16
+	for _, c := range p {
+		if c != 0 {
+			lead = c
+			break
+		}
+	}
+	inv := modInverse(int(lead), q)
+	var out [3]int16
+	for i, c := range p {
+		out[i] = int16(int(c) * inv % q)
+	}
+	return out
+}
+
+// modInverse returns a^{-1} mod q for prime q via Fermat's little theorem.
+func modInverse(a, q int) int {
+	return modPow(a%q, q-2, q)
+}
+
+func modPow(base, exp, mod int) int {
+	result := 1
+	base %= mod
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = result * base % mod
+		}
+		base = base * base % mod
+		exp >>= 1
+	}
+	return result
+}
+
+// linePoints returns the q+1 points incident to the line [a:b:c]
+// (solutions of ax+by+cz = 0): it finds two independent solutions v1,v2 and
+// returns v1, and v1·t + v2 for t in F_q... more precisely the projective
+// points of the solution plane are {v2} ∪ {v1 + t·v2 : t ∈ F_q}.
+func linePoints(line [3]int16, q int) [][3]int16 {
+	v1, v2 := kernelBasis(line, q)
+	out := make([][3]int16, 0, q+1)
+	out = append(out, v2)
+	for t := 0; t < q; t++ {
+		var p [3]int16
+		for i := 0; i < 3; i++ {
+			p[i] = int16((int(v1[i]) + t*int(v2[i])) % q)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// kernelBasis returns two linearly independent solutions of a·x = 0 over
+// F_q for a nonzero row vector a.
+func kernelBasis(a [3]int16, q int) (v1, v2 [3]int16) {
+	// Find the pivot coordinate.
+	pivot := -1
+	for i, c := range a {
+		if c != 0 {
+			pivot = i
+			break
+		}
+	}
+	inv := modInverse(int(a[pivot]), q)
+	// For each non-pivot coordinate j, the vector e_j - (a_j/a_pivot)·e_pivot
+	// is a solution; the two such vectors are independent.
+	var basis [][3]int16
+	for j := 0; j < 3; j++ {
+		if j == pivot {
+			continue
+		}
+		var v [3]int16
+		v[j] = 1
+		v[pivot] = int16((q - int(a[j])*inv%q) % q)
+		basis = append(basis, v)
+	}
+	return basis[0], basis[1]
+}

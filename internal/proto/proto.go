@@ -1,0 +1,302 @@
+// Package proto provides the reusable distributed building blocks that the
+// paper's algorithms compose: BFS spanning-tree construction, broadcast,
+// convergecast, and leader election, all as CONGEST handlers on the
+// simulator in package congest.
+//
+// These are the O(D)-round primitives that appear inside Theorem 3's Setup
+// procedure (elect a leader, run the base algorithm, converge-cast the
+// existence of a rejecting node to the leader) and in the diameter-reduction
+// machinery of Lemma 9.
+package proto
+
+import (
+	"fmt"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+// Message kinds used by this package.
+const (
+	kindJoin  uint8 = 1 // BFS tree: invitation carrying depth
+	kindChild uint8 = 2 // BFS tree: child → parent registration
+	kindUp    uint8 = 3 // convergecast: aggregated value toward the root
+	kindDown  uint8 = 4 // broadcast: value away from the root
+	kindTag   uint8 = 5 // leader election: (tag, id) flooding
+)
+
+// BFSTree builds a breadth-first spanning tree rooted at Root and counts
+// each node's children. After a run, Parent[u] is u's tree parent (-1 for
+// the root and for unreached nodes), Depth[u] its BFS depth (-1 if
+// unreached), and Children[u] the number of tree children.
+type BFSTree struct {
+	Root     congest.NodeID
+	Parent   []congest.NodeID
+	Depth    []int32
+	Children []int32
+
+	joined []bool
+}
+
+var _ congest.Handler = (*BFSTree)(nil)
+
+// Init allocates state and wakes the root.
+func (b *BFSTree) Init(rt *congest.Runtime) {
+	n := rt.N()
+	b.Parent = make([]congest.NodeID, n)
+	b.Depth = make([]int32, n)
+	b.Children = make([]int32, n)
+	b.joined = make([]bool, n)
+	for i := 0; i < n; i++ {
+		b.Parent[i] = -1
+		b.Depth[i] = -1
+	}
+	rt.WakeAt(b.Root, 0)
+}
+
+// HandleRound implements congest.Handler.
+func (b *BFSTree) HandleRound(rt *congest.Runtime, u congest.NodeID, r int, inbox []congest.Message) {
+	if u == b.Root && !b.joined[u] {
+		b.joined[u] = true
+		b.Depth[u] = 0
+		for _, v := range rt.Neighbors(u) {
+			rt.Send(u, v, kindJoin, 0, 0)
+		}
+		return
+	}
+	for _, m := range inbox {
+		if m.Kind == kindChild {
+			b.Children[u]++
+		}
+	}
+	if b.joined[u] {
+		return
+	}
+	// Adopt the first (lowest-ID, since inboxes are sender-ordered) join
+	// invitation.
+	for _, m := range inbox {
+		if m.Kind != kindJoin {
+			continue
+		}
+		b.joined[u] = true
+		b.Parent[u] = m.From
+		b.Depth[u] = int32(m.A) + 1
+		rt.Send(u, m.From, kindChild, 0, 0)
+		for _, v := range rt.Neighbors(u) {
+			if v != m.From {
+				rt.Send(u, v, kindJoin, uint64(b.Depth[u]), 0)
+			}
+		}
+		return
+	}
+}
+
+// MaxDepth returns the tree's depth (the eccentricity of the root within
+// its component).
+func (b *BFSTree) MaxDepth() int {
+	best := int32(0)
+	for _, d := range b.Depth {
+		if d > best {
+			best = d
+		}
+	}
+	return int(best)
+}
+
+// ConvergecastOr aggregates the OR of per-node bits up a previously built
+// BFS tree: after the run, Result holds the OR of Value over all tree
+// nodes, available at the root.
+type ConvergecastOr struct {
+	Tree  *BFSTree
+	Value []bool
+
+	Result bool
+
+	pendingChildren []int32
+	acc             []bool
+	sent            []bool
+}
+
+var _ congest.Handler = (*ConvergecastOr)(nil)
+
+// Init wakes every leaf of the tree.
+func (c *ConvergecastOr) Init(rt *congest.Runtime) {
+	n := rt.N()
+	if len(c.Value) != n {
+		c.Value = make([]bool, n)
+	}
+	c.pendingChildren = make([]int32, n)
+	c.acc = make([]bool, n)
+	c.sent = make([]bool, n)
+	copy(c.pendingChildren, c.Tree.Children)
+	for u := 0; u < n; u++ {
+		c.acc[u] = c.Value[u]
+		if c.Tree.Depth[u] >= 0 && c.Tree.Children[u] == 0 {
+			rt.WakeAt(congest.NodeID(u), 0)
+		}
+	}
+}
+
+// HandleRound implements congest.Handler.
+func (c *ConvergecastOr) HandleRound(rt *congest.Runtime, u congest.NodeID, r int, inbox []congest.Message) {
+	for _, m := range inbox {
+		if m.Kind != kindUp {
+			continue
+		}
+		c.pendingChildren[u]--
+		if m.A != 0 {
+			c.acc[u] = true
+		}
+	}
+	if c.sent[u] || c.pendingChildren[u] > 0 {
+		return
+	}
+	c.sent[u] = true
+	if u == c.Tree.Root {
+		c.Result = c.acc[u]
+		return
+	}
+	bit := uint64(0)
+	if c.acc[u] {
+		bit = 1
+	}
+	rt.Send(u, c.Tree.Parent[u], kindUp, bit, 0)
+}
+
+// Broadcast pushes a value from the root of a previously built BFS tree to
+// every node; after the run, Got[u] holds the value for every tree node.
+type Broadcast struct {
+	Tree  *BFSTree
+	Value uint64
+
+	Got      []uint64
+	Received []bool
+}
+
+var _ congest.Handler = (*Broadcast)(nil)
+
+// Init wakes the root.
+func (b *Broadcast) Init(rt *congest.Runtime) {
+	n := rt.N()
+	b.Got = make([]uint64, n)
+	b.Received = make([]bool, n)
+	rt.WakeAt(b.Tree.Root, 0)
+}
+
+// HandleRound implements congest.Handler.
+func (b *Broadcast) HandleRound(rt *congest.Runtime, u congest.NodeID, r int, inbox []congest.Message) {
+	if b.Received[u] {
+		return
+	}
+	if u == b.Tree.Root {
+		b.Received[u] = true
+		b.Got[u] = b.Value
+	} else {
+		for _, m := range inbox {
+			if m.Kind == kindDown && m.From == b.Tree.Parent[u] {
+				b.Received[u] = true
+				b.Got[u] = m.A
+			}
+		}
+		if !b.Received[u] {
+			return
+		}
+	}
+	if b.Tree.Children[u] == 0 {
+		return
+	}
+	for _, v := range rt.Neighbors(u) {
+		rt.Send(u, v, kindDown, b.Got[u], 0)
+	}
+}
+
+// LeaderElect elects, within each connected component, the node with the
+// lexicographically smallest (tag, ID) pair, where tags are drawn from each
+// node's random stream. With random tags the leader is a uniformly random
+// node, which is how Algorithm 1-style "pick a node u.a.r." steps are
+// realized distributively. After the run, Leader[u] is the elected node as
+// known to u.
+type LeaderElect struct {
+	Leader []congest.NodeID
+
+	bestTag []uint64
+	started []bool
+}
+
+var _ congest.Handler = (*LeaderElect)(nil)
+
+// Init wakes every node.
+func (l *LeaderElect) Init(rt *congest.Runtime) {
+	n := rt.N()
+	l.Leader = make([]congest.NodeID, n)
+	l.bestTag = make([]uint64, n)
+	l.started = make([]bool, n)
+	for u := 0; u < n; u++ {
+		rt.WakeAt(congest.NodeID(u), 0)
+	}
+}
+
+// HandleRound implements congest.Handler.
+func (l *LeaderElect) HandleRound(rt *congest.Runtime, u congest.NodeID, r int, inbox []congest.Message) {
+	improved := false
+	if !l.started[u] {
+		l.started[u] = true
+		l.bestTag[u] = rt.Rand(u).Uint64()
+		l.Leader[u] = u
+		improved = true
+	}
+	for _, m := range inbox {
+		if m.Kind != kindTag {
+			continue
+		}
+		tag, id := m.A, congest.NodeID(m.B)
+		if tag < l.bestTag[u] || (tag == l.bestTag[u] && id < l.Leader[u]) {
+			l.bestTag[u] = tag
+			l.Leader[u] = id
+			improved = true
+		}
+	}
+	if !improved {
+		return
+	}
+	for _, v := range rt.Neighbors(u) {
+		rt.Send(u, v, kindTag, l.bestTag[u], uint64(l.Leader[u]))
+	}
+}
+
+// BuildTree is a convenience wrapper running BFSTree on its own session and
+// returning it with the session report.
+func BuildTree(e *congest.Engine, root congest.NodeID) (*BFSTree, *congest.Report, error) {
+	t := &BFSTree{Root: root}
+	rep, err := e.Run(t)
+	if err != nil {
+		return nil, nil, fmt.Errorf("proto: BFS tree: %w", err)
+	}
+	return t, rep, nil
+}
+
+// EstimateDiameter measures the eccentricity of root and of the farthest
+// node from it (a 2-approximation of the diameter) using two BFS-tree
+// sessions, and returns it with the total rounds spent.
+func EstimateDiameter(e *congest.Engine, root congest.NodeID) (int, *congest.Report, error) {
+	total := &congest.Report{}
+	t1, rep1, err := BuildTree(e, root)
+	if err != nil {
+		return 0, nil, err
+	}
+	total.Accumulate(rep1)
+	far := root
+	best := int32(-1)
+	for u, d := range t1.Depth {
+		if d > best {
+			best = d
+			far = graph.NodeID(u)
+		}
+	}
+	t2, rep2, err := BuildTree(e, far)
+	if err != nil {
+		return 0, nil, err
+	}
+	total.Accumulate(rep2)
+	return t2.MaxDepth(), total, nil
+}

@@ -1,0 +1,153 @@
+// Package quantum implements the paper's quantum CONGEST framework as a
+// classically-simulated layer with faithful round accounting:
+//
+//   - Lemma 8 (distributed quantum search / Grover) and Theorem 3
+//     (distributed quantum Monte-Carlo amplification): given a distributed
+//     one-sided Monte-Carlo algorithm A with success probability ε and
+//     round complexity T, there is a quantum algorithm with error δ and
+//     round complexity polylog(1/δ)·(1/√ε)·(D + T).
+//   - Lemma 13 / Section 3.4 / Section 3.5: the quantum detectors for
+//     C_{2k}, C_{2k+1} and F_{2k} obtained by amplifying the
+//     congestion-reduced detectors of package lowprob inside the
+//     diameter-reduced components of package decomp.
+//
+// Substitution (documented in DESIGN.md): a classical machine cannot run
+// Grover natively. The simulation preserves exactly the two properties the
+// paper's analysis uses — (1) outputs lie in the support of the Setup
+// procedure (one-sidedness: a reported cycle is always real and carries a
+// verified witness), and (2) if the per-run success probability is ≥ ε,
+// the amplified run succeeds with probability ≥ 1-δ (realized by classical
+// repetition of Setup) — while the *round ledger* charges the quantum cost
+// with T_setup measured on the simulator, not assumed from the theorem.
+package quantum
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Ledger itemizes the round accounting of one amplified execution.
+type Ledger struct {
+	// Diameter is the measured diameter (or its 2-approximation) of the
+	// graph the amplification ran on.
+	Diameter int
+	// SetupRounds is the measured cost of one Setup execution: leader
+	// election + one run of A + convergecast of the outcome.
+	SetupRounds float64
+	// GroverIterations is ceil(π/(4√ε)), the quadratically-reduced
+	// repetition count of Lemma 8.
+	GroverIterations float64
+	// Repetitions is the log(1/δ) outer boosting factor.
+	Repetitions float64
+	// QuantumRounds is the total charged cost:
+	// Repetitions · GroverIterations · (Diameter + SetupRounds).
+	QuantumRounds float64
+	// ClassicalSims is the number of Setup simulations actually executed
+	// to realize the semantics.
+	ClassicalSims int
+	// SimRounds is the total number of simulated CONGEST rounds spent in
+	// those executions (simulation cost, not part of the quantum charge).
+	SimRounds int
+}
+
+// Attempt runs one full execution of the base algorithm A (index `i` for
+// seed derivation) and reports whether it rejected, the witness it can
+// produce, and the CONGEST rounds it consumed.
+type Attempt func(i int) (found bool, witness []graph.NodeID, rounds int, err error)
+
+// AmplifyOptions parameterizes AmplifyMonteCarlo.
+type AmplifyOptions struct {
+	// Eps is the one-sided success probability ε of the base algorithm.
+	Eps float64
+	// Delta is the target one-sided error; 0 means 1/n² (the paper's
+	// 1/poly(n)).
+	Delta float64
+	// N is the network size used for the default Delta.
+	N int
+	// ElectRounds and CastRounds are the measured costs of the leader
+	// election and outcome convergecast around each run of A (they are
+	// part of T_setup in Theorem 3's proof).
+	ElectRounds, CastRounds int
+	// Diameter is the measured diameter term D.
+	Diameter int
+	// MaxSims caps the classical simulations of Setup (the semantics
+	// realization); 0 means the full classical budget ln(1/δ)/ε. Capping
+	// can only cause missed detections (never false positives), and the
+	// quantum charge is unaffected.
+	MaxSims int
+}
+
+// AmplifyResult is the outcome of one amplified execution.
+type AmplifyResult struct {
+	Found   bool
+	Witness []graph.NodeID
+	Ledger  Ledger
+}
+
+// AmplifyMonteCarlo realizes Theorem 3: it boosts the one-sided success
+// probability ε of the base algorithm to error δ, charging
+// O(log(1/δ))·⌈π/(4√ε)⌉·(D + T_setup) rounds, where T_setup is measured
+// from the executed attempts (election + A + convergecast).
+func AmplifyMonteCarlo(attempt Attempt, opt AmplifyOptions) (*AmplifyResult, error) {
+	if opt.Eps <= 0 || opt.Eps > 1 {
+		return nil, fmt.Errorf("quantum: ε = %v outside (0,1]", opt.Eps)
+	}
+	delta := opt.Delta
+	if delta == 0 {
+		n := float64(opt.N)
+		if n < 2 {
+			n = 2
+		}
+		delta = 1 / (n * n)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("quantum: δ = %v outside (0,1)", delta)
+	}
+
+	res := &AmplifyResult{}
+	led := &res.Ledger
+	led.Diameter = opt.Diameter
+	led.GroverIterations = math.Ceil(math.Pi / (4 * math.Sqrt(opt.Eps)))
+	led.Repetitions = math.Ceil(math.Log(1/delta) / math.Ln2)
+
+	// Classical realization of the semantics: repeat Setup until success
+	// or budget exhaustion.
+	budget := math.Ceil(math.Log(1/delta) / opt.Eps)
+	sims := int(budget)
+	if budget > float64(math.MaxInt32) {
+		sims = math.MaxInt32
+	}
+	if opt.MaxSims > 0 && opt.MaxSims < sims {
+		sims = opt.MaxSims
+	}
+	maxAttemptRounds := 0
+	for i := 0; i < sims; i++ {
+		found, witness, rounds, err := attempt(i)
+		if err != nil {
+			return nil, fmt.Errorf("quantum: attempt %d: %w", i, err)
+		}
+		led.ClassicalSims++
+		led.SimRounds += rounds
+		if rounds > maxAttemptRounds {
+			maxAttemptRounds = rounds
+		}
+		if found {
+			res.Found = true
+			res.Witness = witness
+			break
+		}
+	}
+	led.SetupRounds = float64(maxAttemptRounds + opt.ElectRounds + opt.CastRounds)
+	led.QuantumRounds = led.Repetitions * led.GroverIterations *
+		(float64(opt.Diameter) + led.SetupRounds)
+	return res, nil
+}
+
+// ClassicalBoostRounds is the cost of achieving the same error δ by
+// classical repetition: ln(1/δ)/ε executions of (D + T_setup). Used by the
+// E8 experiment to exhibit the quadratic separation.
+func ClassicalBoostRounds(eps, delta float64, diameter int, setupRounds float64) float64 {
+	return math.Ceil(math.Log(1/delta)/eps) * (float64(diameter) + setupRounds)
+}

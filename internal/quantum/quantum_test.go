@@ -1,0 +1,285 @@
+package quantum
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestAmplifyFindsWithHighEps(t *testing.T) {
+	calls := 0
+	attempt := func(i int) (bool, []graph.NodeID, int, error) {
+		calls++
+		// Succeed on the third attempt.
+		if i == 2 {
+			return true, []graph.NodeID{1, 2, 3}, 10, nil
+		}
+		return false, nil, 10, nil
+	}
+	res, err := AmplifyMonteCarlo(attempt, AmplifyOptions{
+		Eps: 0.25, N: 100, Diameter: 5, ElectRounds: 7, CastRounds: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || len(res.Witness) != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (early exit)", calls)
+	}
+	l := res.Ledger
+	// Grover iterations = ceil(π/(4·0.5)) = 2.
+	if l.GroverIterations != 2 {
+		t.Fatalf("GroverIterations = %v, want 2", l.GroverIterations)
+	}
+	// Setup = max attempt rounds + elect + cast = 10+7+6 = 23.
+	if l.SetupRounds != 23 {
+		t.Fatalf("SetupRounds = %v, want 23", l.SetupRounds)
+	}
+	want := l.Repetitions * 2 * (5 + 23)
+	if math.Abs(l.QuantumRounds-want) > 1e-9 {
+		t.Fatalf("QuantumRounds = %v, want %v", l.QuantumRounds, want)
+	}
+}
+
+func TestAmplifyRespectsBudget(t *testing.T) {
+	calls := 0
+	attempt := func(i int) (bool, []graph.NodeID, int, error) {
+		calls++
+		return false, nil, 1, nil
+	}
+	_, err := AmplifyMonteCarlo(attempt, AmplifyOptions{
+		Eps: 0.5, Delta: 0.1, Diameter: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget = ceil(ln(10)/0.5) = 5.
+	if calls != 5 {
+		t.Fatalf("calls = %d, want 5", calls)
+	}
+
+	calls = 0
+	if _, err := AmplifyMonteCarlo(attempt, AmplifyOptions{
+		Eps: 1e-6, Delta: 0.1, Diameter: 1, MaxSims: 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 7 {
+		t.Fatalf("MaxSims: calls = %d, want 7", calls)
+	}
+}
+
+func TestAmplifyValidation(t *testing.T) {
+	noop := func(i int) (bool, []graph.NodeID, int, error) { return false, nil, 0, nil }
+	if _, err := AmplifyMonteCarlo(noop, AmplifyOptions{Eps: 0}); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := AmplifyMonteCarlo(noop, AmplifyOptions{Eps: 0.5, Delta: 2}); err == nil {
+		t.Fatal("delta=2 accepted")
+	}
+}
+
+// The quadratic speedup: quantum rounds scale as 1/√ε versus the classical
+// 1/ε.
+func TestQuadraticSeparation(t *testing.T) {
+	noop := func(i int) (bool, []graph.NodeID, int, error) { return false, nil, 3, nil }
+	rounds := func(eps float64) (quantum, classical float64) {
+		res, err := AmplifyMonteCarlo(noop, AmplifyOptions{
+			Eps: eps, Delta: 0.01, Diameter: 2, MaxSims: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Ledger.QuantumRounds, ClassicalBoostRounds(eps, 0.01, 2, res.Ledger.SetupRounds)
+	}
+	q1, c1 := rounds(1e-2)
+	q2, c2 := rounds(1e-4)
+	// ε shrinks 100×: quantum grows ≈ 10×, classical ≈ 100×.
+	qRatio, cRatio := q2/q1, c2/c1
+	if qRatio < 5 || qRatio > 20 {
+		t.Fatalf("quantum ratio = %v, want ≈ 10", qRatio)
+	}
+	if cRatio < 50 || cRatio > 200 {
+		t.Fatalf("classical ratio = %v, want ≈ 100", cRatio)
+	}
+}
+
+func TestDetectEvenCycleQuantumFinds(t *testing.T) {
+	rng := graph.NewRand(11)
+	g, _, err := graph.PlantedLight(120, 4, 1.8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DetectEvenCycle(g, 2, Options{
+		Seed:            3,
+		MaxSims:         40,
+		AttemptSeedProb: 1, // semantics knob: make capped sims effective
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("quantum detector missed planted C_4 (%d sims)", res.ClassicalSims)
+	}
+	if err := graph.IsSimpleCycle(g, res.Witness, 4); err != nil {
+		t.Fatalf("invalid witness: %v", err)
+	}
+	if res.QuantumRounds <= 0 || res.Components == 0 {
+		t.Fatalf("accounting empty: %+v", res)
+	}
+}
+
+func TestDetectEvenCycleQuantumOneSided(t *testing.T) {
+	g, err := graph.ProjectivePlaneIncidence(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DetectEvenCycle(g, 2, Options{Seed: 1, MaxSims: 10, AttemptSeedProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("false positive on C₄-free graph")
+	}
+}
+
+func TestDetectOddCycleQuantum(t *testing.T) {
+	rng := graph.NewRand(21)
+	g, _, err := graph.PlantCycle(graph.Tree(80, rng), 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DetectOddCycle(g, 2, Options{
+		Seed: 5, MaxSims: 60, AttemptSeedProb: 0.5, AttemptIterations: 40000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("quantum odd detector missed planted C_5 (%d sims)", res.ClassicalSims)
+	}
+	if err := graph.IsSimpleCycle(g, res.Witness, 5); err != nil {
+		t.Fatalf("invalid witness: %v", err)
+	}
+}
+
+func TestDetectOddCycleQuantumOneSidedBipartite(t *testing.T) {
+	g := graph.CompleteBipartite(7, 7)
+	res, err := DetectOddCycle(g, 1, Options{Seed: 2, MaxSims: 20, AttemptSeedProb: 1, AttemptIterations: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("odd cycle reported in bipartite graph")
+	}
+}
+
+func TestDetectBoundedCycleQuantum(t *testing.T) {
+	rng := graph.NewRand(31)
+	g, _, err := graph.PlantCycle(graph.Tree(100, rng), 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DetectBoundedCycle(g, 2, Options{
+		Seed: 7, MaxSims: 40, AttemptSeedProb: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("quantum bounded detector missed planted C_4 (%d sims)", res.ClassicalSims)
+	}
+	if err := graph.IsSimpleCycle(g, res.Witness, len(res.Witness)); err != nil {
+		t.Fatalf("invalid witness: %v", err)
+	}
+	if len(res.Witness) > 4 {
+		t.Fatalf("witness length %d > 2k", len(res.Witness))
+	}
+}
+
+// Ablation A4: without diameter reduction, the D term enters the charge;
+// on a high-diameter graph the reduced pipeline must be cheaper.
+func TestNoDecompositionCostsMore(t *testing.T) {
+	rng := graph.NewRand(41)
+	// Long path with a planted C_4 at one end: diameter ≈ n.
+	g, _, err := graph.PlantCycle(graph.Path(600), 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := DetectEvenCycle(g, 2, Options{
+		Seed: 1, MaxSims: 1, NoDecomposition: true, AttemptIterations: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := DetectEvenCycle(g, 2, Options{
+		Seed: 1, MaxSims: 1, AttemptIterations: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced.MaxLedger.Diameter >= flat.MaxLedger.Diameter {
+		t.Fatalf("component diameter %d not reduced below global %d",
+			reduced.MaxLedger.Diameter, flat.MaxLedger.Diameter)
+	}
+	if flat.MaxLedger.QuantumRounds <= reduced.MaxLedger.QuantumRounds {
+		t.Fatalf("per-component charge %v should beat whole-graph charge %v on a path",
+			reduced.MaxLedger.QuantumRounds, flat.MaxLedger.QuantumRounds)
+	}
+}
+
+func TestQuantumValidation(t *testing.T) {
+	g := graph.Cycle(8)
+	if _, err := DetectEvenCycle(g, 1, Options{}); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := DetectOddCycle(g, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted for odd")
+	}
+	if _, err := DetectBoundedCycle(g, 1, Options{}); err == nil {
+		t.Fatal("k=1 accepted for bounded")
+	}
+}
+
+func TestAmplifyStopsAtFirstSuccess(t *testing.T) {
+	calls := 0
+	attempt := func(i int) (bool, []graph.NodeID, int, error) {
+		calls++
+		return true, []graph.NodeID{9}, 3, nil
+	}
+	res, err := AmplifyMonteCarlo(attempt, AmplifyOptions{Eps: 1e-8, Delta: 0.5, MaxSims: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || !res.Found {
+		t.Fatalf("calls=%d found=%v, want early exit on first success", calls, res.Found)
+	}
+	if res.Ledger.ClassicalSims != 1 {
+		t.Fatalf("sims = %d", res.Ledger.ClassicalSims)
+	}
+}
+
+func TestDetectOddCycleQuantumK3(t *testing.T) {
+	rng := graph.NewRand(71)
+	g, _, err := graph.PlantCycle(graph.HighGirth(100, 120, 6, rng), 7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DetectOddCycle(g, 3, Options{
+		Seed: 9, MaxSims: 40, AttemptSeedProb: 0.5, AttemptIterations: 400000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QuantumRounds <= 0 {
+		t.Fatalf("no quantum charge: %+v", res)
+	}
+	if res.Found {
+		if err := graph.IsSimpleCycle(g, res.Witness, 7); err != nil {
+			t.Fatalf("invalid witness: %v", err)
+		}
+	}
+}
