@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	benchtab [-quick] [-seed N] [-csv] [-out FILE] [E1,E3,... | all]
+//	benchtab [-quick] [-seed N] [-csv] [-out FILE] [-workers W] [-parallel P] [E1,E3,... | all]
+//
+// -workers sets the per-session goroutine pool of the CONGEST simulator;
+// -parallel sets how many independent detection trials each sweep point
+// runs concurrently on the shared trial scheduler (internal/sched). Both
+// leave every table byte-identical to the sequential run.
 package main
 
 import (
@@ -31,6 +36,8 @@ func run() error {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	out := flag.String("out", "", "output file (default stdout)")
 	workers := flag.Int("workers", 0, "simulator goroutine pool size (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 1,
+		"independent detection trials in flight per sweep point (0 = GOMAXPROCS, 1 = sequential); tables are identical either way")
 	flag.Parse()
 
 	ids := flag.Args()
@@ -53,7 +60,11 @@ func run() error {
 		w = file
 	}
 
-	cfg := bench.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+	par := *parallel
+	if par == 0 {
+		par = -1 // sched.TrialRunner: negative means GOMAXPROCS
+	}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, Workers: *workers, Parallel: par}
 	for _, id := range ids {
 		exp, err := bench.ByID(strings.TrimSpace(id))
 		if err != nil {

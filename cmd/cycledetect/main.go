@@ -6,6 +6,13 @@
 //	cycledetect -gen planted:2000:4:1.5 -k 2 -mode classical
 //	cycledetect -gen file:graph.txt -k 3 -mode quantum
 //	cycledetect -gen pg:7 -k 2 -mode bounded
+//	cycledetect -gen planted:8192:6:1.5 -k 3 -mode classical -trials 16 -parallel 0
+//
+// -trials runs that many independent detection runs (derived seeds) on the
+// shared trial scheduler and stops at the first detection; -parallel
+// controls how many trials/iterations are in flight (0 = GOMAXPROCS). The
+// printed result is deterministic for a fixed -seed regardless of
+// -parallel.
 //
 // Generators:
 //
@@ -26,6 +33,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/graph"
+	"repro/internal/sched"
 
 	evencycle "repro"
 )
@@ -44,6 +52,10 @@ func run() error {
 		"classical | quantum | odd | oddquantum | bounded | boundedquantum | list | local | localthreshold | kball")
 	seed := flag.Uint64("seed", 1, "master random seed")
 	iterations := flag.Int("iterations", 0, "override coloring repetitions (0 = faithful)")
+	trials := flag.Int("trials", 1,
+		"independent detection runs with derived seeds; stops at the first detection (detector modes only)")
+	parallel := flag.Int("parallel", 1,
+		"trials/iterations in flight on the shared scheduler (0 = GOMAXPROCS, 1 = sequential); the result is deterministic either way")
 	flag.Parse()
 
 	g, err := buildGraph(*gen, *seed)
@@ -52,30 +64,92 @@ func run() error {
 	}
 	fmt.Printf("graph: n=%d m=%d maxdeg=%d\n", g.NumNodes(), g.NumEdges(), g.MaxDegree())
 
-	opts := []evencycle.Option{evencycle.WithSeed(*seed)}
-	if *iterations > 0 {
-		opts = append(opts, evencycle.WithIterations(*iterations))
+	par := *parallel
+	if par == 0 {
+		par = -1 // sched.TrialRunner: negative means GOMAXPROCS
+	}
+	baseOpts := func(trialSeed uint64) []evencycle.Option {
+		opts := []evencycle.Option{evencycle.WithSeed(trialSeed), evencycle.WithParallel(par)}
+		if *iterations > 0 {
+			opts = append(opts, evencycle.WithIterations(*iterations))
+		}
+		return opts
+	}
+	opts := baseOpts(*seed)
+
+	// runTrials executes `-trials` independent runs of one detector with
+	// seeds derived from the master seed, early-stopping at the first
+	// detection; the printed result is deterministic for every -parallel.
+	runTrials := func(detect func(opts ...evencycle.Option) (found bool, print func(), err error)) error {
+		if *trials <= 1 {
+			_, print, err := detect(opts...)
+			if err != nil {
+				return err
+			}
+			print()
+			return nil
+		}
+		var winner func()
+		winnerTrial := -1
+		res, err := sched.Run(sched.TrialRunner{Workers: par}, *trials,
+			func(i int) (func(), error) {
+				// The parallelism budget is spent at the trial level here;
+				// each trial runs its own iterations sequentially rather
+				// than multiplying the two levels.
+				opts := append(baseOpts(sched.Tag(*seed, uint64(i))), evencycle.WithParallel(1))
+				found, print, err := detect(opts...)
+				if err != nil {
+					return nil, fmt.Errorf("trial %d: %w", i, err)
+				}
+				if !found {
+					print = nil
+				}
+				return print, nil
+			},
+			func(i int, print func()) bool {
+				if print != nil {
+					winner, winnerTrial = print, i
+					return true
+				}
+				return false
+			})
+		if err != nil {
+			return err
+		}
+		if winner == nil {
+			fmt.Printf("found=false after %d independent trials\n", res.Folded)
+			return nil
+		}
+		fmt.Printf("detected on trial %d of %d\n", winnerTrial+1, *trials)
+		winner()
+		return nil
+	}
+	classicalTrials := func(detect func(g *evencycle.Graph, k int, opts ...evencycle.Option) (*evencycle.Result, error)) error {
+		return runTrials(func(opts ...evencycle.Option) (bool, func(), error) {
+			res, err := detect(g, *k, opts...)
+			if err != nil {
+				return false, nil, err
+			}
+			return res.Found, func() { printClassical(g, res) }, nil
+		})
+	}
+	quantumTrials := func(detect func(g *evencycle.Graph, k int, opts ...evencycle.Option) (*evencycle.QuantumResult, error)) error {
+		return runTrials(func(opts ...evencycle.Option) (bool, func(), error) {
+			res, err := detect(g, *k, opts...)
+			if err != nil {
+				return false, nil, err
+			}
+			return res.Found, func() { printQuantum(g, res) }, nil
+		})
 	}
 
 	switch *mode {
 	case "classical":
-		res, err := evencycle.Detect(g, *k, opts...)
-		if err != nil {
-			return err
-		}
-		printClassical(g, res)
+		return classicalTrials(evencycle.Detect)
 	case "bounded":
-		res, err := evencycle.DetectBounded(g, *k, opts...)
-		if err != nil {
-			return err
-		}
-		printClassical(g, res)
+		return classicalTrials(evencycle.DetectBounded)
 	case "odd":
-		res, err := evencycle.DetectOdd(g, *k, opts...)
-		if err != nil {
-			return err
-		}
-		printClassical(g, res)
+		return classicalTrials(evencycle.DetectOdd)
 	case "list":
 		cycles, err := evencycle.ListCycles(g, *k, opts...)
 		if err != nil {
@@ -95,26 +169,14 @@ func run() error {
 			fmt.Printf("witness: %v\n", res.Witness)
 		}
 	case "quantum":
-		res, err := evencycle.DetectQuantum(g, *k, opts...)
-		if err != nil {
-			return err
-		}
-		printQuantum(g, res)
+		return quantumTrials(evencycle.DetectQuantum)
 	case "oddquantum":
-		res, err := evencycle.DetectOddQuantum(g, *k, opts...)
-		if err != nil {
-			return err
-		}
-		printQuantum(g, res)
+		return quantumTrials(evencycle.DetectOddQuantum)
 	case "boundedquantum":
-		res, err := evencycle.DetectBoundedQuantum(g, *k, opts...)
-		if err != nil {
-			return err
-		}
-		printQuantum(g, res)
+		return quantumTrials(evencycle.DetectBoundedQuantum)
 	case "localthreshold":
 		res, err := baseline.DetectLocalThreshold(g, *k, baseline.LocalThresholdOptions{
-			Seed: *seed, Attempts: *iterations,
+			Seed: *seed, Attempts: *iterations, Parallel: par,
 		})
 		if err != nil {
 			return err

@@ -81,6 +81,7 @@ type config struct {
 	iterations int
 	seed       uint64
 	workers    int
+	parallel   int
 	pipelined  bool
 	maxSims    int
 	delta      float64
@@ -101,6 +102,12 @@ func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 // WithWorkers sets the simulator's goroutine pool size (default
 // GOMAXPROCS).
 func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
+// WithParallel sets how many independent trials (coloring iterations, or
+// amplification attempts in the quantum detectors) run concurrently on
+// the shared trial scheduler: 0 or 1 sequential, negative GOMAXPROCS.
+// Results are deterministic for a fixed seed regardless of this setting.
+func WithParallel(p int) Option { return func(c *config) { c.parallel = p } }
 
 // WithPipelinedSchedule selects the pipelined color-BFS schedule instead
 // of the paper's batch schedule (same guarantees, different constants).
@@ -152,6 +159,7 @@ func Detect(g *Graph, k int, opts ...Option) (*Result, error) {
 		MaxIterations: c.iterations,
 		Seed:          c.seed,
 		Workers:       c.workers,
+		Parallel:      c.parallel,
 		Pipelined:     c.pipelined,
 	})
 	if err != nil {
@@ -181,6 +189,7 @@ func DetectBounded(g *Graph, k int, opts ...Option) (*Result, error) {
 		MaxIterations: c.iterations,
 		Seed:          c.seed,
 		Workers:       c.workers,
+		Parallel:      c.parallel,
 		Pipelined:     c.pipelined,
 	})
 	if err != nil {
@@ -207,6 +216,7 @@ func DetectOdd(g *Graph, k int, opts ...Option) (*Result, error) {
 		MaxIterations: c.iterations,
 		Seed:          c.seed,
 		Workers:       c.workers,
+		Parallel:      c.parallel,
 		SeedProb:      1, // classical mode: every color-0 node participates
 	})
 	if err != nil {
@@ -237,6 +247,7 @@ func ListCycles(g *Graph, k int, opts ...Option) ([][]NodeID, error) {
 		MaxIterations: c.iterations,
 		Seed:          c.seed,
 		Workers:       c.workers,
+		Parallel:      c.parallel,
 		Pipelined:     c.pipelined,
 	})
 	if err != nil {
@@ -264,6 +275,7 @@ func DetectLocal(g *Graph, k int, opts ...Option) (*LocalDetection, error) {
 		MaxIterations: c.iterations,
 		Seed:          c.seed,
 		Workers:       c.workers,
+		Parallel:      c.parallel,
 		Pipelined:     c.pipelined,
 	})
 	if err != nil {
@@ -322,6 +334,7 @@ func DetectQuantum(g *Graph, k int, opts ...Option) (*QuantumResult, error) {
 		AttemptIterations: c.iterations,
 		Seed:              c.seed,
 		Workers:           c.workers,
+		Parallel:          c.parallel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("evencycle: %w", err)
@@ -339,6 +352,7 @@ func DetectOddQuantum(g *Graph, k int, opts ...Option) (*QuantumResult, error) {
 		AttemptIterations: c.iterations,
 		Seed:              c.seed,
 		Workers:           c.workers,
+		Parallel:          c.parallel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("evencycle: %w", err)
@@ -356,6 +370,7 @@ func DetectBoundedQuantum(g *Graph, k int, opts ...Option) (*QuantumResult, erro
 		AttemptIterations: c.iterations,
 		Seed:              c.seed,
 		Workers:           c.workers,
+		Parallel:          c.parallel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("evencycle: %w", err)

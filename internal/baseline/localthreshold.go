@@ -21,6 +21,7 @@ import (
 	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/sched"
 )
 
 // LocalThresholdOptions tunes the [DISC'20]-style detector.
@@ -43,7 +44,10 @@ type LocalThresholdOptions struct {
 	FixedSource    graph.NodeID
 	Seed           uint64
 	Workers        int
-	KeepGoing      bool
+	// Parallel is the number of attempts in flight (0/1 sequential,
+	// negative GOMAXPROCS); results are deterministic regardless.
+	Parallel  int
+	KeepGoing bool
 }
 
 // LocalThresholdResult reports a run.
@@ -98,26 +102,28 @@ func DetectLocalThreshold(g *graph.Graph, k int, opt LocalThresholdOptions) (*Lo
 	for v := range all {
 		all[v] = true
 	}
-	colors := make([]int8, n)
-	inX := make([]bool, n)
-	rng := graph.NewRand(opt.Seed ^ 0x10ca1)
 	L := 2 * k
 
-	res := &LocalThresholdResult{}
-	total := &congest.Report{}
-	for a := 0; a < attempts; a++ {
-		res.AttemptsRun = a + 1
-		// Shared randomness: the uniformly random source of this attempt.
+	// Each (source, coloring) attempt is an independent trial on the
+	// shared scheduler, with all shared randomness derived from the
+	// attempt index so the outcome is the same for every Parallel setting.
+	type attemptOutcome struct {
+		rep     congest.Report
+		maxCong int
+		found   bool
+		witness []graph.NodeID
+	}
+	trial := func(a int) (*attemptOutcome, error) {
+		rng := graph.NewRand(sched.Tag(opt.Seed, 0x10ca1, uint64(a)))
 		s := graph.NodeID(rng.Int32N(int32(n)))
 		if opt.HasFixedSource {
 			s = opt.FixedSource
 		}
+		colors := make([]int8, n)
 		for v := range colors {
 			colors[v] = int8(rng.IntN(L))
 		}
-		for v := range inX {
-			inX[v] = false
-		}
+		inX := make([]bool, n)
 		for _, w := range g.Neighbors(s) {
 			inX[w] = true
 		}
@@ -132,15 +138,13 @@ func DetectLocalThreshold(g *graph.Graph, k int, opt LocalThresholdOptions) (*Lo
 		if err != nil {
 			return nil, fmt.Errorf("baseline: local threshold: %w", err)
 		}
-		rep, err := bfs.Run(eng)
+		rep, err := bfs.RunSessions(eng, sched.Tag(opt.Seed, 0x10ca2, uint64(a)))
 		if err != nil {
 			return nil, fmt.Errorf("baseline: local threshold: %w", err)
 		}
-		total.Accumulate(rep)
-		if c := bfs.MaxCongestion(); c > res.MaxCongestion {
-			res.MaxCongestion = c
-		}
-		if ds := bfs.Detections(); len(ds) > 0 && !res.Found {
+		out := &attemptOutcome{maxCong: bfs.MaxCongestion()}
+		out.rep.Accumulate(rep)
+		if ds := bfs.Detections(); len(ds) > 0 {
 			witness, err := bfs.Witness(ds[0])
 			if err != nil {
 				return nil, fmt.Errorf("baseline: local threshold witness: %w", err)
@@ -148,12 +152,28 @@ func DetectLocalThreshold(g *graph.Graph, k int, opt LocalThresholdOptions) (*Lo
 			if err := graph.IsSimpleCycle(g, witness, L); err != nil {
 				return nil, fmt.Errorf("baseline: local threshold invalid witness: %w", err)
 			}
+			out.found = true
+			out.witness = witness
+		}
+		return out, nil
+	}
+	res := &LocalThresholdResult{}
+	total := &congest.Report{}
+	fold := func(a int, out *attemptOutcome) bool {
+		res.AttemptsRun = a + 1
+		total.Accumulate(&out.rep)
+		if out.maxCong > res.MaxCongestion {
+			res.MaxCongestion = out.maxCong
+		}
+		if out.found && !res.Found {
 			res.Found = true
-			res.Witness = witness
+			res.Witness = out.witness
 		}
-		if res.Found && !opt.KeepGoing {
-			break
-		}
+		return res.Found && !opt.KeepGoing
+	}
+	runner := sched.TrialRunner{Workers: opt.Parallel}
+	if _, err := sched.Run(runner, attempts, trial, fold); err != nil {
+		return nil, err
 	}
 	res.Rounds = total.Rounds
 	res.Messages = total.Messages

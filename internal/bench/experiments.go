@@ -11,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/lowprob"
 	"repro/internal/quantum"
+	"repro/internal/sched"
 )
 
 // Config tunes experiment scale.
@@ -20,6 +21,16 @@ type Config struct {
 	Quick   bool
 	Seed    uint64
 	Workers int
+	// Parallel is the trial-level parallelism of the sweeps: how many
+	// independent detection runs execute concurrently on the shared
+	// scheduler (0/1 sequential, negative GOMAXPROCS). Tables are
+	// deterministic for a fixed Seed regardless of Parallel.
+	Parallel int
+}
+
+// runner returns the trial scheduler configured by the Config.
+func (cfg Config) runner() sched.TrialRunner {
+	return sched.TrialRunner{Workers: cfg.Parallel}
 }
 
 // Experiment is a named, runnable experiment.
@@ -137,28 +148,33 @@ func E1(cfg Config) (*Table, error) {
 			// (the hub only congests when it lands on a receiving color),
 			// so we take the maximum single-iteration cost over `iters`
 			// independent colorings — the quantity the worst-case bound
-			// k·τ describes.
+			// k·τ describes. The colorings are independent trials on the
+			// shared scheduler.
 			maxRounds, maxCong, sizeS := 0, 0, 0
 			detected := false
-			for it := 0; it < iters; it++ {
-				res, err := core.DetectEvenCycle(g, k, core.Options{
-					Seed:          cfg.Seed + uint64(n)*31 + uint64(it),
-					POverride:     scaledP(n, k),
-					MaxIterations: 1,
-					KeepGoing:     true,
-					Workers:       cfg.Workers,
+			_, err = sched.Run(cfg.runner(), iters,
+				func(it int) (*core.Result, error) {
+					return core.DetectEvenCycle(g, k, core.Options{
+						Seed:          cfg.Seed + uint64(n)*31 + uint64(it),
+						POverride:     scaledP(n, k),
+						MaxIterations: 1,
+						KeepGoing:     true,
+						Workers:       cfg.Workers,
+					})
+				},
+				func(it int, res *core.Result) bool {
+					if res.Rounds > maxRounds {
+						maxRounds = res.Rounds
+					}
+					if res.MaxCongestion > maxCong {
+						maxCong = res.MaxCongestion
+					}
+					sizeS = res.SizeS
+					detected = detected || res.Found
+					return false
 				})
-				if err != nil {
-					return nil, err
-				}
-				if res.Rounds > maxRounds {
-					maxRounds = res.Rounds
-				}
-				if res.MaxCongestion > maxCong {
-					maxCong = res.MaxCongestion
-				}
-				sizeS = res.SizeS
-				detected = detected || res.Found
+			if err != nil {
+				return nil, err
 			}
 			xs = append(xs, float64(n))
 			ys = append(ys, float64(maxRounds))
@@ -205,20 +221,24 @@ func E2(cfg Config) (*Table, error) {
 		// probability 1/6 per coloring; 24 colorings make the worst-case
 		// (hub-active) iteration all but certain to be observed.
 		maxRounds := 0
-		for it := 0; it < 24; it++ {
-			res, err := core.DetectEvenCycle(g, k, core.Options{
-				Seed:          cfg.Seed + uint64(it),
-				POverride:     scaledP(n, k),
-				MaxIterations: 1,
-				KeepGoing:     true,
-				Workers:       cfg.Workers,
+		_, err = sched.Run(cfg.runner(), 24,
+			func(it int) (*core.Result, error) {
+				return core.DetectEvenCycle(g, k, core.Options{
+					Seed:          cfg.Seed + uint64(it),
+					POverride:     scaledP(n, k),
+					MaxIterations: 1,
+					KeepGoing:     true,
+					Workers:       cfg.Workers,
+				})
+			},
+			func(it int, res *core.Result) bool {
+				if res.Rounds > maxRounds {
+					maxRounds = res.Rounds
+				}
+				return false
 			})
-			if err != nil {
-				return nil, err
-			}
-			if res.Rounds > maxRounds {
-				maxRounds = res.Rounds
-			}
+		if err != nil {
+			return nil, err
 		}
 		budget, err := baseline.EdenBudgetRounds(n, k)
 		if err != nil {
@@ -307,29 +327,33 @@ func E4(cfg Config) (*Table, error) {
 		maxCong := 0
 		totalRounds := 0
 		totalIters := 0
-		for trial := 0; trial < trials; trial++ {
-			g, _, err := heavyInstance(n, 2*k, cfg.Seed+uint64(trial))
-			if err != nil {
-				return nil, err
-			}
-			res, err := core.DetectEvenCycle(g, k, core.Options{
-				Seed:          cfg.Seed + uint64(trial)*7919,
-				POverride:     scaledP(n, k),
-				SeedProb:      q,
-				MaxIterations: iters,
-				Workers:       cfg.Workers,
+		_, err := sched.Run(cfg.runner(), trials,
+			func(trial int) (*core.Result, error) {
+				g, _, err := heavyInstance(n, 2*k, cfg.Seed+uint64(trial))
+				if err != nil {
+					return nil, err
+				}
+				return core.DetectEvenCycle(g, k, core.Options{
+					Seed:          cfg.Seed + uint64(trial)*7919,
+					POverride:     scaledP(n, k),
+					SeedProb:      q,
+					MaxIterations: iters,
+					Workers:       cfg.Workers,
+				})
+			},
+			func(trial int, res *core.Result) bool {
+				if res.Found {
+					found++
+				}
+				if res.MaxCongestion > maxCong {
+					maxCong = res.MaxCongestion
+				}
+				totalRounds += res.Rounds
+				totalIters += res.IterationsRun
+				return false
 			})
-			if err != nil {
-				return nil, err
-			}
-			if res.Found {
-				found++
-			}
-			if res.MaxCongestion > maxCong {
-				maxCong = res.MaxCongestion
-			}
-			totalRounds += res.Rounds
-			totalIters += res.IterationsRun
+		if err != nil {
+			return nil, err
 		}
 		t.AddRow(f(q), itoa(maxCong), f(float64(totalRounds)/float64(totalIters)),
 			fmt.Sprintf("%d/%d", found, trials))
@@ -666,39 +690,43 @@ func E10(cfg Config) (*Table, error) {
 	}
 	n := 512
 
+	countFound := func(trial func(i int) (*core.Result, error)) (int, error) {
+		found := 0
+		_, err := sched.Run(cfg.runner(), trials, trial,
+			func(i int, res *core.Result) bool {
+				if res.Found {
+					found++
+				}
+				return false
+			})
+		return found, err
+	}
+
 	// Planted (light) C_4.
-	found := 0
-	for trial := 0; trial < trials; trial++ {
+	found, err := countFound(func(trial int) (*core.Result, error) {
 		rng := graph.NewRand(cfg.Seed + uint64(trial))
 		g, _, err := graph.PlantedLight(n, 4, 1.5, rng)
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.DetectEvenCycle(g, 2, core.Options{Seed: cfg.Seed + uint64(trial), Workers: cfg.Workers})
-		if err != nil {
-			return nil, err
-		}
-		if res.Found {
-			found++
-		}
+		return core.DetectEvenCycle(g, 2, core.Options{Seed: cfg.Seed + uint64(trial), Workers: cfg.Workers})
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddRow("planted light C_4", itoa(trials), itoa(found), "0 by construction")
 
 	// Planted heavy C_4 (hub).
-	foundHeavy := 0
-	for trial := 0; trial < trials; trial++ {
+	foundHeavy, err := countFound(func(trial int) (*core.Result, error) {
 		rng := graph.NewRand(cfg.Seed + 500 + uint64(trial))
 		g, _, err := graph.PlantedHeavy(n, 4, 80, 1.2, rng)
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.DetectEvenCycle(g, 2, core.Options{Seed: cfg.Seed + uint64(trial), Workers: cfg.Workers})
-		if err != nil {
-			return nil, err
-		}
-		if res.Found {
-			foundHeavy++
-		}
+		return core.DetectEvenCycle(g, 2, core.Options{Seed: cfg.Seed + uint64(trial), Workers: cfg.Workers})
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddRow("planted heavy C_4", itoa(trials), itoa(foundHeavy), "0 by construction")
 
@@ -707,17 +735,13 @@ func E10(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	falsePos := 0
-	for trial := 0; trial < trials; trial++ {
-		res, err := core.DetectEvenCycle(g, 2, core.Options{
+	falsePos, err := countFound(func(trial int) (*core.Result, error) {
+		return core.DetectEvenCycle(g, 2, core.Options{
 			Seed: cfg.Seed + uint64(trial), MaxIterations: 40, Workers: cfg.Workers,
 		})
-		if err != nil {
-			return nil, err
-		}
-		if res.Found {
-			falsePos++
-		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddRow("PG(2,13) incidence (C_4-free)", itoa(trials), "-", itoa(falsePos))
 	if falsePos > 0 {

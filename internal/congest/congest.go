@@ -73,10 +73,13 @@ type Rejection struct {
 
 // Report summarizes one engine run.
 type Report struct {
-	// Rounds is the number of executed rounds: the last round in which any
-	// node was active, plus one. Idle gaps between scheduled wake-ups are
-	// skipped by the simulator and excluded (no protocol in this
-	// repository idles intentionally).
+	// Rounds is the CONGEST time of the execution: the last round in which
+	// any node was active, plus one. Idle gaps before a scheduled wake-up
+	// are skipped by the simulator (never executed) but still elapse on the
+	// model's clock and are therefore included — a protocol that wakes a
+	// node at round 100 and does nothing else reports Rounds = 101. This is
+	// the quantity the paper's theorems bound; see the package comment and
+	// TestIdleGapsElapseInRounds.
 	Rounds int
 	// Messages is the total number of messages delivered.
 	Messages int64
@@ -87,7 +90,8 @@ type Report struct {
 	// MaxInbox is the maximum number of messages received by a single node
 	// in a single round (a congestion measure).
 	MaxInbox int
-	// Rejections lists all reject outputs.
+	// Rejections lists all reject outputs, in canonical order (by node,
+	// then witness) so the report is identical for every worker count.
 	Rejections []Rejection
 	// Halted reports whether a handler requested a global stop.
 	Halted bool
@@ -140,11 +144,23 @@ func (n *Network) NumNodes() int { return n.g.NumNodes() }
 // Seed returns the master seed.
 func (n *Network) Seed() uint64 { return n.seed }
 
+// nodeSeedXor derives the second PCG word from the first in every node
+// stream (see nodeSeed).
+const nodeSeedXor = 0x94d049bb133111eb
+
+// nodeSeed derives the first PCG seed word of node u's deterministic
+// random stream for session sess. It is the single source of truth for
+// the derivation: Session.Rand reseeds its pooled per-node generators
+// from it.
+func (n *Network) nodeSeed(u NodeID, sess uint64) uint64 {
+	return n.seed ^ (uint64(u)+1)*0x9e3779b97f4a7c15 ^ (sess+1)*0xbf58476d1ce4e5b9
+}
+
 // nodeRand derives the deterministic random stream of node u for session
 // sess.
 func (n *Network) nodeRand(u NodeID, sess uint64) *rand.Rand {
-	s := n.seed ^ (uint64(u)+1)*0x9e3779b97f4a7c15 ^ (sess+1)*0xbf58476d1ce4e5b9
-	return rand.New(rand.NewPCG(s, s^0x94d049bb133111eb))
+	s := n.nodeSeed(u, sess)
+	return rand.New(rand.NewPCG(s, s^nodeSeedXor))
 }
 
 // errProtocol wraps protocol-level violations (bandwidth, locality).

@@ -2,6 +2,7 @@ package congest
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand/v2"
 	"runtime"
 	"sort"
@@ -9,8 +10,11 @@ import (
 	"sync/atomic"
 )
 
-// Engine executes handlers on a network, one session at a time. An Engine
-// is not safe for concurrent Run calls.
+// Engine executes handler sessions on a network. All mutable per-session
+// state lives in pooled Session objects, so an Engine is safe for
+// concurrent Run calls; configure the exported fields before the first Run
+// and leave them fixed while runs are in flight. Back-to-back sessions on
+// the same engine reuse session buffers and allocate almost nothing.
 type Engine struct {
 	net *Network
 	// MaxRounds aborts runaway protocols; 0 means the default cap.
@@ -31,7 +35,13 @@ type Engine struct {
 	// Timeline collects per-round statistics into Report.Timeline.
 	Timeline bool
 
-	session uint64
+	// adjOff[u] is the base index of u's adjacency slots in the flat
+	// per-edge arrays (CSR layout over the sorted adjacency lists);
+	// adjOff[n] is the total directed-edge count.
+	adjOff []int32
+
+	session  atomic.Uint64
+	sessions sync.Pool // of *Session
 }
 
 // RoundStat is one entry of a collected timeline.
@@ -43,7 +53,14 @@ type RoundStat struct {
 
 // NewEngine returns an engine for the network.
 func NewEngine(net *Network) *Engine {
-	return &Engine{net: net}
+	n := net.NumNodes()
+	adjOff := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		adjOff[u+1] = adjOff[u] + int32(net.g.Degree(NodeID(u)))
+	}
+	e := &Engine{net: net, adjOff: adjOff}
+	e.sessions.New = func() any { return e.newSession() }
+	return e
 }
 
 // Network returns the engine's network.
@@ -51,34 +68,104 @@ func (e *Engine) Network() *Network { return e.net }
 
 const defaultMaxRounds = 50_000_000
 
-// Runtime is the per-session interface handlers use to interact with the
-// simulated network. Methods marked "node-local" may be called only from
-// within HandleRound (or Init) and, when called for node u, only by u's
-// handler invocation.
-type Runtime struct {
+// autoSession namespaces engine-assigned session tags away from
+// caller-chosen tags (RunSession), so mixing the two styles on one engine
+// cannot collide randomness streams.
+const autoSession = 1 << 63
+
+// ReserveSessions atomically reserves k consecutive engine-assigned
+// session tags and returns the first. Multi-session protocols (e.g. the
+// batch color-BFS schedule) reserve their whole range up front so that
+// concurrent Run calls interleave without sharing randomness streams.
+func (e *Engine) ReserveSessions(k uint64) uint64 {
+	return (e.session.Add(k) - k) | autoSession
+}
+
+// Run executes one session of the handler under an engine-assigned session
+// tag. See RunSession for the execution contract.
+func (e *Engine) Run(h Handler) (*Report, error) {
+	return e.RunSession(h, e.ReserveSessions(1))
+}
+
+// RunSession executes one session of the handler until quiescence (no
+// pending messages and no scheduled wake-ups), a halt request, or the
+// round cap. The session tag seeds the per-node randomness streams
+// (together with the network's master seed); callers that execute many
+// independent sessions concurrently pass explicit tags so the transcript
+// of every session is deterministic regardless of scheduling.
+//
+// The returned Report counts rounds in CONGEST time: Rounds is the index
+// of the last round with activity, plus one; idle gaps before a scheduled
+// wake-up are not simulated but do elapse (and are therefore counted).
+func (e *Engine) RunSession(h Handler, sess uint64) (*Report, error) {
+	s := e.sessions.Get().(*Session)
+	rep, err := s.run(h, sess)
+	s.cleanup()
+	e.sessions.Put(s)
+	return rep, err
+}
+
+// Session holds all mutable state of one engine session. Sessions are
+// pooled and reused across runs: every array below is either rebuilt from
+// a dirty-list at session end or guarded by a monotone stamp, so reuse
+// requires no O(n) clearing and back-to-back sessions allocate ~nothing.
+//
+// Runtime is the handler-facing alias of Session: methods marked
+// "node-local" may be called only from within HandleRound (or Init) and,
+// when called for node u, only by u's handler invocation.
+type Session struct {
+	eng  *Engine
 	net  *Network
 	sess uint64
 
-	// Per-node wake requests: wake[u] = earliest future round at which u
-	// wants to run (-1 = none). Written only by u's own handler.
+	// stamp is bumped once per executed round and never reset (it spans
+	// sessions), so the zero value in any stamped array always misses.
+	stamp uint64
+	// runGen is bumped once per run; it invalidates the per-node rng
+	// streams of the previous session lazily.
+	runGen uint64
+
+	round  int
+	inInit bool
+
+	// Candidate scheduling: bit u of pool is set iff u may need to run in
+	// an upcoming round (it has undelivered messages or a pending
+	// wake-up). cand counts the set bits. The bitmap doubles as the
+	// dirty-list that makes session cleanup O(candidates), and scanning it
+	// yields nodes in ascending ID order without any per-round sort.
+	pool []uint64
+	cand int
+	due  []NodeID
+
+	// wake[u] = earliest future round at which u wants to run (-1 = none).
+	// Written only by u's own handler; reset via the pool bitmap walk.
 	wake []int32
 
 	// Outgoing messages staged by senders during the current round.
 	// out[u] is written only by u's handler.
 	out [][]outMsg
 
-	// lastSent[u][slot] = round at which adjacency slot `slot` of u last
-	// carried a message (bandwidth enforcement). Lazily allocated.
-	lastSent [][]int32
+	// Flat CSR inboxes: the messages delivered to u this round are
+	// inboxBuf[inboxOff[u] : inboxOff[u]+inboxLen[u]], valid iff
+	// inboxStamp[u] equals the current round stamp.
+	inboxBuf   []Message
+	inboxOff   []int32
+	inboxLen   []int32
+	inboxFill  []int32
+	inboxStamp []uint64
+	recv       []NodeID
+	scratch    []outMsg
 
-	// rngs[u] is u's deterministic random stream, created on first use by
-	// u's own handler.
-	rngs []*rand.Rand
+	// lastSent[adjOff[u]+slot] = round stamp at which adjacency slot
+	// `slot` of u last carried a message (bandwidth enforcement). The
+	// monotone stamp makes per-session clearing unnecessary.
+	lastSent []uint64
 
-	// inbox[u] holds the messages delivered to u this round.
-	inbox [][]Message
-
-	round int
+	// Per-node deterministic random streams, reseeded lazily (on first use
+	// within a run) from (network seed, node, session tag).
+	pcgs   []rand.PCG
+	rands  []*rand.Rand
+	rngGen []uint64
 
 	halt atomic.Bool
 
@@ -87,58 +174,92 @@ type Runtime struct {
 	violation  error
 }
 
+// Runtime is the per-session interface handlers use to interact with the
+// simulated network (an alias of Session, kept as the name handler
+// signatures use).
+type Runtime = Session
+
 type outMsg struct {
 	to  NodeID
 	msg Message
 }
 
+func (e *Engine) newSession() *Session {
+	n := e.net.NumNodes()
+	s := &Session{
+		eng:        e,
+		net:        e.net,
+		pool:       make([]uint64, (n+63)/64),
+		due:        make([]NodeID, 0, n),
+		wake:       make([]int32, n),
+		out:        make([][]outMsg, n),
+		inboxOff:   make([]int32, n),
+		inboxLen:   make([]int32, n),
+		inboxFill:  make([]int32, n),
+		inboxStamp: make([]uint64, n),
+		recv:       make([]NodeID, 0, n),
+		lastSent:   make([]uint64, e.adjOff[n]),
+		pcgs:       make([]rand.PCG, n),
+		rands:      make([]*rand.Rand, n),
+		rngGen:     make([]uint64, n),
+	}
+	for i := range s.wake {
+		s.wake[i] = -1
+	}
+	for i := range s.rands {
+		s.rands[i] = rand.New(&s.pcgs[i])
+	}
+	return s
+}
+
 // N returns the number of nodes in the network (global knowledge).
-func (rt *Runtime) N() int { return rt.net.NumNodes() }
+func (rt *Session) N() int { return rt.net.NumNodes() }
 
 // Round returns the current round number.
-func (rt *Runtime) Round() int { return rt.round }
+func (rt *Session) Round() int { return rt.round }
 
 // Degree returns the degree of u (node-local knowledge).
-func (rt *Runtime) Degree(u NodeID) int { return rt.net.g.Degree(u) }
+func (rt *Session) Degree(u NodeID) int { return rt.net.g.Degree(u) }
 
 // Neighbors returns u's adjacency list (node-local knowledge). The slice
 // must not be modified.
-func (rt *Runtime) Neighbors(u NodeID) []NodeID { return rt.net.g.Neighbors(u) }
+func (rt *Session) Neighbors(u NodeID) []NodeID { return rt.net.g.Neighbors(u) }
 
-// Rand returns u's deterministic random stream. Node-local.
-func (rt *Runtime) Rand(u NodeID) *rand.Rand {
-	if rt.rngs[u] == nil {
-		rt.rngs[u] = rt.net.nodeRand(u, rt.sess)
+// Rand returns u's deterministic random stream for this session.
+// Node-local.
+func (rt *Session) Rand(u NodeID) *rand.Rand {
+	if rt.rngGen[u] != rt.runGen {
+		rt.rngGen[u] = rt.runGen
+		seed := rt.net.nodeSeed(u, rt.sess)
+		rt.pcgs[u].Seed(seed, seed^nodeSeedXor)
 	}
-	return rt.rngs[u]
+	return rt.rands[u]
 }
 
 // Send stages a message from u to its neighbor v for delivery at the start
 // of the next round. It enforces the CONGEST constraints: v must be a
 // neighbor of u, and each directed edge carries at most one message per
-// round. Node-local.
-func (rt *Runtime) Send(u, v NodeID, kind uint8, a, b uint64) {
+// round. Node-local; not callable from Init (no round is executing yet).
+func (rt *Session) Send(u, v NodeID, kind uint8, a, b uint64) {
+	if rt.inInit {
+		rt.fail(protocolErrorf("node %d sent during Init (before round 0)", u))
+		return
+	}
 	slot := rt.neighborSlot(u, v)
 	if slot < 0 {
 		rt.fail(protocolErrorf("round %d: node %d sent to non-neighbor %d", rt.round, u, v))
 		return
 	}
-	if rt.lastSent[u] == nil {
-		ls := make([]int32, rt.net.g.Degree(u))
-		for i := range ls {
-			ls[i] = -1
-		}
-		rt.lastSent[u] = ls
-	}
-	if rt.lastSent[u][slot] == int32(rt.round) {
+	es := rt.eng.adjOff[u] + int32(slot)
+	if rt.lastSent[es] == rt.stamp {
 		rt.fail(protocolErrorf("round %d: node %d sent twice on edge to %d (bandwidth violation)", rt.round, u, v))
 		return
 	}
-	rt.lastSent[u][slot] = int32(rt.round)
+	rt.lastSent[es] = rt.stamp
 	rt.out[u] = append(rt.out[u], outMsg{to: v, msg: Message{From: u, Kind: kind, A: a, B: b}})
 }
 
-func (rt *Runtime) neighborSlot(u, v NodeID) int {
+func (rt *Session) neighborSlot(u, v NodeID) int {
 	adj := rt.net.g.Neighbors(u)
 	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
 	if i < len(adj) && adj[i] == v {
@@ -149,7 +270,7 @@ func (rt *Runtime) neighborSlot(u, v NodeID) int {
 
 // WakeAt schedules node u to run at round r (which must not be in the
 // past). Node-local (or from Init, where the current round is 0).
-func (rt *Runtime) WakeAt(u NodeID, r int) {
+func (rt *Session) WakeAt(u NodeID, r int) {
 	if r < rt.round {
 		rt.fail(protocolErrorf("node %d scheduled wake at past round %d (now %d)", u, r, rt.round))
 		return
@@ -157,11 +278,16 @@ func (rt *Runtime) WakeAt(u NodeID, r int) {
 	if rt.wake[u] < 0 || int32(r) < rt.wake[u] {
 		rt.wake[u] = int32(r)
 	}
+	if rt.inInit {
+		// Init is sequential, so the shared pool bitmap is safe to touch;
+		// wake-ups from HandleRound are folded in at delivery time.
+		rt.setPool(u)
+	}
 }
 
 // Reject records that node u outputs reject, with an optional witness
 // cycle. Safe for concurrent use.
-func (rt *Runtime) Reject(u NodeID, witness []NodeID) {
+func (rt *Session) Reject(u NodeID, witness []NodeID) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.rejections = append(rt.rejections, Rejection{Node: u, Witness: witness})
@@ -169,9 +295,9 @@ func (rt *Runtime) Reject(u NodeID, witness []NodeID) {
 
 // Halt requests a global stop at the end of the current round. Safe for
 // concurrent use.
-func (rt *Runtime) Halt() { rt.halt.Store(true) }
+func (rt *Session) Halt() { rt.halt.Store(true) }
 
-func (rt *Runtime) fail(err error) {
+func (rt *Session) fail(err error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rt.violation == nil {
@@ -180,37 +306,90 @@ func (rt *Runtime) fail(err error) {
 	rt.halt.Store(true)
 }
 
-func (rt *Runtime) rejectedLocked() bool {
+func (rt *Session) rejectedLocked() bool {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return len(rt.rejections) > 0
 }
 
-// Run executes one session of the handler until quiescence (no pending
-// messages and no scheduled wake-ups), a halt request, or the round cap.
-//
-// The returned Report counts rounds in CONGEST time: Rounds is the index of
-// the last round with activity, plus one; idle gaps before a scheduled
-// wake-up are not simulated but do elapse (and are therefore counted).
-func (e *Engine) Run(h Handler) (*Report, error) {
-	n := e.net.NumNodes()
-	sess := e.session
-	e.session++
-	rt := &Runtime{
-		net:      e.net,
-		sess:     sess,
-		wake:     make([]int32, n),
-		out:      make([][]outMsg, n),
-		lastSent: make([][]int32, n),
-		rngs:     make([]*rand.Rand, n),
-		inbox:    make([][]Message, n),
+func (s *Session) setPool(u NodeID) {
+	w, m := u>>6, uint64(1)<<(u&63)
+	if s.pool[w]&m == 0 {
+		s.pool[w] |= m
+		s.cand++
 	}
-	for i := range rt.wake {
-		rt.wake[i] = -1
+}
+
+func (s *Session) clearPool(u NodeID) {
+	w, m := u>>6, uint64(1)<<(u&63)
+	if s.pool[w]&m != 0 {
+		s.pool[w] &^= m
+		s.cand--
 	}
-	h.Init(rt)
-	if rt.violation != nil {
-		return nil, rt.violation
+}
+
+// inboxOf returns the messages delivered to u for the current round.
+func (s *Session) inboxOf(u NodeID) []Message {
+	if s.inboxStamp[u] != s.stamp {
+		return nil
+	}
+	off := s.inboxOff[u]
+	return s.inboxBuf[off : off+s.inboxLen[u]]
+}
+
+func (s *Session) inboxCount(u NodeID) int {
+	if s.inboxStamp[u] != s.stamp {
+		return 0
+	}
+	return int(s.inboxLen[u])
+}
+
+// cleanup restores the session invariants (wake sentinel values, empty
+// pool bitmap, empty out buffers) so the Session can be reused. It walks
+// only the state the finished run actually touched.
+func (s *Session) cleanup() {
+	for _, u := range s.due {
+		s.wake[u] = -1
+		if len(s.out[u]) > 0 {
+			s.out[u] = s.out[u][:0]
+		}
+	}
+	s.due = s.due[:0]
+	if s.cand > 0 {
+		for wi, w := range s.pool {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &^= 1 << b
+				s.wake[NodeID(wi*64+b)] = -1
+			}
+			s.pool[wi] = 0
+		}
+		s.cand = 0
+	}
+	// A session that ended early (halt, StopOnReject, violation, round cap)
+	// can leave inboxes stamped for the round after its last delivery.
+	// Burning one stamp value here guarantees no future round ever matches
+	// a leftover stamp, without clearing the stamp array.
+	s.stamp++
+	s.violation = nil
+	s.rejections = s.rejections[:0]
+	s.halt.Store(false)
+}
+
+// run executes one session. The Session must satisfy the cleanup
+// invariants on entry.
+func (s *Session) run(h Handler, sess uint64) (*Report, error) {
+	e := s.eng
+	n := s.net.NumNodes()
+	s.sess = sess
+	s.runGen++
+	s.round = 0
+
+	s.inInit = true
+	h.Init(s)
+	s.inInit = false
+	if s.violation != nil {
+		return nil, s.violation
 	}
 
 	maxRounds := e.MaxRounds
@@ -226,127 +405,156 @@ func (e *Engine) Run(h Handler) (*Report, error) {
 	msgBits := MessageBits(n)
 	var dropRng *rand.Rand
 	if e.DropProb > 0 {
-		dropRng = e.net.nodeRand(-1, sess)
-	}
-	// pool: candidate nodes for the current round (receivers of the
-	// previous round's messages plus nodes with pending wake-ups), sorted.
-	pool := make([]NodeID, 0, n)
-	due := make([]NodeID, 0, n)
-	waiting := make([]NodeID, 0, n)
-	next := make([]NodeID, 0, n)
-	inPool := make([]int32, n) // round stamp for dedup when building next
-	for i := range inPool {
-		inPool[i] = -1
-	}
-	for u := 0; u < n; u++ {
-		if rt.wake[u] >= 0 {
-			pool = append(pool, NodeID(u))
-		}
+		dropRng = s.net.nodeRand(-1, sess)
 	}
 
-	for round := 0; len(pool) > 0; round++ {
+	for round := 0; s.cand > 0; round++ {
 		if round >= maxRounds {
 			return nil, fmt.Errorf("congest: exceeded %d rounds (runaway protocol?)", maxRounds)
 		}
+		s.stamp++
 
-		// Partition the pool into nodes due now and nodes waiting for a
-		// future wake-up.
-		due = due[:0]
-		waiting = waiting[:0]
+		// Scan the candidate bitmap (ascending node order): nodes due now
+		// run; the rest wait for a future wake-up.
+		s.due = s.due[:0]
 		earliest := int32(-1)
-		for _, u := range pool {
-			w := rt.wake[u]
-			if len(rt.inbox[u]) > 0 || (w >= 0 && int(w) <= round) {
-				due = append(due, u)
-				if w >= 0 && int(w) <= round {
-					rt.wake[u] = -1
-				}
-			} else {
-				waiting = append(waiting, u)
-				if earliest < 0 || w < earliest {
-					earliest = w
+		for wi, w := range s.pool {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &^= 1 << b
+				u := NodeID(wi*64 + b)
+				wk := s.wake[u]
+				if s.inboxStamp[u] == s.stamp || (wk >= 0 && int(wk) <= round) {
+					s.due = append(s.due, u)
+					s.clearPool(u)
+					if wk >= 0 && int(wk) <= round {
+						s.wake[u] = -1
+					}
+				} else if earliest < 0 || wk < earliest {
+					earliest = wk
 				}
 			}
 		}
-		if len(due) == 0 {
+		if len(s.due) == 0 {
 			// Fast-forward the clock to the earliest scheduled wake-up.
+			// The skipped rounds still elapse in CONGEST time (they are
+			// counted by Report.Rounds); only their simulation is skipped.
 			round = int(earliest) - 1
 			continue
 		}
-		rt.round = round
+		s.round = round
 		rep.Rounds = round + 1
-		for _, u := range due {
-			if load := len(rt.inbox[u]); load > rep.MaxInbox {
+		for _, u := range s.due {
+			if load := s.inboxCount(u); load > rep.MaxInbox {
 				rep.MaxInbox = load
 			}
 		}
 
 		// Execute handlers (possibly in parallel).
-		e.runHandlers(rt, h, due, round, workers)
-		if rt.violation != nil {
-			return nil, rt.violation
+		e.runHandlers(s, h, s.due, round, workers)
+		if s.violation != nil {
+			return nil, s.violation
 		}
 
-		// Consume inboxes, deliver staged messages, and build the next
-		// pool: message receivers, re-woken due nodes, and still-waiting
-		// nodes.
-		next = next[:0]
-		mark := func(u NodeID) {
-			if inPool[u] != int32(round) {
-				inPool[u] = int32(round)
-				next = append(next, u)
-			}
-		}
-		for _, u := range due {
-			rt.inbox[u] = rt.inbox[u][:0]
-		}
+		// Deliver staged messages into the flat inboxes of the next round
+		// and refresh the candidate bitmap: message receivers, re-woken due
+		// nodes (waiting nodes never left the bitmap). Count first, then
+		// scatter, so each receiver's messages are contiguous and arrive in
+		// ascending sender order — the same per-receiver order for every
+		// worker count.
+		s.scratch = s.scratch[:0]
+		s.recv = s.recv[:0]
+		nextStamp := s.stamp + 1
 		var delivered int64
-		for _, u := range due {
-			for _, om := range rt.out[u] {
+		for _, u := range s.due {
+			for _, om := range s.out[u] {
 				if dropRng != nil && dropRng.Float64() < e.DropProb {
 					continue
 				}
-				rt.inbox[om.to] = append(rt.inbox[om.to], om.msg)
-				rep.Messages++
-				rep.Bits += msgBits
+				if s.inboxStamp[om.to] != nextStamp {
+					s.inboxStamp[om.to] = nextStamp
+					s.inboxLen[om.to] = 0
+					s.recv = append(s.recv, om.to)
+				}
+				s.inboxLen[om.to]++
+				s.scratch = append(s.scratch, om)
 				delivered++
-				mark(om.to)
 			}
-			rt.out[u] = rt.out[u][:0]
-			if rt.wake[u] >= 0 {
-				mark(u)
+			s.out[u] = s.out[u][:0]
+			if s.wake[u] >= 0 {
+				s.setPool(u)
 			}
 		}
+		total := int32(0)
+		for _, r := range s.recv {
+			s.inboxOff[r] = total
+			s.inboxFill[r] = 0
+			total += s.inboxLen[r]
+			s.setPool(r)
+		}
+		if cap(s.inboxBuf) < int(total) {
+			s.inboxBuf = make([]Message, total)
+		} else {
+			s.inboxBuf = s.inboxBuf[:total]
+		}
+		for _, om := range s.scratch {
+			pos := s.inboxOff[om.to] + s.inboxFill[om.to]
+			s.inboxFill[om.to]++
+			s.inboxBuf[pos] = om.msg
+		}
+		rep.Messages += delivered
+		rep.Bits += msgBits * delivered
 		if e.Timeline {
 			rep.Timeline = append(rep.Timeline, RoundStat{
-				Round: round, Active: len(due), Messages: delivered,
+				Round: round, Active: len(s.due), Messages: delivered,
 			})
 		}
-		for _, u := range waiting {
-			mark(u)
-		}
-		pool = append(pool[:0], next...)
-		sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
 
-		if rt.halt.Load() {
+		if s.halt.Load() {
 			rep.Halted = true
 			break
 		}
-		if e.StopOnReject && rt.rejectedLocked() {
+		if e.StopOnReject && s.rejectedLocked() {
 			break
 		}
 	}
-	rep.Rejections = rt.rejections
+	if len(s.rejections) > 0 {
+		rep.Rejections = canonicalRejections(s.rejections)
+	}
 	return rep, nil
+}
+
+// canonicalRejections copies the rejection list into a deterministic
+// order (by node, then witness), erasing the handler-scheduling order in
+// which concurrent Reject calls were appended.
+func canonicalRejections(rejs []Rejection) []Rejection {
+	out := make([]Rejection, len(rejs))
+	copy(out, rejs)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		wi, wj := out[i].Witness, out[j].Witness
+		if len(wi) != len(wj) {
+			return len(wi) < len(wj)
+		}
+		for k := range wi {
+			if wi[k] != wj[k] {
+				return wi[k] < wj[k]
+			}
+		}
+		return false
+	})
+	return out
 }
 
 // runHandlers invokes the handler for every due node, in parallel when the
 // batch is large enough to amortize goroutine overhead.
-func (e *Engine) runHandlers(rt *Runtime, h Handler, due []NodeID, round int, workers int) {
+func (e *Engine) runHandlers(s *Session, h Handler, due []NodeID, round int, workers int) {
 	const parallelThreshold = 256
 	if workers <= 1 || len(due) < parallelThreshold {
 		for _, u := range due {
-			h.HandleRound(rt, u, round, rt.inbox[u])
+			h.HandleRound(s, u, round, s.inboxOf(u))
 		}
 		return
 	}
@@ -362,7 +570,7 @@ func (e *Engine) runHandlers(rt *Runtime, h Handler, due []NodeID, round int, wo
 		go func(part []NodeID) {
 			defer wg.Done()
 			for _, u := range part {
-				h.HandleRound(rt, u, round, rt.inbox[u])
+				h.HandleRound(s, u, round, s.inboxOf(u))
 			}
 		}(due[lo:hi])
 	}

@@ -1,0 +1,61 @@
+package congest
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// pingpong is a minimal allocation-free protocol: every node forwards a
+// token to all neighbors for `rounds` rounds. Its own state is allocated
+// once and reused, so the benchmark isolates the engine's per-session and
+// per-round allocation behavior.
+type pingpong struct{ rounds int }
+
+func (p *pingpong) Init(rt *Runtime) {
+	for u := 0; u < rt.N(); u++ {
+		rt.WakeAt(NodeID(u), 0)
+	}
+}
+
+func (p *pingpong) HandleRound(rt *Runtime, u NodeID, r int, inbox []Message) {
+	if r >= p.rounds {
+		return
+	}
+	for _, v := range rt.Neighbors(u) {
+		rt.Send(u, v, 1, uint64(u), uint64(r))
+	}
+}
+
+// BenchmarkSessionRoundLoop measures allocs/op and ns/op of back-to-back
+// sessions on one engine — the hot path of every detector's trial loop.
+// Before the pooled-session refactor each run allocated all per-session
+// state (wake/out/lastSent/rngs/inbox arrays plus per-receiver inbox
+// slices); after it, steady-state runs reuse pooled buffers.
+func BenchmarkSessionRoundLoop(b *testing.B) {
+	g := graph.Gnm(2048, 8192, graph.NewRand(7))
+	e := NewEngine(NewNetwork(g, 1))
+	h := &pingpong{rounds: 16}
+	b.ReportAllocs()
+	for b.Loop() {
+		if _, err := e.Run(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionRoundLoopSparse is the sparse-activity regime: few nodes
+// active per round over many rounds, dominated by scheduler bookkeeping
+// rather than message volume.
+func BenchmarkSessionRoundLoopSparse(b *testing.B) {
+	g := graph.Cycle(4096)
+	e := NewEngine(NewNetwork(g, 1))
+	h := &floodHandler{}
+	b.ReportAllocs()
+	for b.Loop() {
+		h.heard = nil // reset handler state; engine state is pooled
+		if _, err := e.Run(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand/v2"
 
 	"repro/internal/congest"
 	"repro/internal/graph"
+	"repro/internal/sched"
 )
 
 // BoundedResult reports the outcome of bounded-length cycle detection
@@ -92,26 +92,28 @@ func DetectBoundedCycle(g *graph.Graph, k int, opt Options) (*BoundedResult, err
 	for v := range all {
 		all[v] = true
 	}
-	colors := make([]int8, n)
-	colorRng := rand.New(rand.NewPCG(opt.Seed^0x5bd1e995, opt.Seed+7))
 
 	// Pairs (2ℓ-1, 2ℓ) in increasing order: correctness for pair ℓ assumes
-	// no cycle of length ≤ 2(ℓ-1), which earlier pairs would have caught.
+	// no cycle of length ≤ 2(ℓ-1), which earlier pairs would have caught —
+	// so the pair loop stays sequential while the iterations within a pair
+	// run as independent trials on the shared scheduler.
+	runner := sched.TrialRunner{Workers: opt.Parallel}
 	for ell := 2; ell <= k && !res.Found; ell++ {
 		L := 2 * ell
-		for it := 0; it < params.Iterations && !res.Found; it++ {
-			res.IterationsRun++
-			for v := range colors {
-				colors[v] = int8(colorRng.IntN(L))
-			}
-			calls := []struct {
-				name     string
-				inH, inX []bool
-			}{
-				{"light (G[U],U)", sets.InU, sets.InU},
-				{"heavy (G,W)", all, sets.InW},
-			}
-			for _, call := range calls {
+		calls := []struct {
+			name     string
+			inH, inX []bool
+		}{
+			{"light (G[U],U)", sets.InU, sets.InU},
+			{"heavy (G,W)", all, sets.InW},
+		}
+		trial := func(it int) (*iterOutcome, error) {
+			// The color stream is tagged with ell so every (pair, iteration)
+			// draws an independent fresh coloring, as the failure-probability
+			// bound assumes.
+			colors := IterationColors(n, L, sched.Tag(opt.Seed, 0x5bd1e995, uint64(ell)), it)
+			out := &iterOutcome{}
+			for ci, call := range calls {
 				bfs, err := NewColorBFS(n, ColorBFSSpec{
 					L:          L,
 					Color:      colors,
@@ -125,15 +127,15 @@ func DetectBoundedCycle(g *graph.Graph, k int, opt Options) (*BoundedResult, err
 				if err != nil {
 					return nil, fmt.Errorf("core: bounded %s: %w", call.name, err)
 				}
-				rep, err := bfs.Run(eng)
+				rep, err := bfs.RunSessions(eng, sched.Tag(opt.Seed, 0xb09d, uint64(ell), uint64(it), uint64(ci)))
 				if err != nil {
 					return nil, fmt.Errorf("core: bounded %s: %w", call.name, err)
 				}
-				total.Accumulate(rep)
-				if c := bfs.MaxCongestion(); c > res.MaxCongestion {
-					res.MaxCongestion = c
+				out.rep.Accumulate(rep)
+				if c := bfs.MaxCongestion(); c > out.maxCong {
+					out.maxCong = c
 				}
-				if len(bfs.Detections()) > 0 && !res.Found {
+				if len(bfs.Detections()) > 0 && !out.found {
 					d := bfs.Detections()[0]
 					witness, err := bfs.Witness(d)
 					if err != nil {
@@ -146,12 +148,33 @@ func DetectBoundedCycle(g *graph.Graph, k int, opt Options) (*BoundedResult, err
 					if err := graph.IsSimpleCycle(g, witness, wantLen); err != nil {
 						return nil, fmt.Errorf("core: bounded %s invalid witness: %w", call.name, err)
 					}
-					res.Found = true
-					res.FoundLen = wantLen
-					res.Witness = witness
-					res.Detector = d.Node
+					out.found = true
+					out.witness = witness
+					out.detector = d.Node
+					out.det = d
 				}
 			}
+			return out, nil
+		}
+		fold := func(it int, out *iterOutcome) bool {
+			res.IterationsRun++
+			total.Accumulate(&out.rep)
+			if out.maxCong > res.MaxCongestion {
+				res.MaxCongestion = out.maxCong
+			}
+			if out.found && !res.Found {
+				res.Found = true
+				res.FoundLen = L
+				if out.det.Skip {
+					res.FoundLen = L - 1
+				}
+				res.Witness = out.witness
+				res.Detector = out.detector
+			}
+			return res.Found
+		}
+		if _, err := sched.Run(runner, params.Iterations, trial, fold); err != nil {
+			return nil, err
 		}
 	}
 	res.Rounds = total.Rounds

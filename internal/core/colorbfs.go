@@ -292,17 +292,51 @@ func (b *ColorBFS) Overflowed() bool {
 // Pipelined mode runs a single session in which identifiers are forwarded
 // as they arrive.
 func (b *ColorBFS) Run(e *congest.Engine) (*congest.Report, error) {
-	if b.spec.Pipelined {
-		return b.runPipelined(e)
+	phases := uint64(1)
+	if !b.spec.Pipelined {
+		phases = uint64(b.tmax)
 	}
-	return b.runBatch(e)
+	return b.RunSessions(e, e.ReserveSessions(phases))
 }
 
-func (b *ColorBFS) runBatch(e *congest.Engine) (*congest.Report, error) {
+// RunSessions is Run with caller-chosen engine session tags (base,
+// base+1, … for the batch phases). Trial schedulers that execute many
+// invocations concurrently on one engine pass explicit tags so every
+// invocation's randomness — and therefore its transcript — is independent
+// of scheduling.
+func (b *ColorBFS) RunSessions(e *congest.Engine, base uint64) (*congest.Report, error) {
+	var rep *congest.Report
+	var err error
+	if b.spec.Pipelined {
+		rep, err = b.runPipelined(e, base)
+	} else {
+		rep, err = b.runBatch(e, base)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Canonicalize the detection order (concurrent handler workers append
+	// detections in scheduling order): sort by node, then seed, so
+	// Detections()[0] — and hence the extracted witness — is the same for
+	// every worker count.
+	sort.Slice(b.detections, func(i, j int) bool {
+		di, dj := b.detections[i], b.detections[j]
+		if di.Node != dj.Node {
+			return di.Node < dj.Node
+		}
+		if di.Seed != dj.Seed {
+			return di.Seed < dj.Seed
+		}
+		return !di.Skip && dj.Skip
+	})
+	return rep, nil
+}
+
+func (b *ColorBFS) runBatch(e *congest.Engine, base uint64) (*congest.Report, error) {
 	total := &congest.Report{}
 	for phase := 1; phase <= b.tmax; phase++ {
 		ph := &batchPhase{bfs: b, phase: phase}
-		rep, err := e.Run(ph)
+		rep, err := e.RunSession(ph, base+uint64(phase-1))
 		if err != nil {
 			return nil, fmt.Errorf("core: color-BFS phase %d: %w", phase, err)
 		}
@@ -404,11 +438,11 @@ func sortedIDs(set map[uint64]graph.NodeID) []uint64 {
 // cutoff (a forwarder that exceeds τ stops forwarding; identifiers it
 // already relayed still witness well-colored paths, so one-sided
 // correctness is preserved — this is ablation A1 of DESIGN.md).
-func (b *ColorBFS) runPipelined(e *congest.Engine) (*congest.Report, error) {
+func (b *ColorBFS) runPipelined(e *congest.Engine, base uint64) (*congest.Report, error) {
 	n := e.Network().NumNodes()
 	b.queue = make([][]uint64, n)
 	b.queueIdx = make([]int, n)
-	rep, err := e.Run(&pipelinedRun{bfs: b})
+	rep, err := e.RunSession(&pipelinedRun{bfs: b}, base)
 	if err != nil {
 		return nil, fmt.Errorf("core: pipelined color-BFS: %w", err)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/congest"
 	"repro/internal/graph"
+	"repro/internal/sched"
 )
 
 // Options tunes a run of Algorithm 1. The zero value requests the paper's
@@ -46,6 +47,11 @@ type Options struct {
 	Seed uint64
 	// Workers configures engine parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Parallel is the number of coloring iterations (trials) in flight at
+	// once: 0 or 1 runs them sequentially, negative means GOMAXPROCS.
+	// Results are deterministic for a fixed Seed regardless of Parallel
+	// (see internal/sched for the contract).
+	Parallel int
 	// MaxRounds bounds each engine session (0 = engine default).
 	MaxRounds int
 	// DropProb injects adversarial message loss (see congest.Engine);
@@ -114,6 +120,38 @@ func runAlgorithm1(g *graph.Graph, params Params, opt Options) (*Result, error) 
 	return res, err
 }
 
+// IterationColors draws the fresh uniform coloring of iteration `it`
+// (Instruction 8): node-local randomness, zero rounds; drawn centrally
+// from a per-iteration stream so that trials are reproducible and
+// decorrelated under any scheduling. Callers running several independent
+// coloring families (length pairs, detector variants) pre-tag the seed so
+// the families draw distinct streams.
+func IterationColors(n, L int, seed uint64, it int) []int8 {
+	colors := make([]int8, n)
+	rng := rand.New(rand.NewPCG(
+		sched.Tag(seed, 0xc0102, uint64(it)),
+		sched.Tag(seed, 0xc0103, uint64(it)),
+	))
+	for v := range colors {
+		colors[v] = int8(rng.IntN(L))
+	}
+	return colors
+}
+
+// iterOutcome is the result of one coloring iteration (one trial of the
+// shared scheduler): the summed cost of its color-BFS calls plus the
+// detection state needed to finish the run.
+type iterOutcome struct {
+	rep        congest.Report
+	maxCong    int
+	overflowed bool
+	found      bool
+	witness    []graph.NodeID
+	detector   graph.NodeID
+	bfs        *ColorBFS
+	det        Detection
+}
+
 // runAlgorithm1Capturing is runAlgorithm1 but additionally returns the
 // detecting ColorBFS instance, its detection and the engine, so that
 // follow-up protocols (witness notification, Section 1.2's local
@@ -156,29 +194,25 @@ func runAlgorithm1Capturing(g *graph.Graph, params Params, opt Options) (*Result
 		all[v] = true
 		notS[v] = !sets.InS[v]
 	}
-	colors := make([]int8, n)
-	colorRng := rand.New(rand.NewPCG(opt.Seed^0xa5a5a5a5, opt.Seed+1))
 	L := 2 * params.K
 
-	// Instruction 7: K search phases.
-	for it := 0; it < params.Iterations; it++ {
-		res.IterationsRun = it + 1
-		// Instruction 8: fresh uniform coloring (node-local randomness,
-		// zero rounds; drawn centrally from the master seed for
-		// reproducibility).
-		for v := range colors {
-			colors[v] = int8(colorRng.IntN(L))
-		}
+	calls := []struct {
+		name     string
+		inH, inX []bool
+	}{
+		{"light (G[U],U)", sets.InU, sets.InU}, // Instruction 9
+		{"selected (G,S)", all, sets.InS},      // Instruction 10
+		{"heavy (G∖S,W)", notS, sets.InW},      // Instruction 11
+	}
 
-		calls := []struct {
-			name     string
-			inH, inX []bool
-		}{
-			{"light (G[U],U)", sets.InU, sets.InU}, // Instruction 9
-			{"selected (G,S)", all, sets.InS},      // Instruction 10
-			{"heavy (G∖S,W)", notS, sets.InW},      // Instruction 11
-		}
-		for _, call := range calls {
+	// Instruction 7: K search phases, as independent trials on the shared
+	// scheduler. Each trial runs the three color-BFS calls of one coloring
+	// under explicit session tags; the fold below aggregates the
+	// deterministic prefix, so the result is the same for every Parallel.
+	trial := func(it int) (*iterOutcome, error) {
+		colors := IterationColors(n, L, opt.Seed, it)
+		out := &iterOutcome{}
+		for ci, call := range calls {
 			bfs, err := NewColorBFS(n, ColorBFSSpec{
 				L:         L,
 				Color:     colors,
@@ -189,36 +223,54 @@ func runAlgorithm1Capturing(g *graph.Graph, params Params, opt Options) (*Result
 				Pipelined: opt.Pipelined,
 			})
 			if err != nil {
-				return nil, nil, det, nil, fmt.Errorf("core: %s: %w", call.name, err)
+				return nil, fmt.Errorf("core: %s: %w", call.name, err)
 			}
-			rep, err := bfs.Run(eng)
+			rep, err := bfs.RunSessions(eng, sched.Tag(opt.Seed, 0xa190, uint64(it), uint64(ci)))
 			if err != nil {
-				return nil, nil, det, nil, fmt.Errorf("core: %s: %w", call.name, err)
+				return nil, fmt.Errorf("core: %s: %w", call.name, err)
 			}
-			total.Accumulate(rep)
-			if c := bfs.MaxCongestion(); c > res.MaxCongestion {
-				res.MaxCongestion = c
+			out.rep.Accumulate(rep)
+			if c := bfs.MaxCongestion(); c > out.maxCong {
+				out.maxCong = c
 			}
-			res.Overflowed = res.Overflowed || bfs.Overflowed()
-			if len(bfs.Detections()) > 0 && !res.Found {
+			out.overflowed = out.overflowed || bfs.Overflowed()
+			if len(bfs.Detections()) > 0 && !out.found {
 				d := bfs.Detections()[0]
 				witness, err := bfs.Witness(d)
 				if err != nil {
-					return nil, nil, det, nil, fmt.Errorf("core: %s: %w", call.name, err)
+					return nil, fmt.Errorf("core: %s: %w", call.name, err)
 				}
 				if err := graph.IsSimpleCycle(g, witness, L); err != nil {
-					return nil, nil, det, nil, fmt.Errorf("core: %s produced invalid witness %v: %w", call.name, witness, err)
+					return nil, fmt.Errorf("core: %s produced invalid witness %v: %w", call.name, witness, err)
 				}
-				res.Found = true
-				res.Witness = witness
-				res.Detector = d.Node
-				detBFS = bfs
-				det = d
+				out.found = true
+				out.witness = witness
+				out.detector = d.Node
+				out.bfs = bfs
+				out.det = d
 			}
 		}
-		if res.Found && !opt.KeepGoing {
-			break
+		return out, nil
+	}
+	fold := func(it int, out *iterOutcome) bool {
+		res.IterationsRun = it + 1
+		total.Accumulate(&out.rep)
+		if out.maxCong > res.MaxCongestion {
+			res.MaxCongestion = out.maxCong
 		}
+		res.Overflowed = res.Overflowed || out.overflowed
+		if out.found && !res.Found {
+			res.Found = true
+			res.Witness = out.witness
+			res.Detector = out.detector
+			detBFS = out.bfs
+			det = out.det
+		}
+		return res.Found && !opt.KeepGoing
+	}
+	runner := sched.TrialRunner{Workers: opt.Parallel}
+	if _, err := sched.Run(runner, params.Iterations, trial, fold); err != nil {
+		return nil, nil, det, nil, err
 	}
 	res.Rounds = total.Rounds
 	res.Messages = total.Messages

@@ -2,12 +2,12 @@ package core
 
 import (
 	"fmt"
-	"math/rand/v2"
 	"sort"
 	"strings"
 
 	"repro/internal/congest"
 	"repro/internal/graph"
+	"repro/internal/sched"
 )
 
 // This file implements the listing variant of cycle detection discussed in
@@ -133,24 +133,27 @@ func ListEvenCycles(g *graph.Graph, k int, opt Options) (*ListResult, error) {
 		all[v] = true
 		notS[v] = !sets.InS[v]
 	}
-	colors := make([]int8, n)
-	colorRng := rand.New(rand.NewPCG(opt.Seed^0xa5a5a5a5, opt.Seed+1))
 	L := 2 * params.K
+	calls := []struct {
+		inH, inX []bool
+	}{
+		{sets.InU, sets.InU},
+		{all, sets.InS},
+		{notS, sets.InW},
+	}
 
+	// Listing mode has no early stop: every iteration is an independent
+	// trial; the fold merges each trial's witnesses in index order, so the
+	// listed set is identical for every Parallel setting.
+	type listOutcome struct {
+		rep       congest.Report
+		witnesses [][]graph.NodeID
+	}
 	seen := make(map[string]struct{})
-	for it := 0; it < params.Iterations; it++ {
-		res.IterationsRun = it + 1
-		for v := range colors {
-			colors[v] = int8(colorRng.IntN(L))
-		}
-		calls := []struct {
-			inH, inX []bool
-		}{
-			{sets.InU, sets.InU},
-			{all, sets.InS},
-			{notS, sets.InW},
-		}
-		for _, call := range calls {
+	trial := func(it int) (*listOutcome, error) {
+		colors := IterationColors(n, L, opt.Seed, it)
+		out := &listOutcome{}
+		for ci, call := range calls {
 			bfs, err := NewColorBFS(n, ColorBFSSpec{
 				L:         L,
 				Color:     colors,
@@ -163,11 +166,11 @@ func ListEvenCycles(g *graph.Graph, k int, opt Options) (*ListResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			rep, err := bfs.Run(eng)
+			rep, err := bfs.RunSessions(eng, sched.Tag(opt.Seed, 0xa190, uint64(it), uint64(ci)))
 			if err != nil {
 				return nil, err
 			}
-			total.Accumulate(rep)
+			out.rep.Accumulate(rep)
 			for _, d := range bfs.Detections() {
 				witness, err := bfs.Witness(d)
 				if err != nil {
@@ -176,14 +179,27 @@ func ListEvenCycles(g *graph.Graph, k int, opt Options) (*ListResult, error) {
 				if err := graph.IsSimpleCycle(g, witness, L); err != nil {
 					return nil, fmt.Errorf("core: listing invalid witness: %w", err)
 				}
-				key := cycleKey(witness)
-				if _, dup := seen[key]; dup {
-					continue
-				}
-				seen[key] = struct{}{}
-				res.Cycles = append(res.Cycles, CanonicalCycle(witness))
+				out.witnesses = append(out.witnesses, witness)
 			}
 		}
+		return out, nil
+	}
+	fold := func(it int, out *listOutcome) bool {
+		res.IterationsRun = it + 1
+		total.Accumulate(&out.rep)
+		for _, witness := range out.witnesses {
+			key := cycleKey(witness)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			res.Cycles = append(res.Cycles, CanonicalCycle(witness))
+		}
+		return false
+	}
+	runner := sched.TrialRunner{Workers: opt.Parallel}
+	if _, err := sched.Run(runner, params.Iterations, trial, fold); err != nil {
+		return nil, err
 	}
 	sort.Slice(res.Cycles, func(i, j int) bool {
 		return lessSeq(res.Cycles[i], res.Cycles[j])

@@ -14,11 +14,11 @@ package lowprob
 import (
 	"fmt"
 	"math"
-	"math/rand/v2"
 
 	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/sched"
 )
 
 // ConstantThreshold is the forwarding threshold of Algorithm 2
@@ -108,6 +108,9 @@ type OddOptions struct {
 	Threshold int
 	Seed      uint64
 	Workers   int
+	// Parallel is the number of coloring trials in flight (0/1 sequential,
+	// negative GOMAXPROCS); results are deterministic regardless.
+	Parallel  int
 	KeepGoing bool
 }
 
@@ -160,16 +163,18 @@ func DetectOdd(g *graph.Graph, k int, opt OddOptions) (*OddResult, error) {
 	for v := range all {
 		all[v] = true
 	}
-	colors := make([]int8, n)
-	colorRng := rand.New(rand.NewPCG(opt.Seed^0x27d4eb2f, opt.Seed+13))
 
-	res := &OddResult{}
-	total := &congest.Report{}
-	for it := 0; it < iterations; it++ {
-		res.IterationsRun = it + 1
-		for v := range colors {
-			colors[v] = int8(colorRng.IntN(L))
-		}
+	// Each coloring is an independent trial on the shared scheduler; the
+	// fold aggregates the deterministic prefix, so the outcome is the same
+	// for every Parallel setting.
+	type oddOutcome struct {
+		rep      congest.Report
+		found    bool
+		witness  []graph.NodeID
+		detector graph.NodeID
+	}
+	trial := func(it int) (*oddOutcome, error) {
+		colors := core.IterationColors(n, L, sched.Tag(opt.Seed, 0x27d4eb2f), it)
 		bfs, err := core.NewColorBFS(n, core.ColorBFSSpec{
 			L:         L,
 			Color:     colors,
@@ -181,12 +186,13 @@ func DetectOdd(g *graph.Graph, k int, opt OddOptions) (*OddResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lowprob: odd color-BFS: %w", err)
 		}
-		rep, err := bfs.Run(eng)
+		rep, err := bfs.RunSessions(eng, sched.Tag(opt.Seed, 0x0dd, uint64(it)))
 		if err != nil {
 			return nil, fmt.Errorf("lowprob: odd color-BFS: %w", err)
 		}
-		total.Accumulate(rep)
-		if ds := bfs.Detections(); len(ds) > 0 && !res.Found {
+		out := &oddOutcome{}
+		out.rep.Accumulate(rep)
+		if ds := bfs.Detections(); len(ds) > 0 {
 			witness, err := bfs.Witness(ds[0])
 			if err != nil {
 				return nil, fmt.Errorf("lowprob: odd witness: %w", err)
@@ -194,13 +200,27 @@ func DetectOdd(g *graph.Graph, k int, opt OddOptions) (*OddResult, error) {
 			if err := graph.IsSimpleCycle(g, witness, L); err != nil {
 				return nil, fmt.Errorf("lowprob: odd invalid witness: %w", err)
 			}
+			out.found = true
+			out.witness = witness
+			out.detector = ds[0].Node
+		}
+		return out, nil
+	}
+	res := &OddResult{}
+	total := &congest.Report{}
+	fold := func(it int, out *oddOutcome) bool {
+		res.IterationsRun = it + 1
+		total.Accumulate(&out.rep)
+		if out.found && !res.Found {
 			res.Found = true
-			res.Witness = witness
-			res.Detector = ds[0].Node
+			res.Witness = out.witness
+			res.Detector = out.detector
 		}
-		if res.Found && !opt.KeepGoing {
-			break
-		}
+		return res.Found && !opt.KeepGoing
+	}
+	runner := sched.TrialRunner{Workers: opt.Parallel}
+	if _, err := sched.Run(runner, iterations, trial, fold); err != nil {
+		return nil, err
 	}
 	res.Rounds = total.Rounds
 	res.Messages = total.Messages

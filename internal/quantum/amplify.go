@@ -26,6 +26,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/sched"
 )
 
 // Ledger itemizes the round accounting of one amplified execution.
@@ -54,7 +55,10 @@ type Ledger struct {
 
 // Attempt runs one full execution of the base algorithm A (index `i` for
 // seed derivation) and reports whether it rejected, the witness it can
-// produce, and the CONGEST rounds it consumed.
+// produce, and the CONGEST rounds it consumed. Attempts must be
+// independent (all randomness derived from `i`): with
+// AmplifyOptions.Parallel > 1 they run concurrently on the shared trial
+// scheduler.
 type Attempt func(i int) (found bool, witness []graph.NodeID, rounds int, err error)
 
 // AmplifyOptions parameterizes AmplifyMonteCarlo.
@@ -77,6 +81,11 @@ type AmplifyOptions struct {
 	// can only cause missed detections (never false positives), and the
 	// quantum charge is unaffected.
 	MaxSims int
+	// Parallel is the number of Setup simulations in flight (0/1
+	// sequential, negative GOMAXPROCS). The ledger and the outcome are
+	// deterministic regardless: they aggregate the sequential prefix of
+	// attempts up to and including the first success.
+	Parallel int
 }
 
 // AmplifyResult is the outcome of one amplified execution.
@@ -122,22 +131,36 @@ func AmplifyMonteCarlo(attempt Attempt, opt AmplifyOptions) (*AmplifyResult, err
 	if opt.MaxSims > 0 && opt.MaxSims < sims {
 		sims = opt.MaxSims
 	}
+	type attemptOutcome struct {
+		found   bool
+		witness []graph.NodeID
+		rounds  int
+	}
 	maxAttemptRounds := 0
-	for i := 0; i < sims; i++ {
-		found, witness, rounds, err := attempt(i)
-		if err != nil {
-			return nil, fmt.Errorf("quantum: attempt %d: %w", i, err)
-		}
-		led.ClassicalSims++
-		led.SimRounds += rounds
-		if rounds > maxAttemptRounds {
-			maxAttemptRounds = rounds
-		}
-		if found {
-			res.Found = true
-			res.Witness = witness
-			break
-		}
+	runner := sched.TrialRunner{Workers: opt.Parallel}
+	_, err := sched.Run(runner, sims,
+		func(i int) (attemptOutcome, error) {
+			found, witness, rounds, err := attempt(i)
+			if err != nil {
+				return attemptOutcome{}, fmt.Errorf("quantum: attempt %d: %w", i, err)
+			}
+			return attemptOutcome{found: found, witness: witness, rounds: rounds}, nil
+		},
+		func(i int, a attemptOutcome) bool {
+			led.ClassicalSims++
+			led.SimRounds += a.rounds
+			if a.rounds > maxAttemptRounds {
+				maxAttemptRounds = a.rounds
+			}
+			if a.found {
+				res.Found = true
+				res.Witness = a.witness
+				return true
+			}
+			return false
+		})
+	if err != nil {
+		return nil, err
 	}
 	led.SetupRounds = float64(maxAttemptRounds + opt.ElectRounds + opt.CastRounds)
 	led.QuantumRounds = led.Repetitions * led.GroverIterations *

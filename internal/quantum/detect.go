@@ -38,6 +38,10 @@ type Options struct {
 	EpsFn   func(n int) (float64, error)
 	Seed    uint64
 	Workers int
+	// Parallel is the number of Setup simulations amplified concurrently
+	// per component (0/1 sequential, negative GOMAXPROCS); see
+	// AmplifyOptions.Parallel.
+	Parallel int
 }
 
 // Result reports a quantum detection run.
@@ -280,6 +284,7 @@ func amplifyComponent(comp decomp.Component, pipe pipeline, opt Options, salt ui
 		CastRounds:  repConv.Rounds,
 		Diameter:    diameter,
 		MaxSims:     opt.MaxSims,
+		Parallel:    opt.Parallel,
 	})
 	if err != nil {
 		return Ledger{}, false, nil, err
