@@ -138,6 +138,29 @@ func (t *treeProbe) MaxDepth() int32 {
 	return best
 }
 
+// BenchmarkDetectEvenCycle is the end-to-end detector benchmark: a full
+// Algorithm 1 run (set construction + K colorings × three color-BFS calls)
+// on a planted instance. It is the headline number of the perf trajectory
+// recorded in BENCH_*.json; the scenarios are bench.DetectScenarios, the
+// same pinned table `cmd/benchtab -json` measures.
+func BenchmarkDetectEvenCycle(b *testing.B) {
+	for _, sc := range bench.DetectScenarios {
+		b.Run(sc.Name, func(b *testing.B) {
+			g, err := sc.Graph()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sc.Run(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkColorBFS measures one full color-BFS call (the paper's inner
 // loop) on a planted instance.
 func BenchmarkColorBFS(b *testing.B) {

@@ -5,11 +5,19 @@
 // Usage:
 //
 //	benchtab [-quick] [-seed N] [-csv] [-out FILE] [-workers W] [-parallel P] [E1,E3,... | all]
+//	benchtab -json [-label L] [-baseline BENCH_x.json] [-quick] [-out BENCH_y.json]
 //
 // -workers sets the per-session goroutine pool of the CONGEST simulator;
 // -parallel sets how many independent detection trials each sweep point
 // runs concurrently on the shared trial scheduler (internal/sched). Both
 // leave every table byte-identical to the sequential run.
+//
+// -json switches to the perf-trajectory mode: instead of experiment
+// tables, the fixed scenario suite of internal/bench (mirroring the root
+// package's BenchmarkDetectEvenCycle) is measured for wall time and
+// allocations and emitted as JSON. -baseline embeds a previous record so
+// the written file carries its own comparison point; see the README's
+// Performance section for the recording workflow.
 package main
 
 import (
@@ -38,6 +46,10 @@ func run() error {
 	workers := flag.Int("workers", 0, "simulator goroutine pool size (0 = GOMAXPROCS)")
 	parallel := flag.Int("parallel", 1,
 		"independent detection trials in flight per sweep point (0 = GOMAXPROCS, 1 = sequential); tables are identical either way")
+	jsonMode := flag.Bool("json", false,
+		"emit the perf-trajectory JSON (BENCH_*.json) instead of experiment tables; the perf workloads are pinned, so -seed/-workers/-parallel and experiment ids do not apply")
+	label := flag.String("label", "current", "label recorded in the perf JSON (-json only)")
+	baselineFile := flag.String("baseline", "", "previous BENCH_*.json to embed as the comparison baseline (-json only)")
 	flag.Parse()
 
 	ids := flag.Args()
@@ -58,6 +70,33 @@ func run() error {
 		}
 		defer file.Close()
 		w = file
+	}
+
+	if *jsonMode {
+		if len(flag.Args()) > 0 {
+			return fmt.Errorf("-json measures the pinned perf suite; experiment ids %v do not apply", flag.Args())
+		}
+		if *csv {
+			return fmt.Errorf("-json and -csv are mutually exclusive")
+		}
+		rec, err := bench.RunPerf(*quick, *label)
+		if err != nil {
+			return err
+		}
+		if *baselineFile != "" {
+			f, err := os.Open(*baselineFile)
+			if err != nil {
+				return err
+			}
+			base, err := bench.ReadPerfRecord(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			base.Baseline = nil // keep one level of history per record
+			rec.Baseline = base
+		}
+		return rec.WriteJSON(w)
 	}
 
 	par := *parallel

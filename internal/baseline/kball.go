@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/congest"
 	"repro/internal/graph"
+	"repro/internal/idset"
 )
 
 const kindEdge uint8 = 20 // an edge announcement (A = packed endpoints, B = TTL)
@@ -36,9 +37,14 @@ type queuedEdge struct {
 // an edge is not necessarily via the fewest hops; a node therefore tracks
 // the best TTL it has seen per edge and re-relays when a later arrival
 // improves it (otherwise far corners of the ball would be missed).
+//
+// The per-node edge → best-TTL sets use the same flat stamp-guarded
+// representation as the color-BFS identifier sets (internal/idset): the
+// ball sets are the dominant allocation of the deterministic baseline, and
+// unlike Go maps they can be upserted with zero steady-state allocations.
 type kballProto struct {
-	ttl0  int32              // initial TTL: k-1 hops of propagation
-	known []map[uint64]int32 // edge → best TTL seen
+	ttl0  int32        // initial TTL: k-1 hops of propagation
+	known *idset.Store // per-node edge → best TTL seen
 	queue [][]queuedEdge
 	qIdx  []int
 }
@@ -54,15 +60,14 @@ func edgeKey(a, b graph.NodeID) uint64 {
 
 func (p *kballProto) Init(rt *congest.Runtime) {
 	n := rt.N()
-	p.known = make([]map[uint64]int32, n)
+	p.known = idset.New(n)
 	p.queue = make([][]queuedEdge, n)
 	p.qIdx = make([]int, n)
 	for u := 0; u < n; u++ {
 		v := graph.NodeID(u)
-		p.known[v] = make(map[uint64]int32, rt.Degree(v))
 		for _, w := range rt.Neighbors(v) {
 			key := edgeKey(v, w)
-			p.known[v][key] = p.ttl0
+			p.known.Put(v, key, p.ttl0)
 			if p.ttl0 > 0 {
 				p.queue[v] = append(p.queue[v], queuedEdge{key: key, ttl: p.ttl0 - 1})
 			}
@@ -79,10 +84,10 @@ func (p *kballProto) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, inb
 			continue
 		}
 		key, ttl := m.A, int32(m.B)
-		if best, seen := p.known[u][key]; seen && best >= ttl {
+		if best, seen := p.known.Get(u, key); seen && best >= ttl {
 			continue
 		}
-		p.known[u][key] = ttl
+		p.known.Put(u, key, ttl)
 		if ttl > 0 {
 			p.queue[u] = append(p.queue[u], queuedEdge{key: key, ttl: ttl - 1})
 		}
@@ -99,8 +104,15 @@ func (p *kballProto) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, inb
 	}
 }
 
-// ball returns the learned edge set of node u (tests only).
-func (p *kballProto) ball(u graph.NodeID) map[uint64]int32 { return p.known[u] }
+// ball returns the learned edge set of node u as a map (tests only).
+func (p *kballProto) ball(u graph.NodeID) map[uint64]int32 {
+	out := make(map[uint64]int32, p.known.Len(u))
+	for _, key := range p.known.AppendIDs(u, nil) {
+		ttl, _ := p.known.Get(u, key)
+		out[key] = ttl
+	}
+	return out
+}
 
 // DetectKBall is a deterministic C_{2k} detector in the spirit of
 // Korhonen–Rybicki: every node floods its incident edges for k-1 relay
@@ -126,11 +138,7 @@ func DetectKBall(g *graph.Graph, k int, seed uint64, workers int) (*KBallResult,
 		return nil, fmt.Errorf("baseline: k-ball flood: %w", err)
 	}
 	res := &KBallResult{Rounds: rep.Rounds, Messages: rep.Messages}
-	for _, set := range proto.known {
-		if len(set) > res.MaxBallEdges {
-			res.MaxBallEdges = len(set)
-		}
-	}
+	res.MaxBallEdges = proto.known.MaxLen()
 	if cyc := graph.FindCycleLen(g, 2*k); cyc != nil {
 		res.Found = true
 		res.Witness = cyc

@@ -1,0 +1,232 @@
+package bench
+
+// The perf trajectory: a fixed set of end-to-end scenarios measured for
+// wall time and allocations, serialized as JSON (BENCH_<pr>.json at the
+// repository root). Each PR that touches performance re-runs the suite via
+// `benchtab -json` and links the previous record with -baseline, so
+// regressions are visible as a file diff rather than folklore. The
+// scenarios mirror the root-package benchmarks (BenchmarkDetectEvenCycle,
+// BenchmarkColorBFS) so `go test -bench` and the JSON stay comparable.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// PerfResult is one measured scenario.
+type PerfResult struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Domain cost of one op (identical across reruns for a fixed seed).
+	Rounds   int   `json:"rounds,omitempty"`
+	Messages int64 `json:"messages,omitempty"`
+}
+
+// PerfRecord is the serialized trajectory entry.
+type PerfRecord struct {
+	Schema    string       `json:"schema"`
+	Label     string       `json:"label"`
+	Go        string       `json:"go"`
+	Quick     bool         `json:"quick,omitempty"`
+	Scenarios []PerfResult `json:"scenarios"`
+	// Baseline embeds the record this run is compared against (typically
+	// the previous PR's BENCH_*.json), so a single file carries the delta.
+	Baseline *PerfRecord `json:"baseline,omitempty"`
+}
+
+// PerfSchema identifies the JSON layout.
+const PerfSchema = "evencycle-perf/v1"
+
+// DetectScenario is one end-to-end detector workload. The instances and
+// seeds are pinned — trajectory records are only comparable across PRs if
+// every run measures the same work — so the suite deliberately takes no
+// seed/workers/parallel knobs.
+type DetectScenario struct {
+	Name      string
+	N, K      int
+	Deg       float64 // average degree of the planted-light host
+	Iters     int     // coloring iterations (KeepGoing, no early stop)
+	GraphSeed uint64
+	Seed      uint64
+}
+
+// DetectScenarios is the shared scenario table: BenchmarkDetectEvenCycle
+// in the root package and the detect-even entries of the perf JSON both
+// run exactly these.
+var DetectScenarios = []DetectScenario{
+	{Name: "n=2000/k=2", N: 2000, K: 2, Deg: 2.0, Iters: 6, GraphSeed: 11, Seed: 42},
+	{Name: "n=2000/k=3", N: 2000, K: 3, Deg: 1.5, Iters: 4, GraphSeed: 11, Seed: 42},
+}
+
+// Graph builds the scenario's instance.
+func (sc DetectScenario) Graph() (*graph.Graph, error) {
+	g, _, err := graph.PlantedLight(sc.N, 2*sc.K, sc.Deg, graph.NewRand(sc.GraphSeed))
+	return g, err
+}
+
+// Run executes one op of the scenario.
+func (sc DetectScenario) Run(g *graph.Graph) (*core.Result, error) {
+	res, err := core.DetectEvenCycle(g, sc.K, core.Options{
+		Seed: sc.Seed, MaxIterations: sc.Iters, KeepGoing: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.IterationsRun != sc.Iters {
+		return nil, fmt.Errorf("ran %d iterations, want %d", res.IterationsRun, sc.Iters)
+	}
+	return res, nil
+}
+
+type perfScenario struct {
+	name string
+	// prepare builds the instance; run executes one op and reports the
+	// domain cost (rounds, messages) of that op.
+	run func() (rounds int, messages int64, err error)
+}
+
+// measure times reps executions of run and samples the allocator before
+// and after, mirroring what testing.B reports but with a caller-chosen
+// deterministic iteration count (CI smoke uses 1).
+func measure(name string, reps int, run func() (int, int64, error)) (PerfResult, error) {
+	res := PerfResult{Name: name, Iters: reps}
+	var err error
+	if res.Rounds, res.Messages, err = run(); err != nil { // warm-up + domain cost
+		return res, fmt.Errorf("%s: %w", name, err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, _, err := run(); err != nil {
+			return res, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	res.NsPerOp = float64(elapsed.Nanoseconds()) / float64(reps)
+	res.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(reps)
+	res.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(reps)
+	return res, nil
+}
+
+func perfScenarios() ([]perfScenario, error) {
+	var scenarios []perfScenario
+	for _, sc := range DetectScenarios {
+		g, err := sc.Graph()
+		if err != nil {
+			return nil, err
+		}
+		scenarios = append(scenarios, perfScenario{"detect-even/" + sc.Name, func() (int, int64, error) {
+			res, err := sc.Run(g)
+			if err != nil {
+				return 0, 0, err
+			}
+			return res.Rounds, res.Messages, nil
+		}})
+	}
+	gBFS, cyc, err := graph.PlantedLight(5000, 4, 2.0, graph.NewRand(2))
+	if err != nil {
+		return nil, err
+	}
+	n := gBFS.NumNodes()
+	colors := make([]int8, n)
+	for i, v := range cyc {
+		colors[v] = int8(i)
+	}
+	all := make([]bool, n)
+	for i := range all {
+		all[i] = true
+	}
+	bfsEng := congest.NewEngine(congest.NewNetwork(gBFS, 3))
+	bfsPool := core.NewColorBFSPool(n)
+	gBall := graph.Gnm(400, 800, graph.NewRand(4))
+
+	return append(scenarios,
+		perfScenario{"colorbfs/n=5000/L=4", func() (int, int64, error) {
+			bfs, err := bfsPool.Acquire(core.ColorBFSSpec{
+				L: 4, Color: colors, InH: all, InX: all, Threshold: n, SeedProb: 1,
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			rep, err := bfs.Run(bfsEng)
+			if err != nil {
+				return 0, 0, err
+			}
+			if len(bfs.Detections()) == 0 {
+				return 0, 0, fmt.Errorf("planted cycle missed under perfect coloring")
+			}
+			bfsPool.Release(bfs)
+			return rep.Rounds, rep.Messages, nil
+		}},
+		perfScenario{"kball/n=400/k=3", func() (int, int64, error) {
+			res, err := baseline.DetectKBall(gBall, 3, 7, 0)
+			if err != nil {
+				return 0, 0, err
+			}
+			return res.Rounds, res.Messages, nil
+		}},
+	), nil
+}
+
+// RunPerf executes the perf suite. Quick mode (CI smoke) runs each
+// scenario once; the full mode averages over enough reps for stable
+// nanoseconds. The workloads themselves are pinned (see DetectScenarios),
+// so there is deliberately no seed or parallelism knob.
+func RunPerf(quick bool, label string) (*PerfRecord, error) {
+	reps := 15
+	if quick {
+		reps = 1
+	}
+	scenarios, err := perfScenarios()
+	if err != nil {
+		return nil, err
+	}
+	rec := &PerfRecord{
+		Schema: PerfSchema,
+		Label:  label,
+		Go:     runtime.Version(),
+		Quick:  quick,
+	}
+	for _, sc := range scenarios {
+		res, err := measure(sc.name, reps, sc.run)
+		if err != nil {
+			return nil, err
+		}
+		rec.Scenarios = append(rec.Scenarios, res)
+	}
+	return rec, nil
+}
+
+// ReadPerfRecord parses a BENCH_*.json record.
+func ReadPerfRecord(r io.Reader) (*PerfRecord, error) {
+	var rec PerfRecord
+	if err := json.NewDecoder(r).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("bench: parsing perf record: %w", err)
+	}
+	if rec.Schema != PerfSchema {
+		return nil, fmt.Errorf("bench: unsupported perf schema %q", rec.Schema)
+	}
+	return &rec, nil
+}
+
+// WriteJSON serializes the record (stable indentation so records diff
+// cleanly in review).
+func (rec *PerfRecord) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}

@@ -5,7 +5,7 @@ import (
 	"math/bits"
 	"math/rand/v2"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 )
@@ -142,8 +142,12 @@ type Session struct {
 	wake []int32
 
 	// Outgoing messages staged by senders during the current round.
-	// out[u] is written only by u's handler.
-	out [][]outMsg
+	// out[u] is written only by u's handler. The per-node slices are views
+	// into one flat CSR buffer sized by degree: the bandwidth constraint
+	// (one message per directed edge per round) caps len(out[u]) at deg(u),
+	// so staging never allocates.
+	out    [][]outMsg
+	outBuf []outMsg
 
 	// Flat CSR inboxes: the messages delivered to u this round are
 	// inboxBuf[inboxOff[u] : inboxOff[u]+inboxLen[u]], valid iff
@@ -162,9 +166,11 @@ type Session struct {
 	lastSent []uint64
 
 	// Per-node deterministic random streams, reseeded lazily (on first use
-	// within a run) from (network seed, node, session tag).
+	// within a run) from (network seed, node, session tag). rands[u] wraps
+	// &pcgs[u]; both live in flat arrays so creating a session costs two
+	// allocations, not one per node.
 	pcgs   []rand.PCG
-	rands  []*rand.Rand
+	rands  []rand.Rand
 	rngGen []uint64
 
 	halt atomic.Bool
@@ -193,6 +199,7 @@ func (e *Engine) newSession() *Session {
 		due:        make([]NodeID, 0, n),
 		wake:       make([]int32, n),
 		out:        make([][]outMsg, n),
+		outBuf:     make([]outMsg, e.adjOff[n]),
 		inboxOff:   make([]int32, n),
 		inboxLen:   make([]int32, n),
 		inboxFill:  make([]int32, n),
@@ -200,14 +207,15 @@ func (e *Engine) newSession() *Session {
 		recv:       make([]NodeID, 0, n),
 		lastSent:   make([]uint64, e.adjOff[n]),
 		pcgs:       make([]rand.PCG, n),
-		rands:      make([]*rand.Rand, n),
+		rands:      make([]rand.Rand, n),
 		rngGen:     make([]uint64, n),
 	}
 	for i := range s.wake {
 		s.wake[i] = -1
 	}
-	for i := range s.rands {
-		s.rands[i] = rand.New(&s.pcgs[i])
+	for u := 0; u < n; u++ {
+		s.out[u] = s.outBuf[e.adjOff[u]:e.adjOff[u]:e.adjOff[u+1]]
+		s.rands[u] = *rand.New(&s.pcgs[u])
 	}
 	return s
 }
@@ -233,7 +241,7 @@ func (rt *Session) Rand(u NodeID) *rand.Rand {
 		seed := rt.net.nodeSeed(u, rt.sess)
 		rt.pcgs[u].Seed(seed, seed^nodeSeedXor)
 	}
-	return rt.rands[u]
+	return &rt.rands[u]
 }
 
 // Send stages a message from u to its neighbor v for delivery at the start
@@ -260,9 +268,8 @@ func (rt *Session) Send(u, v NodeID, kind uint8, a, b uint64) {
 }
 
 func (rt *Session) neighborSlot(u, v NodeID) int {
-	adj := rt.net.g.Neighbors(u)
-	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
-	if i < len(adj) && adj[i] == v {
+	i, found := slices.BinarySearch(rt.net.g.Neighbors(u), v)
+	if found {
 		return i
 	}
 	return -1
@@ -530,20 +537,14 @@ func (s *Session) run(h Handler, sess uint64) (*Report, error) {
 func canonicalRejections(rejs []Rejection) []Rejection {
 	out := make([]Rejection, len(rejs))
 	copy(out, rejs)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Node != out[j].Node {
-			return out[i].Node < out[j].Node
+	slices.SortFunc(out, func(a, b Rejection) int {
+		if a.Node != b.Node {
+			return int(a.Node) - int(b.Node)
 		}
-		wi, wj := out[i].Witness, out[j].Witness
-		if len(wi) != len(wj) {
-			return len(wi) < len(wj)
+		if len(a.Witness) != len(b.Witness) {
+			return len(a.Witness) - len(b.Witness)
 		}
-		for k := range wi {
-			if wi[k] != wj[k] {
-				return wi[k] < wj[k]
-			}
-		}
-		return false
+		return slices.Compare(a.Witness, b.Witness)
 	})
 	return out
 }

@@ -96,8 +96,10 @@ func DetectBoundedCycle(g *graph.Graph, k int, opt Options) (*BoundedResult, err
 	// Pairs (2ℓ-1, 2ℓ) in increasing order: correctness for pair ℓ assumes
 	// no cycle of length ≤ 2(ℓ-1), which earlier pairs would have caught —
 	// so the pair loop stays sequential while the iterations within a pair
-	// run as independent trials on the shared scheduler.
+	// run as independent trials on the shared scheduler. One invocation
+	// pool serves every pair (the vertex count never changes).
 	runner := sched.TrialRunner{Workers: opt.Parallel}
+	pool := NewColorBFSPool(n)
 	for ell := 2; ell <= k && !res.Found; ell++ {
 		L := 2 * ell
 		calls := []struct {
@@ -114,7 +116,7 @@ func DetectBoundedCycle(g *graph.Graph, k int, opt Options) (*BoundedResult, err
 			colors := IterationColors(n, L, sched.Tag(opt.Seed, 0x5bd1e995, uint64(ell)), it)
 			out := &iterOutcome{}
 			for ci, call := range calls {
-				bfs, err := NewColorBFS(n, ColorBFSSpec{
+				bfs, err := pool.Acquire(ColorBFSSpec{
 					L:          L,
 					Color:      colors,
 					InH:        call.inH,
@@ -153,6 +155,9 @@ func DetectBoundedCycle(g *graph.Graph, k int, opt Options) (*BoundedResult, err
 					out.detector = d.Node
 					out.det = d
 				}
+				// Witness already extracted and verified; nothing aliases the
+				// invocation's buffers past this point.
+				pool.Release(bfs)
 			}
 			return out, nil
 		}

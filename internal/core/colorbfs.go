@@ -7,11 +7,13 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/congest"
 	"repro/internal/graph"
+	"repro/internal/idset"
 )
 
 // Message kinds used by color-BFS sessions.
@@ -57,60 +59,162 @@ type Detection struct {
 	Skip bool // true: a C_{L-1} found via the merged mode
 }
 
-// ColorBFS executes one color-BFS invocation on an engine. It is created
-// per call via NewColorBFS and is not reusable.
+// ColorBFS executes one color-BFS invocation on an engine. Instances are
+// reusable: a ColorBFSPool hands out reset instances whose identifier-set
+// tables, forwarding queues and detection buffers are retained across
+// invocations, so the steady state of a pooled instance allocates nothing
+// per invocation (see internal/idset for the set representation).
 type ColorBFS struct {
 	spec ColorBFSSpec
+	n    int
 	m    int // detector color ⌊L/2⌋
 	tmax int // number of forwarding phases: max(m, L-m)
 
-	// Per-node identifier sets; maps are lazily allocated and store
-	// id → parent (the neighbor that first delivered the id), which is the
-	// information witness extraction walks.
-	asc, desc, skip []map[uint64]graph.NodeID
+	// Per-node identifier sets, storing id → parent (the neighbor that
+	// first delivered the id), which is the information witness extraction
+	// walks. Each node's set is touched only by that node's handler
+	// invocation, so the engine may run handlers in parallel without locks.
+	asc, desc, skip *idset.Store
 	ascOver         []bool
 	descOver        []bool
 
-	mu         sync.Mutex
+	// Lock-free detection recording: detAt[v] is appended to only by v's
+	// handler; RunSessions merges the per-node buffers (in ascending node
+	// order) after the engine session ends. detCount short-circuits the
+	// merge scan on the common no-detection path.
+	detAt      [][]Detection
+	detCount   atomic.Int64
 	detections []Detection
 
-	// Pipelined-mode forwarding queues.
+	// Forwarding queues, shared by the batch phases (each node transmits in
+	// exactly one phase, so a drained queue never aliases a later phase's)
+	// and by the pipelined schedule.
 	queue    [][]uint64
 	queueIdx []int
 }
 
-// NewColorBFS validates the spec and prepares an invocation for a graph on
-// n vertices.
-func NewColorBFS(n int, spec ColorBFSSpec) (*ColorBFS, error) {
+// validateSpec checks a spec against a graph on n vertices.
+func validateSpec(n int, spec ColorBFSSpec) error {
 	if spec.L < 3 {
-		return nil, fmt.Errorf("core: cycle length %d < 3", spec.L)
+		return fmt.Errorf("core: cycle length %d < 3", spec.L)
 	}
 	if len(spec.Color) != n || len(spec.InH) != n || len(spec.InX) != n {
-		return nil, fmt.Errorf("core: spec arrays must have length %d", n)
+		return fmt.Errorf("core: spec arrays must have length %d", n)
 	}
 	if spec.Threshold < 1 {
-		return nil, fmt.Errorf("core: threshold %d < 1", spec.Threshold)
+		return fmt.Errorf("core: threshold %d < 1", spec.Threshold)
 	}
 	if spec.SeedProb <= 0 || spec.SeedProb > 1 {
-		return nil, fmt.Errorf("core: seed probability %v outside (0,1]", spec.SeedProb)
+		return fmt.Errorf("core: seed probability %v outside (0,1]", spec.SeedProb)
 	}
 	if spec.DetectSkip && spec.L%2 != 0 {
-		return nil, fmt.Errorf("core: merged C_{L-1} mode requires even L, got %d", spec.L)
+		return fmt.Errorf("core: merged C_{L-1} mode requires even L, got %d", spec.L)
 	}
-	m := spec.L / 2
-	b := &ColorBFS{
-		spec: spec,
-		m:    m,
-		tmax: max(m, spec.L-m),
-		asc:  make([]map[uint64]graph.NodeID, n),
-		desc: make([]map[uint64]graph.NodeID, n),
+	return nil
+}
+
+// NewColorBFS validates the spec and prepares an invocation for a graph on
+// n vertices. Callers that execute many invocations should use a
+// ColorBFSPool instead, which reuses instances.
+func NewColorBFS(n int, spec ColorBFSSpec) (*ColorBFS, error) {
+	if err := validateSpec(n, spec); err != nil {
+		return nil, err
 	}
-	b.ascOver = make([]bool, n)
-	b.descOver = make([]bool, n)
-	if spec.DetectSkip {
-		b.skip = make([]map[uint64]graph.NodeID, n)
-	}
+	b := newColorBFS(n)
+	b.reset(spec)
 	return b, nil
+}
+
+// newColorBFS allocates the per-node state for an n-vertex graph.
+func newColorBFS(n int) *ColorBFS {
+	return &ColorBFS{
+		n:        n,
+		asc:      idset.New(n),
+		desc:     idset.New(n),
+		ascOver:  make([]bool, n),
+		descOver: make([]bool, n),
+		detAt:    make([][]Detection, n),
+		queue:    make([][]uint64, n),
+		queueIdx: make([]int, n),
+	}
+}
+
+// reset prepares a (possibly reused) instance for a fresh invocation. The
+// identifier sets are emptied by a generation bump (O(1)); the remaining
+// per-node arrays are cleared in place, retaining their capacity.
+func (b *ColorBFS) reset(spec ColorBFSSpec) {
+	b.spec = spec
+	b.m = spec.L / 2
+	b.tmax = max(b.m, spec.L-b.m)
+	b.asc.Reset(b.n)
+	b.desc.Reset(b.n)
+	// The skip store exists only once an instance has run in merged mode
+	// (every skip code path is gated on DetectSkip or a Skip detection).
+	if spec.DetectSkip && b.skip == nil {
+		b.skip = idset.New(b.n)
+	} else if b.skip != nil {
+		b.skip.Reset(b.n)
+	}
+	clear(b.ascOver)
+	clear(b.descOver)
+	if b.detCount.Load() != 0 {
+		for v := range b.detAt {
+			b.detAt[v] = b.detAt[v][:0]
+		}
+		b.detCount.Store(0)
+	}
+	b.detections = b.detections[:0]
+	for v := range b.queue {
+		b.queue[v] = b.queue[v][:0]
+	}
+	clear(b.queueIdx)
+}
+
+// ColorBFSPool hands out reusable ColorBFS instances for a fixed vertex
+// count. Acquire/Release are safe for concurrent use (the trial scheduler
+// runs many invocations in flight on one engine); a released instance must
+// no longer be read — in particular its Detections and parent pointers —
+// because the next Acquire recycles its buffers.
+type ColorBFSPool struct {
+	n    int
+	mu   sync.Mutex
+	free []*ColorBFS
+}
+
+// NewColorBFSPool returns a pool of invocations for graphs on n vertices.
+func NewColorBFSPool(n int) *ColorBFSPool {
+	return &ColorBFSPool{n: n}
+}
+
+// Acquire returns a reset instance for the spec, reusing a released one
+// when available.
+func (p *ColorBFSPool) Acquire(spec ColorBFSSpec) (*ColorBFS, error) {
+	if err := validateSpec(p.n, spec); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	var b *ColorBFS
+	if k := len(p.free); k > 0 {
+		b = p.free[k-1]
+		p.free = p.free[:k-1]
+	}
+	p.mu.Unlock()
+	if b == nil {
+		b = newColorBFS(p.n)
+	}
+	b.reset(spec)
+	return b, nil
+}
+
+// Release returns an instance to the pool. Callers that retain a detecting
+// instance (for witness notification) simply skip the Release.
+func (p *ColorBFSPool) Release(b *ColorBFS) {
+	if b == nil || b.n != p.n {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, b)
+	p.mu.Unlock()
 }
 
 // Role predicates. Colors: 0 seeds; 1..m-1 ascending forwarders; m
@@ -175,30 +279,25 @@ func (b *ColorBFS) insertAsc(v graph.NodeID, c int8, id uint64, from graph.NodeI
 	if b.ascOver[v] {
 		return
 	}
-	set := b.asc[v]
-	if set == nil {
-		set = make(map[uint64]graph.NodeID, 4)
-		b.asc[v] = set
-	}
-	if _, dup := set[id]; dup {
+	if _, dup := b.asc.Get(v, id); dup {
 		return
 	}
 	// The forwarding threshold τ applies to forwarders: a set that would
 	// exceed τ is discarded entirely (Instruction 19 of Algorithm 1).
 	// In skip mode the color-(m-1) detectors are also forwarders, so their
 	// ascending set obeys the same rule.
-	if b.isAscForwarder(c) && len(set) >= b.spec.Threshold {
+	if b.isAscForwarder(c) && b.asc.Len(v) >= b.spec.Threshold {
 		b.ascOver[v] = true
 		return
 	}
-	set[id] = from
+	b.asc.Insert(v, id, from)
 	if int(c) == b.m {
-		if _, hit := b.descSet(v)[id]; hit {
+		if _, hit := b.desc.Get(v, id); hit {
 			b.record(Detection{Node: v, Seed: id})
 		}
 	}
 	if b.spec.DetectSkip && int(c) == b.m-1 {
-		if _, hit := b.skipSet(v)[id]; hit {
+		if _, hit := b.skip.Get(v, id); hit {
 			b.record(Detection{Node: v, Seed: id, Skip: true})
 		}
 	}
@@ -208,51 +307,38 @@ func (b *ColorBFS) insertDesc(v graph.NodeID, c int8, id uint64, from graph.Node
 	if b.descOver[v] {
 		return
 	}
-	set := b.desc[v]
-	if set == nil {
-		set = make(map[uint64]graph.NodeID, 4)
-		b.desc[v] = set
-	}
-	if _, dup := set[id]; dup {
+	if _, dup := b.desc.Get(v, id); dup {
 		return
 	}
-	if b.isDescForwarder(c) && len(set) >= b.spec.Threshold {
+	if b.isDescForwarder(c) && b.desc.Len(v) >= b.spec.Threshold {
 		b.descOver[v] = true
 		return
 	}
-	set[id] = from
+	b.desc.Insert(v, id, from)
 	if int(c) == b.m {
-		if _, hit := b.ascSet(v)[id]; hit {
+		if _, hit := b.asc.Get(v, id); hit {
 			b.record(Detection{Node: v, Seed: id})
 		}
 	}
 }
 
 func (b *ColorBFS) insertSkip(v graph.NodeID, id uint64, from graph.NodeID) {
-	set := b.skip[v]
-	if set == nil {
-		set = make(map[uint64]graph.NodeID, 4)
-		b.skip[v] = set
-	}
-	if _, dup := set[id]; dup {
+	if !b.skip.Insert(v, id, from) {
 		return
 	}
-	set[id] = from
 	if !b.ascOver[v] {
-		if _, hit := b.ascSet(v)[id]; hit {
+		if _, hit := b.asc.Get(v, id); hit {
 			b.record(Detection{Node: v, Seed: id, Skip: true})
 		}
 	}
 }
 
-func (b *ColorBFS) ascSet(v graph.NodeID) map[uint64]graph.NodeID  { return b.asc[v] }
-func (b *ColorBFS) descSet(v graph.NodeID) map[uint64]graph.NodeID { return b.desc[v] }
-func (b *ColorBFS) skipSet(v graph.NodeID) map[uint64]graph.NodeID { return b.skip[v] }
-
+// record stores a detection at its node's buffer. Node v's buffer is only
+// written by v's handler invocation, so no lock is needed; the buffers are
+// merged into a canonical order after the session ends.
 func (b *ColorBFS) record(d Detection) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.detections = append(b.detections, d)
+	b.detAt[d.Node] = append(b.detAt[d.Node], d)
+	b.detCount.Add(1)
 }
 
 // Detections returns the identifier collisions found by the run.
@@ -262,16 +348,7 @@ func (b *ColorBFS) Detections() []Detection { return b.detections }
 // single node on either side — the congestion quantity that the paper's
 // threshold τ bounds for forwarders.
 func (b *ColorBFS) MaxCongestion() int {
-	best := 0
-	for v := range b.asc {
-		if len(b.asc[v]) > best {
-			best = len(b.asc[v])
-		}
-		if len(b.desc[v]) > best {
-			best = len(b.desc[v])
-		}
-	}
-	return best
+	return max(b.asc.MaxLen(), b.desc.MaxLen())
 }
 
 // Overflowed reports whether any forwarder discarded its set.
@@ -315,27 +392,41 @@ func (b *ColorBFS) RunSessions(e *congest.Engine, base uint64) (*congest.Report,
 	if err != nil {
 		return nil, err
 	}
-	// Canonicalize the detection order (concurrent handler workers append
-	// detections in scheduling order): sort by node, then seed, so
-	// Detections()[0] — and hence the extracted witness — is the same for
-	// every worker count.
-	sort.Slice(b.detections, func(i, j int) bool {
-		di, dj := b.detections[i], b.detections[j]
-		if di.Node != dj.Node {
-			return di.Node < dj.Node
+	// Merge the per-node detection buffers and canonicalize their order:
+	// sort by node, then seed, so Detections()[0] — and hence the extracted
+	// witness — is the same for every worker count.
+	if b.detCount.Load() > 0 {
+		for v := range b.detAt {
+			b.detections = append(b.detections, b.detAt[v]...)
 		}
-		if di.Seed != dj.Seed {
-			return di.Seed < dj.Seed
-		}
-		return !di.Skip && dj.Skip
-	})
+		slices.SortFunc(b.detections, func(di, dj Detection) int {
+			if di.Node != dj.Node {
+				return int(di.Node) - int(dj.Node)
+			}
+			if di.Seed != dj.Seed {
+				if di.Seed < dj.Seed {
+					return -1
+				}
+				return 1
+			}
+			switch {
+			case di.Skip == dj.Skip:
+				return 0
+			case dj.Skip:
+				return -1
+			default:
+				return 1
+			}
+		})
+	}
 	return rep, nil
 }
 
 func (b *ColorBFS) runBatch(e *congest.Engine, base uint64) (*congest.Report, error) {
 	total := &congest.Report{}
+	ph := &batchPhase{bfs: b}
 	for phase := 1; phase <= b.tmax; phase++ {
-		ph := &batchPhase{bfs: b, phase: phase}
+		ph.phase = phase
 		rep, err := e.RunSession(ph, base+uint64(phase-1))
 		if err != nil {
 			return nil, fmt.Errorf("core: color-BFS phase %d: %w", phase, err)
@@ -347,13 +438,12 @@ func (b *ColorBFS) runBatch(e *congest.Engine, base uint64) (*congest.Report, er
 
 // batchPhase is the engine handler for a single batch phase: the phase's
 // senders transmit their identifier sets one per round; receivers
-// accumulate.
+// accumulate. The forwarding queues live on the ColorBFS and are reused
+// across phases (a node transmits in exactly one phase, so queues drained
+// by earlier phases stay inert).
 type batchPhase struct {
 	bfs   *ColorBFS
 	phase int
-
-	queue    [][]uint64
-	queueIdx []int
 }
 
 var _ congest.Handler = (*batchPhase)(nil)
@@ -361,8 +451,6 @@ var _ congest.Handler = (*batchPhase)(nil)
 func (p *batchPhase) Init(rt *congest.Runtime) {
 	b := p.bfs
 	n := rt.N()
-	p.queue = make([][]uint64, n)
-	p.queueIdx = make([]int, n)
 	for u := 0; u < n; u++ {
 		v := graph.NodeID(u)
 		if !b.spec.InH[v] {
@@ -372,7 +460,6 @@ func (p *batchPhase) Init(rt *congest.Runtime) {
 		if b.sendPhase(c) != p.phase {
 			continue
 		}
-		var ids []uint64
 		switch {
 		case c == 0:
 			if !b.spec.InX[v] {
@@ -382,19 +469,19 @@ func (p *batchPhase) Init(rt *congest.Runtime) {
 			if b.spec.SeedProb < 1 && rt.Rand(v).Float64() >= b.spec.SeedProb {
 				continue
 			}
-			ids = []uint64{uint64(v)}
+			b.queue[v] = append(b.queue[v][:0], uint64(v))
 		case b.isAscForwarder(c):
-			if b.ascOver[v] || len(b.asc[v]) == 0 {
+			if b.ascOver[v] || b.asc.Len(v) == 0 {
 				continue
 			}
-			ids = sortedIDs(b.asc[v])
+			b.fillQueueSorted(b.asc, v)
 		default: // descending forwarder
-			if b.descOver[v] || len(b.desc[v]) == 0 {
+			if b.descOver[v] || b.desc.Len(v) == 0 {
 				continue
 			}
-			ids = sortedIDs(b.desc[v])
+			b.fillQueueSorted(b.desc, v)
 		}
-		p.queue[v] = ids
+		b.queueIdx[v] = 0
 		rt.WakeAt(v, 0)
 	}
 }
@@ -405,10 +492,10 @@ func (p *batchPhase) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, inb
 	for _, m := range inbox {
 		b.accept(u, c, m)
 	}
-	q := p.queue[u]
-	if idx := p.queueIdx[u]; idx < len(q) {
+	q := b.queue[u]
+	if idx := b.queueIdx[u]; idx < len(q) {
 		id := q[idx]
-		p.queueIdx[u]++
+		b.queueIdx[u]++
 		kind, payload := kindFwd, uint64(c)
 		if c == 0 {
 			kind, payload = kindSeed, 0
@@ -418,19 +505,18 @@ func (p *batchPhase) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, inb
 		for _, w := range rt.Neighbors(u) {
 			rt.Send(u, w, kind, id, payload)
 		}
-		if p.queueIdx[u] < len(q) {
+		if b.queueIdx[u] < len(q) {
 			rt.WakeAt(u, r+1)
 		}
 	}
 }
 
-func sortedIDs(set map[uint64]graph.NodeID) []uint64 {
-	ids := make([]uint64, 0, len(set))
-	for id := range set {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+// fillQueueSorted loads node v's forwarding queue with its identifier set
+// in ascending order, reusing the queue's backing array.
+func (b *ColorBFS) fillQueueSorted(set *idset.Store, v graph.NodeID) {
+	ids := set.AppendIDs(v, b.queue[v][:0])
+	slices.Sort(ids)
+	b.queue[v] = ids
 }
 
 // runPipelined executes the pipelined schedule: one engine session,
@@ -439,9 +525,6 @@ func sortedIDs(set map[uint64]graph.NodeID) []uint64 {
 // already relayed still witness well-colored paths, so one-sided
 // correctness is preserved — this is ablation A1 of DESIGN.md).
 func (b *ColorBFS) runPipelined(e *congest.Engine, base uint64) (*congest.Report, error) {
-	n := e.Network().NumNodes()
-	b.queue = make([][]uint64, n)
-	b.queueIdx = make([]int, n)
 	rep, err := e.RunSession(&pipelinedRun{bfs: b}, base)
 	if err != nil {
 		return nil, fmt.Errorf("core: pipelined color-BFS: %w", err)
@@ -465,7 +548,7 @@ func (p *pipelinedRun) Init(rt *congest.Runtime) {
 		if b.spec.SeedProb < 1 && rt.Rand(v).Float64() >= b.spec.SeedProb {
 			continue
 		}
-		b.queue[v] = []uint64{uint64(v)}
+		b.queue[v] = append(b.queue[v][:0], uint64(v))
 		rt.WakeAt(v, 0)
 	}
 }
@@ -485,7 +568,8 @@ func (p *pipelinedRun) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, i
 		}
 	}
 	if p.overflowed(u, c) {
-		b.queue[u] = nil
+		b.queue[u] = b.queue[u][:0]
+		b.queueIdx[u] = 0
 		return
 	}
 	q := b.queue[u]
@@ -509,9 +593,9 @@ func (p *pipelinedRun) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, i
 
 func (p *pipelinedRun) setSize(u graph.NodeID, c int8) int {
 	if p.bfs.isAscForwarder(c) {
-		return len(p.bfs.asc[u])
+		return p.bfs.asc.Len(u)
 	}
-	return len(p.bfs.desc[u])
+	return p.bfs.desc.Len(u)
 }
 
 func (p *pipelinedRun) overflowed(u graph.NodeID, c int8) bool {

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+// TestColorBFSPooledSteadyStateAllocs pins the allocation behavior the
+// pooled flat-set layer exists to provide: once a pooled invocation has
+// warmed up its tables and queues on a graph, further acquire/run/release
+// cycles allocate only the per-session constants of the engine (reports
+// and handler headers), independent of n or the identifier traffic.
+func TestColorBFSPooledSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	g, cyc, err := graph.PlantedLight(600, 6, 2.0, graph.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	colors := perfectColoring(n, cyc)
+	all := allTrue(n)
+	eng := congest.NewEngine(congest.NewNetwork(g, 9))
+	pool := NewColorBFSPool(n)
+	for _, mode := range []struct {
+		name      string
+		pipelined bool
+		budget    float64
+	}{
+		// Batch runs tmax engine sessions (one *Report each); pipelined one.
+		{"batch", false, 15},
+		{"pipelined", true, 10},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			spec := ColorBFSSpec{
+				L: 6, Color: colors, InH: all, InX: all,
+				Threshold: n, SeedProb: 1, Pipelined: mode.pipelined,
+			}
+			run := func() {
+				bfs, err := pool.Acquire(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := bfs.Run(eng); err != nil {
+					t.Fatal(err)
+				}
+				if len(bfs.Detections()) == 0 {
+					t.Fatal("planted cycle missed under perfect coloring")
+				}
+				pool.Release(bfs)
+			}
+			for i := 0; i < 3; i++ {
+				run() // warm up table/queue capacities and the session pool
+			}
+			avg := testing.AllocsPerRun(30, run)
+			if avg > mode.budget {
+				t.Fatalf("pooled steady state allocates %.1f allocs/run, budget %.0f", avg, mode.budget)
+			}
+			t.Logf("steady state: %.1f allocs/run", avg)
+		})
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -304,7 +304,7 @@ func (sp *sparsifier) processNode(v graph.NodeID, i int) {
 			out[id] = struct{}{} // first clause of Eq. 8
 		}
 	}
-	sort.Slice(level2q, func(a, b int) bool { return level2q[a] < level2q[b] })
+	slices.Sort(level2q)
 
 	levels := make([][]int32, 2*q+1)
 	levels[2*q] = level2q

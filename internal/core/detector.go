@@ -209,11 +209,15 @@ func runAlgorithm1Capturing(g *graph.Graph, params Params, opt Options) (*Result
 	// scheduler. Each trial runs the three color-BFS calls of one coloring
 	// under explicit session tags; the fold below aggregates the
 	// deterministic prefix, so the result is the same for every Parallel.
+	// Invocations are pooled: every trial reuses the identifier-set tables
+	// of earlier ones, so the 3×K color-BFS calls allocate almost nothing
+	// after the first coloring.
+	pool := NewColorBFSPool(n)
 	trial := func(it int) (*iterOutcome, error) {
 		colors := IterationColors(n, L, opt.Seed, it)
 		out := &iterOutcome{}
 		for ci, call := range calls {
-			bfs, err := NewColorBFS(n, ColorBFSSpec{
+			bfs, err := pool.Acquire(ColorBFSSpec{
 				L:         L,
 				Color:     colors,
 				InH:       call.inH,
@@ -249,6 +253,12 @@ func runAlgorithm1Capturing(g *graph.Graph, params Params, opt Options) (*Result
 				out.bfs = bfs
 				out.det = d
 			}
+			if out.bfs != bfs {
+				// The detecting invocation is retained (witness notification
+				// walks its parent pointers after the loop); everything else
+				// goes back to the pool.
+				pool.Release(bfs)
+			}
 		}
 		return out, nil
 	}
@@ -265,6 +275,11 @@ func runAlgorithm1Capturing(g *graph.Graph, params Params, opt Options) (*Result
 			res.Detector = out.detector
 			detBFS = out.bfs
 			det = out.det
+		} else if out.bfs != nil {
+			// A detecting trial that lost the fold (KeepGoing, or a later
+			// index than the first winner) no longer needs its retained
+			// invocation; only detBFS must stay readable for notification.
+			pool.Release(out.bfs)
 		}
 		return res.Found && !opt.KeepGoing
 	}

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"repro/internal/congest"
@@ -150,11 +150,12 @@ func ListEvenCycles(g *graph.Graph, k int, opt Options) (*ListResult, error) {
 		witnesses [][]graph.NodeID
 	}
 	seen := make(map[string]struct{})
+	pool := NewColorBFSPool(n)
 	trial := func(it int) (*listOutcome, error) {
 		colors := IterationColors(n, L, opt.Seed, it)
 		out := &listOutcome{}
 		for ci, call := range calls {
-			bfs, err := NewColorBFS(n, ColorBFSSpec{
+			bfs, err := pool.Acquire(ColorBFSSpec{
 				L:         L,
 				Color:     colors,
 				InH:       call.inH,
@@ -181,6 +182,7 @@ func ListEvenCycles(g *graph.Graph, k int, opt Options) (*ListResult, error) {
 				}
 				out.witnesses = append(out.witnesses, witness)
 			}
+			pool.Release(bfs)
 		}
 		return out, nil
 	}
@@ -201,9 +203,7 @@ func ListEvenCycles(g *graph.Graph, k int, opt Options) (*ListResult, error) {
 	if _, err := sched.Run(runner, params.Iterations, trial, fold); err != nil {
 		return nil, err
 	}
-	sort.Slice(res.Cycles, func(i, j int) bool {
-		return lessSeq(res.Cycles[i], res.Cycles[j])
-	})
+	slices.SortFunc(res.Cycles, slices.Compare)
 	res.Rounds = total.Rounds
 	res.Messages = total.Messages
 	return res, nil

@@ -43,16 +43,16 @@ func (w *WitnessNotify) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, 
 	if r == 0 && u == w.Det.Node {
 		w.Member[u] = true
 		// Ascending chain.
-		if p, ok := b.asc[u][id]; ok {
+		if p, ok := b.asc.Get(u, id); ok {
 			rt.Send(u, p, kindNotify, id, 0)
 		}
 		// Descending chain: for a skip detection the first hop is the
 		// skip relay, which then continues through its descending map.
 		if w.Det.Skip {
-			if p, ok := b.skip[u][id]; ok {
+			if p, ok := b.skip.Get(u, id); ok {
 				rt.Send(u, p, kindNotify, id, 1)
 			}
-		} else if p, ok := b.desc[u][id]; ok {
+		} else if p, ok := b.desc.Get(u, id); ok {
 			rt.Send(u, p, kindNotify, id, 1)
 		}
 		return
@@ -68,9 +68,9 @@ func (w *WitnessNotify) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, 
 		var parent graph.NodeID
 		var ok bool
 		if m.B == 0 {
-			parent, ok = b.asc[u][id]
+			parent, ok = b.asc.Get(u, id)
 		} else {
-			parent, ok = b.desc[u][id]
+			parent, ok = b.desc.Get(u, id)
 		}
 		if ok {
 			rt.Send(u, parent, kindNotify, id, m.B)

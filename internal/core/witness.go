@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/idset"
 )
 
 // Witness reconstructs the cycle certified by a detection, walking the
@@ -33,10 +34,10 @@ func (b *ColorBFS) Witness(d Detection) ([]graph.NodeID, error) {
 
 	// Descending side: detector → colors m+1, …, L-1 → seed (for a skip
 	// detection the first hop uses the skip pointer to the (m+1)-colored
-	// relay, then continues through the descending maps).
+	// relay, then continues through the descending sets).
 	var descPath []graph.NodeID
 	if d.Skip {
-		relay, ok := b.skip[d.Node][d.Seed]
+		relay, ok := b.skip.Get(d.Node, d.Seed)
 		if !ok {
 			return nil, fmt.Errorf("core: skip pointer missing at node %d", d.Node)
 		}
@@ -72,11 +73,11 @@ func (b *ColorBFS) Witness(d Detection) ([]graph.NodeID, error) {
 // walk follows parent pointers for `steps` hops starting one hop below
 // `from`, returning the visited vertices (excluding `from`, ending at what
 // should be the seed).
-func (b *ColorBFS) walk(maps []map[uint64]graph.NodeID, from graph.NodeID, id uint64, steps int, seed graph.NodeID) ([]graph.NodeID, error) {
+func (b *ColorBFS) walk(sets *idset.Store, from graph.NodeID, id uint64, steps int, seed graph.NodeID) ([]graph.NodeID, error) {
 	out := make([]graph.NodeID, 0, steps)
 	cur := from
 	for i := 0; i < steps; i++ {
-		next, ok := maps[cur][id]
+		next, ok := sets.Get(cur, id)
 		if !ok {
 			return nil, fmt.Errorf("parent pointer missing at node %d (hop %d)", cur, i)
 		}

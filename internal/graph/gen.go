@@ -19,7 +19,7 @@ func Gnm(n, m int, rng *rand.Rand) *Graph {
 	if m > maxEdges {
 		m = maxEdges
 	}
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, m)
 	seen := make(map[uint64]struct{}, m)
 	for len(seen) < m {
 		u := rng.Int32N(int32(n))
@@ -43,7 +43,7 @@ func Gnm(n, m int, rng *rand.Rand) *Graph {
 // Gnp samples an Erdős–Rényi G(n,p) graph using geometric skipping, so the
 // cost is proportional to the number of edges rather than n².
 func Gnp(n int, p float64, rng *rand.Rand) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, int(p*float64(n)*float64(n-1)/2))
 	if p <= 0 {
 		return b.Build()
 	}
@@ -125,7 +125,7 @@ func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
 		if !ok {
 			continue
 		}
-		b := NewBuilder(n)
+		b := NewBuilderCap(n, n*d/2)
 		for i := 0; i < len(stubs); i += 2 {
 			b.AddEdge(stubs[i], stubs[i+1])
 		}
@@ -136,7 +136,7 @@ func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
 
 // Cycle returns the cycle C_n.
 func Cycle(n int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n)
 	for i := 0; i < n; i++ {
 		b.AddEdge(int32(i), int32((i+1)%n))
 	}
@@ -145,7 +145,7 @@ func Cycle(n int) *Graph {
 
 // Path returns the path P_n on n vertices.
 func Path(n int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n-1)
 	for i := 0; i+1 < n; i++ {
 		b.AddEdge(int32(i), int32(i+1))
 	}
@@ -154,7 +154,7 @@ func Path(n int) *Graph {
 
 // Grid returns the rows×cols grid graph (girth 4 when both dims ≥ 2).
 func Grid(rows, cols int) *Graph {
-	b := NewBuilder(rows * cols)
+	b := NewBuilderCap(rows*cols, 2*rows*cols)
 	id := func(r, c int) int32 { return int32(r*cols + c) }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
@@ -173,7 +173,7 @@ func Grid(rows, cols int) *Graph {
 // girth 4 for d ≥ 2).
 func Hypercube(d int) *Graph {
 	n := 1 << d
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n*d/2)
 	for v := 0; v < n; v++ {
 		for bit := 0; bit < d; bit++ {
 			w := v ^ (1 << bit)
@@ -187,7 +187,7 @@ func Hypercube(d int) *Graph {
 
 // CompleteBipartite returns K_{a,b} (girth 4 when a,b ≥ 2).
 func CompleteBipartite(a, b int) *Graph {
-	bld := NewBuilder(a + b)
+	bld := NewBuilderCap(a+b, a*b)
 	for i := 0; i < a; i++ {
 		for j := 0; j < b; j++ {
 			bld.AddEdge(int32(i), int32(a+j))
@@ -203,7 +203,7 @@ func Theta(arms int, length int) *Graph {
 	if length < 1 || arms < 1 {
 		return NewBuilder(0).Build()
 	}
-	b := NewBuilder(2)
+	b := NewBuilderCap(2, arms*length)
 	const hubU, hubV = int32(0), int32(1)
 	next := int32(2)
 	for a := 0; a < arms; a++ {
@@ -220,7 +220,7 @@ func Theta(arms int, length int) *Graph {
 
 // Star returns the star K_{1,leaves} with the hub at vertex 0.
 func Star(leaves int) *Graph {
-	b := NewBuilder(leaves + 1)
+	b := NewBuilderCap(leaves+1, leaves)
 	for i := 1; i <= leaves; i++ {
 		b.AddEdge(0, int32(i))
 	}
@@ -230,7 +230,7 @@ func Star(leaves int) *Graph {
 // Tree samples a uniform random labelled tree on n vertices via a Prüfer
 // sequence. Trees are the canonical cycle-free instances.
 func Tree(n int, rng *rand.Rand) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n-1)
 	if n <= 1 {
 		return b.Build()
 	}
@@ -275,7 +275,7 @@ func Tree(n int, rng *rand.Rand) *Graph {
 // by g.NumNodes().
 func Union(g, h *Graph) *Graph {
 	off := int32(g.NumNodes())
-	b := NewBuilder(g.NumNodes() + h.NumNodes())
+	b := NewBuilderCap(g.NumNodes()+h.NumNodes(), g.NumEdges()+h.NumEdges())
 	for _, e := range g.Edges() {
 		b.AddEdge(e[0], e[1])
 	}

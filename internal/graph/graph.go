@@ -8,7 +8,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // NodeID identifies a vertex. Vertices are always 0..N-1.
@@ -45,9 +45,8 @@ func (g *Graph) Neighbors(v NodeID) []int32 {
 
 // HasEdge reports whether {u,v} is an edge.
 func (g *Graph) HasEdge(u, v NodeID) bool {
-	adj := g.Neighbors(u)
-	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
-	return i < len(adj) && adj[i] == v
+	_, found := slices.BinarySearch(g.Neighbors(u), v)
+	return found
 }
 
 // MaxDegree returns the maximum degree, or 0 for the empty graph.
@@ -76,14 +75,28 @@ func (g *Graph) Edges() [][2]NodeID {
 
 // Builder accumulates edges and produces a Graph. Duplicate edges and
 // self-loops are dropped. The zero value is not usable; call NewBuilder.
+// Edges are stored packed (u<<32 | v with u < v), so sorting them is a
+// plain integer sort and lexicographic edge order is key order.
 type Builder struct {
 	n     int
-	edges [][2]int32
+	edges []uint64
 }
 
 // NewBuilder returns a builder for a graph on n vertices.
 func NewBuilder(n int) *Builder {
 	return &Builder{n: n}
+}
+
+// NewBuilderCap returns a builder for a graph on n vertices with room for
+// edgeCap edges pre-allocated. Generators that know their edge count up
+// front use this to avoid append growth.
+func NewBuilderCap(n, edgeCap int) *Builder {
+	return &Builder{n: n, edges: make([]uint64, 0, max(edgeCap, 0))}
+}
+
+// Grow ensures capacity for at least extra additional edges.
+func (b *Builder) Grow(extra int) {
+	b.edges = slices.Grow(b.edges, extra)
 }
 
 // AddEdge records the undirected edge {u,v}. Self-loops are ignored.
@@ -98,7 +111,7 @@ func (b *Builder) AddEdge(u, v NodeID) {
 	if int(v) >= b.n {
 		b.n = int(v) + 1
 	}
-	b.edges = append(b.edges, [2]int32{u, v})
+	b.edges = append(b.edges, uint64(uint32(u))<<32|uint64(uint32(v)))
 }
 
 // NumNodes returns the current number of vertices.
@@ -113,25 +126,12 @@ func (b *Builder) AddNodes(n int) {
 
 // Build produces the immutable graph. The builder may be reused afterwards.
 func (b *Builder) Build() *Graph {
+	slices.Sort(b.edges)
+	b.edges = slices.Compact(b.edges)
 	deg := make([]int32, b.n+1)
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i][0] != b.edges[j][0] {
-			return b.edges[i][0] < b.edges[j][0]
-		}
-		return b.edges[i][1] < b.edges[j][1]
-	})
-	// Deduplicate in place.
-	uniq := b.edges[:0]
-	var last [2]int32 = [2]int32{-1, -1}
 	for _, e := range b.edges {
-		if e != last {
-			uniq = append(uniq, e)
-			last = e
-		}
-	}
-	for _, e := range uniq {
-		deg[e[0]+1]++
-		deg[e[1]+1]++
+		deg[int32(e>>32)+1]++
+		deg[int32(uint32(e))+1]++
 	}
 	offsets := make([]int32, b.n+1)
 	for i := 1; i <= b.n; i++ {
@@ -140,24 +140,23 @@ func (b *Builder) Build() *Graph {
 	targets := make([]int32, offsets[b.n])
 	cursor := make([]int32, b.n)
 	copy(cursor, offsets[:b.n])
-	for _, e := range uniq {
-		targets[cursor[e[0]]] = e[1]
-		cursor[e[0]]++
-		targets[cursor[e[1]]] = e[0]
-		cursor[e[1]]++
+	// Single pass over the sorted unique edge list leaves every row sorted:
+	// row w first receives its back-edges {u,w} (u < w, in ascending u —
+	// they sort before w's own block) and then its forward edges {w,v}
+	// (v > w, in ascending v), so no per-row post-sort is needed.
+	for _, e := range b.edges {
+		u, v := int32(e>>32), int32(uint32(e))
+		targets[cursor[u]] = v
+		cursor[u]++
+		targets[cursor[v]] = u
+		cursor[v]++
 	}
-	g := &Graph{offsets: offsets, targets: targets}
-	// Rows were filled in edge order; sort each row for HasEdge.
-	for v := 0; v < b.n; v++ {
-		row := g.targets[g.offsets[v]:g.offsets[v+1]]
-		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
-	}
-	return g
+	return &Graph{offsets: offsets, targets: targets}
 }
 
 // FromEdges builds a graph on n vertices from the given edge list.
 func FromEdges(n int, edges [][2]NodeID) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, len(edges))
 	for _, e := range edges {
 		b.AddEdge(e[0], e[1])
 	}

@@ -50,6 +50,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		if b == nil {
 			b = NewBuilder(a) // header: n m
+			b.Grow(c)
 			continue
 		}
 		b.AddEdge(int32(a), int32(c))

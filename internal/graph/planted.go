@@ -19,7 +19,7 @@ func PlantCycle(host *Graph, L int, rng *rand.Rand) (*Graph, []NodeID, error) {
 	for i := 0; i < L; i++ {
 		cyc[i] = NodeID(perm[i])
 	}
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, host.NumEdges()+L)
 	for _, e := range host.Edges() {
 		b.AddEdge(e[0], e[1])
 	}
@@ -55,7 +55,7 @@ func PlantedHeavy(n, L, hubDeg int, avgDeg float64, rng *rand.Rand) (*Graph, []N
 		return nil, nil, err
 	}
 	hub := cyc[0]
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, g.NumEdges()+hubDeg)
 	for _, e := range g.Edges() {
 		b.AddEdge(e[0], e[1])
 	}

@@ -17,8 +17,8 @@ func ProjectivePlaneIncidence(q int) (*Graph, error) {
 	for i, p := range pts {
 		index[p] = int32(i)
 	}
-	nPts := len(pts) // q²+q+1
-	b := NewBuilder(2 * nPts)
+	nPts := len(pts)                       // q²+q+1
+	b := NewBuilderCap(2*nPts, nPts*(q+1)) // incidence graph has (q+1) edges per line
 	// Lines have the same canonical representatives as points (duality).
 	for li, line := range pts {
 		for _, p := range linePoints(line, q) {

@@ -1,0 +1,204 @@
+// Package idset provides the pooled, allocation-free identifier-set layer
+// under the color-BFS primitive: for every node of a simulated network, a
+// small hash set mapping 64-bit identifiers to a 32-bit value (a parent
+// pointer in color-BFS, a TTL in the k-ball baseline).
+//
+// A Store holds one set per node, each backed by an open-addressing table
+// whose slots are stamp-guarded by the store's generation counter:
+// Reset(n) bumps the generation, which logically empties every set in O(1)
+// without touching the tables. Per-node tables are retained across Reset
+// calls, so a Store reused for many invocations on same-sized inputs (the
+// way core.ColorBFSPool reuses ColorBFS instances) reaches a steady state
+// in which insertions allocate nothing.
+//
+// Concurrency contract: distinct nodes' sets may be operated on
+// concurrently (the CONGEST engine runs node handlers in parallel), but a
+// single node's set must only be touched by one goroutine at a time, and
+// Reset requires exclusive access to the whole Store. This matches the
+// engine's execution model, where node u's state is only mutated from u's
+// own handler invocation.
+package idset
+
+// NodeID mirrors graph.NodeID; the package depends on nothing so the
+// substrate layers (graph, congest, core, baseline) can all use it.
+type NodeID = int32
+
+// slot is one open-addressing table entry; it is live iff gen matches the
+// store's current generation.
+type slot struct {
+	gen uint64
+	id  uint64
+	val int32
+}
+
+const minTableSize = 8 // power of two
+
+// Store is a per-node family of identifier sets. The zero value is not
+// usable; call New.
+type Store struct {
+	gen    uint64
+	tables [][]slot // per-node open-addressing tables (nil until first use)
+	lens   []int32  // per-node live counts, valid iff genOf matches gen
+	genOf  []uint64
+}
+
+// New returns a store with one empty set per node.
+func New(n int) *Store {
+	s := &Store{}
+	s.Reset(n)
+	return s
+}
+
+// Reset empties every set (O(1) via the generation stamp) and re-sizes the
+// store to n nodes. Table capacity acquired by previous generations is
+// retained, which is what makes pooled reuse allocation-free.
+func (s *Store) Reset(n int) {
+	s.gen++
+	if n != len(s.lens) {
+		s.tables = make([][]slot, n)
+		s.lens = make([]int32, n)
+		s.genOf = make([]uint64, n)
+	}
+}
+
+// NumNodes returns the number of per-node sets.
+func (s *Store) NumNodes() int { return len(s.lens) }
+
+// hash is the splitmix64 finalizer: a full-avalanche mix so that the
+// low bits used for table indexing depend on every bit of the identifier.
+func hash(id uint64) uint64 {
+	id ^= id >> 30
+	id *= 0xbf58476d1ce4e5b9
+	id ^= id >> 27
+	id *= 0x94d049bb133111eb
+	id ^= id >> 31
+	return id
+}
+
+// Len returns the size of node v's set.
+func (s *Store) Len(v NodeID) int {
+	if s.genOf[v] != s.gen {
+		return 0
+	}
+	return int(s.lens[v])
+}
+
+// MaxLen returns the largest set size across all nodes.
+func (s *Store) MaxLen() int {
+	best := int32(0)
+	for v, g := range s.genOf {
+		if g == s.gen && s.lens[v] > best {
+			best = s.lens[v]
+		}
+	}
+	return int(best)
+}
+
+// Get returns the value stored for id in node v's set.
+func (s *Store) Get(v NodeID, id uint64) (int32, bool) {
+	tbl := s.tables[v]
+	if len(tbl) == 0 || s.genOf[v] != s.gen {
+		return 0, false
+	}
+	mask := uint64(len(tbl) - 1)
+	for i := hash(id) & mask; ; i = (i + 1) & mask {
+		sl := &tbl[i]
+		if sl.gen != s.gen {
+			return 0, false
+		}
+		if sl.id == id {
+			return sl.val, true
+		}
+	}
+}
+
+// Insert adds id → val to node v's set if id is absent and reports whether
+// it inserted; an existing entry is left untouched (first-writer-wins, the
+// semantics parent pointers need).
+func (s *Store) Insert(v NodeID, id uint64, val int32) bool {
+	_, _, inserted := s.put(v, id, val, false)
+	return inserted
+}
+
+// Put adds or overwrites id → val in node v's set, returning the previous
+// value if one existed (the upsert the k-ball TTL relaxation needs).
+func (s *Store) Put(v NodeID, id uint64, val int32) (prev int32, existed bool) {
+	prev, existed, _ = s.put(v, id, val, true)
+	return prev, existed
+}
+
+func (s *Store) put(v NodeID, id uint64, val int32, overwrite bool) (prev int32, existed, inserted bool) {
+	if s.genOf[v] != s.gen {
+		s.genOf[v] = s.gen
+		s.lens[v] = 0
+	}
+	tbl := s.tables[v]
+	// Grow at ¾ load (or allocate the first table) before probing, so the
+	// probe loop below always finds a dead slot.
+	if len(tbl) == 0 || int(s.lens[v])*4 >= len(tbl)*3 {
+		tbl = s.grow(v)
+	}
+	mask := uint64(len(tbl) - 1)
+	for i := hash(id) & mask; ; i = (i + 1) & mask {
+		sl := &tbl[i]
+		if sl.gen != s.gen {
+			sl.gen = s.gen
+			sl.id = id
+			sl.val = val
+			s.lens[v]++
+			return 0, false, true
+		}
+		if sl.id == id {
+			prev = sl.val
+			if overwrite {
+				sl.val = val
+			}
+			return prev, true, false
+		}
+	}
+}
+
+// grow doubles node v's table (or installs the retained one / a fresh
+// minimum-size one) and re-inserts the live entries.
+func (s *Store) grow(v NodeID) []slot {
+	old := s.tables[v]
+	size := minTableSize
+	live := 0
+	if s.genOf[v] == s.gen {
+		live = int(s.lens[v])
+	}
+	for size <= len(old) || live*4 >= size*3 {
+		size *= 2
+	}
+	tbl := make([]slot, size)
+	mask := uint64(size - 1)
+	for oi := range old {
+		sl := &old[oi]
+		if sl.gen != s.gen {
+			continue
+		}
+		for i := hash(sl.id) & mask; ; i = (i + 1) & mask {
+			if tbl[i].gen != s.gen {
+				tbl[i] = *sl
+				break
+			}
+		}
+	}
+	s.tables[v] = tbl
+	return tbl
+}
+
+// AppendIDs appends the identifiers of node v's set to buf (in unspecified
+// but deterministic table order) and returns the extended slice. Callers
+// that need a canonical order sort the result.
+func (s *Store) AppendIDs(v NodeID, buf []uint64) []uint64 {
+	if s.genOf[v] != s.gen {
+		return buf
+	}
+	for i := range s.tables[v] {
+		if s.tables[v][i].gen == s.gen {
+			buf = append(buf, s.tables[v][i].id)
+		}
+	}
+	return buf
+}

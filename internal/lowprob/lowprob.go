@@ -173,9 +173,10 @@ func DetectOdd(g *graph.Graph, k int, opt OddOptions) (*OddResult, error) {
 		witness  []graph.NodeID
 		detector graph.NodeID
 	}
+	pool := core.NewColorBFSPool(n)
 	trial := func(it int) (*oddOutcome, error) {
 		colors := core.IterationColors(n, L, sched.Tag(opt.Seed, 0x27d4eb2f), it)
-		bfs, err := core.NewColorBFS(n, core.ColorBFSSpec{
+		bfs, err := pool.Acquire(core.ColorBFSSpec{
 			L:         L,
 			Color:     colors,
 			InH:       all,
@@ -204,6 +205,7 @@ func DetectOdd(g *graph.Graph, k int, opt OddOptions) (*OddResult, error) {
 			out.witness = witness
 			out.detector = ds[0].Node
 		}
+		pool.Release(bfs)
 		return out, nil
 	}
 	res := &OddResult{}
