@@ -5,7 +5,7 @@
 // Usage:
 //
 //	benchtab [-quick] [-seed N] [-csv] [-out FILE] [-workers W] [-parallel P] [E1,E3,... | all]
-//	benchtab -json [-label L] [-baseline BENCH_x.json] [-quick] [-out BENCH_y.json]
+//	benchtab -json [-label L] [-baseline BENCH_x.json] [-max-regression 0.10] [-quick] [-out BENCH_y.json]
 //
 // -workers sets the per-session goroutine pool of the CONGEST simulator;
 // -parallel sets how many independent detection trials each sweep point
@@ -50,6 +50,8 @@ func run() error {
 		"emit the perf-trajectory JSON (BENCH_*.json) instead of experiment tables; the perf workloads are pinned, so -seed/-workers/-parallel and experiment ids do not apply")
 	label := flag.String("label", "current", "label recorded in the perf JSON (-json only)")
 	baselineFile := flag.String("baseline", "", "previous BENCH_*.json to embed as the comparison baseline (-json only)")
+	maxRegression := flag.Float64("max-regression", 0,
+		"fail when any scenario's ns/op exceeds the -baseline value by more than this fraction, e.g. 0.10 (-json only; 0 disables)")
 	flag.Parse()
 
 	ids := flag.Args()
@@ -96,7 +98,16 @@ func run() error {
 			base.Baseline = nil // keep one level of history per record
 			rec.Baseline = base
 		}
-		return rec.WriteJSON(w)
+		if err := rec.WriteJSON(w); err != nil {
+			return err
+		}
+		if *maxRegression > 0 {
+			return rec.CheckRegression(*maxRegression)
+		}
+		return nil
+	}
+	if *maxRegression > 0 {
+		return fmt.Errorf("-max-regression applies to -json mode only")
 	}
 
 	par := *parallel

@@ -1,0 +1,200 @@
+package evencycle
+
+// Transcript-invariance pins for the sharded delivery pipeline, at the
+// detector level: every detector of the repository must produce a
+// bit-identical result fingerprint for every (Workers, Shards,
+// ParallelThreshold) engine configuration — including thresholds of 1,
+// which force the work-stealing handler pool and the sharded scatter
+// onto every round. CI runs this file under -race, so the parallel
+// paths are exercised with full instrumentation.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lowprob"
+	"repro/internal/quantum"
+)
+
+// engineCfgs spans serial, parallel-defaults, and forced-parallel with a
+// shard count different from the worker count.
+var engineCfgs = []struct {
+	name                       string
+	workers, shards, threshold int
+}{
+	{"serial", 1, 0, 0},
+	{"w2", 2, 0, 1},
+	{"w8s3", 8, 3, 1},
+}
+
+func fingerprintInvariant(t *testing.T, run func(workers, shards, threshold int) (string, error)) {
+	t.Helper()
+	base, err := run(engineCfgs[0].workers, engineCfgs[0].shards, engineCfgs[0].threshold)
+	if err != nil {
+		t.Fatalf("%s: %v", engineCfgs[0].name, err)
+	}
+	for _, cfg := range engineCfgs[1:] {
+		got, err := run(cfg.workers, cfg.shards, cfg.threshold)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		if got != base {
+			t.Fatalf("transcript fingerprint diverges at %s:\nserial: %s\n%s: %s", cfg.name, base, cfg.name, got)
+		}
+	}
+}
+
+func plantedInstance(t *testing.T, n, L int) *graph.Graph {
+	t.Helper()
+	host := graph.Gnm(n, 2*n, graph.NewRand(3))
+	g, _, err := graph.PlantCycle(host, L, graph.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDetectorTranscriptsInvariantAcrossDelivery(t *testing.T) {
+	g := plantedInstance(t, 600, 4)
+	gOdd := plantedInstance(t, 400, 5)
+
+	t.Run("even-batch", func(t *testing.T) {
+		fingerprintInvariant(t, func(w, s, p int) (string, error) {
+			res, err := core.DetectEvenCycle(g, 2, core.Options{
+				Seed: 42, MaxIterations: 4, KeepGoing: true,
+				Workers: w, Shards: s, ParallelThreshold: p,
+			})
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%+v", res), nil
+		})
+	})
+
+	t.Run("even-pipelined", func(t *testing.T) {
+		fingerprintInvariant(t, func(w, s, p int) (string, error) {
+			res, err := core.DetectEvenCycle(g, 2, core.Options{
+				Seed: 42, MaxIterations: 4, KeepGoing: true, Pipelined: true,
+				Workers: w, Shards: s, ParallelThreshold: p,
+			})
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%+v", res), nil
+		})
+	})
+
+	// Bounded detection runs color-BFS in the merged DetectSkip mode;
+	// with Pipelined it covers the DetectSkip+Pipelined combination.
+	t.Run("bounded-skip-batch", func(t *testing.T) {
+		fingerprintInvariant(t, func(w, s, p int) (string, error) {
+			res, err := core.DetectBoundedCycle(g, 2, core.Options{
+				Seed: 7, MaxIterations: 3, KeepGoing: true,
+				Workers: w, Shards: s, ParallelThreshold: p,
+			})
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%+v", res), nil
+		})
+	})
+
+	t.Run("bounded-skip-pipelined", func(t *testing.T) {
+		fingerprintInvariant(t, func(w, s, p int) (string, error) {
+			res, err := core.DetectBoundedCycle(g, 2, core.Options{
+				Seed: 7, MaxIterations: 3, KeepGoing: true, Pipelined: true,
+				Workers: w, Shards: s, ParallelThreshold: p,
+			})
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%+v", res), nil
+		})
+	})
+
+	t.Run("listing", func(t *testing.T) {
+		fingerprintInvariant(t, func(w, s, p int) (string, error) {
+			res, err := core.ListEvenCycles(g, 2, core.Options{
+				Seed: 9, MaxIterations: 3, KeepGoing: true,
+				Workers: w, Shards: s, ParallelThreshold: p,
+			})
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%+v", res), nil
+		})
+	})
+
+	t.Run("lowprob-even", func(t *testing.T) {
+		fingerprintInvariant(t, func(w, s, p int) (string, error) {
+			res, err := lowprob.Detect(g, 2, core.Options{
+				Seed: 11, MaxIterations: 40, KeepGoing: true,
+				Workers: w, Shards: s, ParallelThreshold: p,
+			})
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%+v", res), nil
+		})
+	})
+
+	t.Run("lowprob-odd", func(t *testing.T) {
+		fingerprintInvariant(t, func(w, s, p int) (string, error) {
+			res, err := lowprob.DetectOdd(gOdd, 2, lowprob.OddOptions{
+				Seed: 13, MaxIterations: 40, KeepGoing: true,
+				Workers: w, Shards: s, ParallelThreshold: p,
+			})
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%+v", res), nil
+		})
+	})
+
+	t.Run("baseline-threshold", func(t *testing.T) {
+		fingerprintInvariant(t, func(w, s, p int) (string, error) {
+			res, err := baseline.DetectLocalThreshold(g, 2, baseline.LocalThresholdOptions{
+				Seed: 17, Attempts: 20, KeepGoing: true,
+				Workers: w, Shards: s, ParallelThreshold: p,
+			})
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%+v", res), nil
+		})
+	})
+
+	// DetectKBall exposes only the worker knob; shard counts follow the
+	// worker count through the engine default.
+	t.Run("baseline-kball", func(t *testing.T) {
+		base := ""
+		for i, w := range []int{1, 2, 8} {
+			res, err := baseline.DetectKBall(g, 2, 19, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp := fmt.Sprintf("%+v", res)
+			if i == 0 {
+				base = fp
+			} else if fp != base {
+				t.Fatalf("kball diverges at workers=%d", w)
+			}
+		}
+	})
+
+	t.Run("quantum-even", func(t *testing.T) {
+		fingerprintInvariant(t, func(w, s, p int) (string, error) {
+			res, err := quantum.DetectEvenCycle(g, 2, quantum.Options{
+				Seed: 23, MaxSims: 6, AttemptIterations: 2,
+				Workers: w, Shards: s, ParallelThreshold: p,
+			})
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%+v", res), nil
+		})
+	})
+}

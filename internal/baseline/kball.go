@@ -80,10 +80,10 @@ func (p *kballProto) Init(rt *congest.Runtime) {
 
 func (p *kballProto) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, inbox []congest.Message) {
 	for _, m := range inbox {
-		if m.Kind != kindEdge {
+		if m.Kind() != kindEdge {
 			continue
 		}
-		key, ttl := m.A, int32(m.B)
+		key, ttl := m.A(), int32(m.B())
 		if best, seen := p.known.Get(u, key); seen && best >= ttl {
 			continue
 		}
@@ -95,9 +95,7 @@ func (p *kballProto) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, inb
 	if p.qIdx[u] < len(p.queue[u]) {
 		item := p.queue[u][p.qIdx[u]]
 		p.qIdx[u]++
-		for _, w := range rt.Neighbors(u) {
-			rt.Send(u, w, kindEdge, item.key, uint64(item.ttl))
-		}
+		rt.Broadcast(u, kindEdge, item.key, uint64(item.ttl))
 		if p.qIdx[u] < len(p.queue[u]) {
 			rt.WakeAt(u, r+1)
 		}

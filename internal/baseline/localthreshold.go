@@ -44,6 +44,11 @@ type LocalThresholdOptions struct {
 	FixedSource    graph.NodeID
 	Seed           uint64
 	Workers        int
+	// Shards / ParallelThreshold tune the engine's parallel delivery
+	// phase (see congest.Engine); 0 keeps the engine defaults.
+	// Transcripts are bit-identical for every setting.
+	Shards            int
+	ParallelThreshold int
 	// Parallel is the number of attempts in flight (0/1 sequential,
 	// negative GOMAXPROCS); results are deterministic regardless.
 	Parallel  int
@@ -97,6 +102,8 @@ func DetectLocalThreshold(g *graph.Graph, k int, opt LocalThresholdOptions) (*Lo
 	net := congest.NewNetwork(g, opt.Seed)
 	eng := congest.NewEngine(net)
 	eng.Workers = opt.Workers
+	eng.Shards = opt.Shards
+	eng.ParallelThreshold = opt.ParallelThreshold
 
 	all := make([]bool, n)
 	for v := range all {

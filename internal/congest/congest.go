@@ -13,10 +13,11 @@
 //
 //   - One Message per directed edge per round, enforced; a second send on
 //     the same edge in the same round aborts the run with an error.
-//   - A Message carries a kind byte and two machine words — a constant
-//     number of identifiers/counters, i.e. O(log n) bits. Protocols that
-//     need to ship a set of identifiers must do so one message per round,
-//     which is exactly how congestion becomes round complexity.
+//   - A Message carries a kind byte and two payload words — a constant
+//     number of identifiers/counters, i.e. O(log n) bits (the host packs
+//     all of that into 16 bytes; see Message). Protocols that need to
+//     ship a set of identifiers must do so one message per round, which
+//     is exactly how congestion becomes round complexity.
 //   - Handlers for distinct nodes run concurrently (a goroutine worker pool
 //     with a barrier per round maps goroutines onto CONGEST rounds); a
 //     handler may only touch its own node's state, send to neighbors, and
@@ -40,13 +41,58 @@ import (
 // underlying graph.
 type NodeID = graph.NodeID
 
-// Message is the unit of communication: a kind byte plus two words, i.e.
-// O(log n) bits. From is filled by the runtime on delivery.
+// Message is the unit of communication: a kind byte plus two payload
+// words A and B, i.e. O(log n) bits at the model level (MessageBits is
+// what Report.Bits charges, and it is unchanged by how the host stores a
+// message). At the host level the struct is packed into 16 bytes:
+//
+//	w0 = A                                  (a full 64-bit payload word)
+//	w1 = Kind(8) | From(28) | B(28)         (kind in the high byte)
+//
+// compared to the naive layout (kind byte + two words + sender, 24 bytes
+// padded) this halves the memory traffic of the inbox and out buffers,
+// which the delivery pipeline streams every round. The packing caps the
+// network size and the B payload at 2^28 (MaxNodes, MaxPayloadB); both
+// are model-faithful bounds — From and B are identifier/counter words of
+// ⌈log₂ n⌉ bits — and far beyond what a simulation can hold in memory.
+// A keeps the full word because protocols legitimately pack two
+// identifiers into it (e.g. an edge key). Read fields through the
+// From/Kind/A/B accessors; construction happens inside Send/Broadcast.
 type Message struct {
-	From NodeID
-	Kind uint8
-	A, B uint64
+	w0, w1 uint64
 }
+
+const (
+	msgFieldBits = 28
+	msgFieldMask = 1<<msgFieldBits - 1
+	msgKindShift = 2 * msgFieldBits
+
+	// MaxNodes is the largest network the packed wire format addresses.
+	MaxNodes = 1 << msgFieldBits
+	// MaxPayloadB is the capacity of the second payload word B.
+	MaxPayloadB = 1<<msgFieldBits - 1
+)
+
+// packMessage packs a staged message. Callers guarantee from < MaxNodes
+// (enforced by NewNetwork) and b <= MaxPayloadB (enforced by Send).
+func packMessage(from NodeID, kind uint8, a, b uint64) Message {
+	return Message{
+		w0: a,
+		w1: uint64(kind)<<msgKindShift | uint64(uint32(from))<<msgFieldBits | b,
+	}
+}
+
+// From returns the sender, filled in by the runtime at staging time.
+func (m Message) From() NodeID { return NodeID(m.w1 >> msgFieldBits & msgFieldMask) }
+
+// Kind returns the kind byte.
+func (m Message) Kind() uint8 { return uint8(m.w1 >> msgKindShift) }
+
+// A returns the first payload word.
+func (m Message) A() uint64 { return m.w0 }
+
+// B returns the second payload word.
+func (m Message) B() uint64 { return m.w1 & msgFieldMask }
 
 // Handler is a distributed protocol: per-node state lives inside the
 // implementation, indexed by node ID; the engine guarantees that
@@ -100,7 +146,10 @@ type Report struct {
 }
 
 // MessageBits returns the model-level size of one message on an n-node
-// network: a kind byte plus two ⌈log₂ n⌉-bit words.
+// network: a kind byte plus two ⌈log₂ n⌉-bit words. This is the cost the
+// paper's bandwidth bound charges and is deliberately decoupled from the
+// 16 host bytes a packed Message occupies (see Message): Report.Bits
+// tracks the model, not the simulator's memory layout.
 func MessageBits(n int) int64 {
 	bits := 1
 	for 1<<bits < n {
@@ -130,8 +179,14 @@ type Network struct {
 }
 
 // NewNetwork wraps a graph as a CONGEST network with the given master seed
-// (per-node randomness streams are derived from it).
+// (per-node randomness streams are derived from it). Networks beyond
+// MaxNodes vertices are rejected: the packed wire format addresses
+// senders with 28 bits, a bound no graph that fits in simulator memory
+// approaches.
 func NewNetwork(g *graph.Graph, seed uint64) *Network {
+	if g.NumNodes() > MaxNodes {
+		panic(fmt.Sprintf("congest: %d nodes exceeds the %d-node cap of the packed wire format", g.NumNodes(), MaxNodes))
+	}
 	return &Network{g: g, seed: seed}
 }
 

@@ -30,10 +30,22 @@ type Engine struct {
 	// given the network seed). The CONGEST model itself is fault-free;
 	// this knob exists to machine-check that one-sidedness is structural —
 	// under any loss rate the detectors may miss cycles but can never
-	// fabricate one.
+	// fabricate one. Lossy sessions always deliver serially (the drop
+	// RNG consumes one draw per staged message in global staging order).
 	DropProb float64
 	// Timeline collects per-round statistics into Report.Timeline.
 	Timeline bool
+	// Shards overrides the receiver-shard count of the parallel delivery
+	// phase; 0 derives it from Workers. Transcripts are bit-identical for
+	// every value — the knob exists for tuning and so the determinism
+	// tests can pin shard-count invariance explicitly.
+	Shards int
+	// ParallelThreshold is the minimum batch size (due handlers for the
+	// execution phase, staged messages for the delivery phase) below
+	// which a round runs serially even when Workers allows parallelism;
+	// rounds smaller than this are dominated by goroutine hand-off, not
+	// work. 0 means the default of 256.
+	ParallelThreshold int
 
 	// adjOff[u] is the base index of u's adjacency slots in the flat
 	// per-edge arrays (CSR layout over the sorted adjacency lists);
@@ -133,32 +145,81 @@ type Session struct {
 	// wake-up). cand counts the set bits. The bitmap doubles as the
 	// dirty-list that makes session cleanup O(candidates), and scanning it
 	// yields nodes in ascending ID order without any per-round sort.
-	pool []uint64
-	cand int
-	due  []NodeID
+	// summary is the second level: bit w of summary is set iff pool[w] is
+	// nonzero, so the due-scan and cleanup walk O(active) words instead of
+	// O(n/64) — which is what makes the fast-forward/wake-up rounds of
+	// sparse schedules cheap on large networks.
+	pool    []uint64
+	summary []uint64
+	cand    int
+	due     []NodeID
 
 	// wake[u] = earliest future round at which u wants to run (-1 = none).
 	// Written only by u's own handler; reset via the pool bitmap walk.
 	wake []int32
 
-	// Outgoing messages staged by senders during the current round.
-	// out[u] is written only by u's handler. The per-node slices are views
-	// into one flat CSR buffer sized by degree: the bandwidth constraint
-	// (one message per directed edge per round) caps len(out[u]) at deg(u),
-	// so staging never allocates.
-	out    [][]outMsg
-	outBuf []outMsg
+	// Outgoing messages staged by senders during the current round,
+	// structure-split so the delivery passes touch only what they need:
+	// outTo[u] holds the receivers (the counting pass scans 4 bytes per
+	// message) and outPay[adjOff[u]+i] the packed message of outTo[u][i]
+	// (read only by the scatter pass). Both are written only by u's
+	// handler, into one flat CSR buffer each, sized by degree: the
+	// bandwidth constraint (one message per directed edge per round) caps
+	// len(outTo[u]) at deg(u), so staging never allocates.
+	outTo    [][]NodeID
+	outPay   []Message
+	outToBuf []NodeID
 
-	// Flat CSR inboxes: the messages delivered to u this round are
-	// inboxBuf[inboxOff[u] : inboxOff[u]+inboxLen[u]], valid iff
-	// inboxStamp[u] equals the current round stamp.
-	inboxBuf   []Message
-	inboxOff   []int32
-	inboxLen   []int32
-	inboxFill  []int32
-	inboxStamp []uint64
-	recv       []NodeID
-	scratch    []outMsg
+	// Fixed-offset CSR inboxes. The bandwidth constraint caps a
+	// receiver's per-round inbox at its degree, so node u's inbox region
+	// is statically inboxBuf[adjOff[u]:adjOff[u+1]] and delivery needs no
+	// counting or offset pass at all: a single scatter pass bumps each
+	// receiver's cursor. inCur[u] packs the validity stamp and the
+	// cursor into one 16-byte record (one cache line touch per message);
+	// u's inbox for the current round is inboxBuf[adjOff[u]:inCur[u].pos],
+	// valid iff inCur[u].stamp matches the round stamp.
+	inboxBuf []Message
+	inCur    []inboxCursor
+
+	// Parallel round execution. The handler phase steals work off due via
+	// the atomic parNext cursor; the delivery phase partitions receivers
+	// into contiguous node-range shards (shardBounds[s] ≤ r <
+	// shardBounds[s+1] for shard s), each owned by one worker goroutine
+	// for both delivery passes, so every inbox cell has exactly one
+	// writer and per-receiver message order stays ascending-sender — the
+	// same order the serial path produces. All fields are touched only
+	// between the Add/Wait pairs of one phase.
+	wg          sync.WaitGroup
+	parH        Handler
+	parRound    int
+	parNext     atomic.Int64
+	shards      int
+	shardBounds []int32
+	shardCount  []int64
+	shardRecv   [][]NodeID
+	sendList    []NodeID
+	shardNext   atomic.Int64
+
+	// Prebuilt worker funcvals: `go s.method()` allocates a closure per
+	// spawn, so the round phases launch these once-allocated thunks
+	// instead, keeping parallel rounds allocation-free.
+	handlerFn func()
+	scatterFn func()
+
+	// lastExec is the executed-round count of the previous run on this
+	// session, used to presize Report.Timeline so collection does not
+	// allocate per round.
+	lastExec int
+
+	// senders lists the due nodes that actually staged messages this
+	// round, so the delivery passes walk senders instead of the whole due
+	// list. It is maintained by Send/Broadcast only while serialRound is
+	// true (handlers executing on the session goroutine — appending from
+	// parallel handler workers would race); parallel rounds fall back to
+	// walking due. Serial handler execution visits due in ascending
+	// order, so senders is ascending too and delivery order is unchanged.
+	senders     []NodeID
+	serialRound bool
 
 	// lastSent[adjOff[u]+slot] = round stamp at which adjacency slot
 	// `slot` of u last carried a message (bandwidth enforcement). The
@@ -185,38 +246,46 @@ type Session struct {
 // signatures use).
 type Runtime = Session
 
-type outMsg struct {
-	to  NodeID
-	msg Message
+// inboxCursor is a receiver's delivery state: the region
+// inboxBuf[beg:pos] is u's inbox for the round whose stamp matches
+// (beg is u's static region base adjOff[u], cached here so reading an
+// inbox costs one 16-byte load). Exactly 16 bytes: a message delivery
+// touches one record in one cache line.
+type inboxCursor struct {
+	stamp uint64
+	beg   int32
+	pos   int32
 }
 
 func (e *Engine) newSession() *Session {
 	n := e.net.NumNodes()
 	s := &Session{
-		eng:        e,
-		net:        e.net,
-		pool:       make([]uint64, (n+63)/64),
-		due:        make([]NodeID, 0, n),
-		wake:       make([]int32, n),
-		out:        make([][]outMsg, n),
-		outBuf:     make([]outMsg, e.adjOff[n]),
-		inboxOff:   make([]int32, n),
-		inboxLen:   make([]int32, n),
-		inboxFill:  make([]int32, n),
-		inboxStamp: make([]uint64, n),
-		recv:       make([]NodeID, 0, n),
-		lastSent:   make([]uint64, e.adjOff[n]),
-		pcgs:       make([]rand.PCG, n),
-		rands:      make([]rand.Rand, n),
-		rngGen:     make([]uint64, n),
+		eng:      e,
+		net:      e.net,
+		pool:     make([]uint64, (n+63)/64),
+		summary:  make([]uint64, (n+4095)/4096),
+		due:      make([]NodeID, 0, n),
+		wake:     make([]int32, n),
+		outTo:    make([][]NodeID, n),
+		outPay:   make([]Message, e.adjOff[n]),
+		outToBuf: make([]NodeID, e.adjOff[n]),
+		inboxBuf: make([]Message, e.adjOff[n]),
+		inCur:    make([]inboxCursor, n),
+		senders:  make([]NodeID, 0, n),
+		lastSent: make([]uint64, e.adjOff[n]),
+		pcgs:     make([]rand.PCG, n),
+		rands:    make([]rand.Rand, n),
+		rngGen:   make([]uint64, n),
 	}
 	for i := range s.wake {
 		s.wake[i] = -1
 	}
 	for u := 0; u < n; u++ {
-		s.out[u] = s.outBuf[e.adjOff[u]:e.adjOff[u]:e.adjOff[u+1]]
+		s.outTo[u] = s.outToBuf[e.adjOff[u]:e.adjOff[u]:e.adjOff[u+1]]
 		s.rands[u] = *rand.New(&s.pcgs[u])
 	}
+	s.handlerFn = s.handlerWorker
+	s.scatterFn = s.scatterWorker
 	return s
 }
 
@@ -246,11 +315,17 @@ func (rt *Session) Rand(u NodeID) *rand.Rand {
 
 // Send stages a message from u to its neighbor v for delivery at the start
 // of the next round. It enforces the CONGEST constraints: v must be a
-// neighbor of u, and each directed edge carries at most one message per
-// round. Node-local; not callable from Init (no round is executing yet).
+// neighbor of u, each directed edge carries at most one message per
+// round, and the B payload fits its ⌈log₂ n⌉-bit model word (MaxPayloadB,
+// a packed-wire-format capacity no O(log n)-bit protocol approaches).
+// Node-local; not callable from Init (no round is executing yet).
 func (rt *Session) Send(u, v NodeID, kind uint8, a, b uint64) {
 	if rt.inInit {
 		rt.fail(protocolErrorf("node %d sent during Init (before round 0)", u))
+		return
+	}
+	if b > MaxPayloadB {
+		rt.fail(protocolErrorf("round %d: node %d sent payload B=%d exceeding the %d-bit model word", rt.round, u, b, msgFieldBits))
 		return
 	}
 	slot := rt.neighborSlot(u, v)
@@ -264,7 +339,53 @@ func (rt *Session) Send(u, v NodeID, kind uint8, a, b uint64) {
 		return
 	}
 	rt.lastSent[es] = rt.stamp
-	rt.out[u] = append(rt.out[u], outMsg{to: v, msg: Message{From: u, Kind: kind, A: a, B: b}})
+	if rt.serialRound && len(rt.outTo[u]) == 0 {
+		rt.senders = append(rt.senders, u)
+	}
+	rt.outPay[rt.eng.adjOff[u]+int32(len(rt.outTo[u]))] = packMessage(u, kind, a, b)
+	rt.outTo[u] = append(rt.outTo[u], v)
+}
+
+// Broadcast stages the same message from u to every neighbor, in
+// adjacency order — equivalent to one Send per neighbor (identical
+// transcripts, enforced by the same bandwidth stamps) but without the
+// per-edge neighbor lookup, which is the dominant Send cost of
+// flood-style protocols. Node-local; not callable from Init.
+func (rt *Session) Broadcast(u NodeID, kind uint8, a, b uint64) {
+	if rt.inInit {
+		rt.fail(protocolErrorf("node %d sent during Init (before round 0)", u))
+		return
+	}
+	if b > MaxPayloadB {
+		rt.fail(protocolErrorf("round %d: node %d sent payload B=%d exceeding the %d-bit model word", rt.round, u, b, msgFieldBits))
+		return
+	}
+	out := rt.outTo[u]
+	if len(out) > 0 {
+		// A broadcast uses every one of u's edges, so any earlier staging
+		// this round already makes it a bandwidth violation — rejecting it
+		// here (rather than mid-loop) also keeps the payload region below
+		// within u's own CSR segment.
+		rt.fail(protocolErrorf("round %d: node %d broadcast after already sending to %d (bandwidth violation)", rt.round, u, out[0]))
+		return
+	}
+	msg := packMessage(u, kind, a, b)
+	base := rt.eng.adjOff[u]
+	nbrs := rt.net.g.Neighbors(u)
+	if rt.serialRound && len(nbrs) > 0 {
+		rt.senders = append(rt.senders, u)
+	}
+	// len(out) == 0 means no edge of u carries this round's stamp (every
+	// successful Send/Broadcast appends to out), so there is no conflict
+	// to check — the stamps only need recording so a later Send on any of
+	// these edges fails.
+	pay := rt.outPay[base : base+int32(len(nbrs))]
+	sent := rt.lastSent[base : base+int32(len(nbrs))]
+	for slot := range nbrs {
+		sent[slot] = rt.stamp
+		pay[slot] = msg
+	}
+	rt.outTo[u] = append(out, nbrs...)
 }
 
 func (rt *Session) neighborSlot(u, v NodeID) int {
@@ -285,9 +406,10 @@ func (rt *Session) WakeAt(u NodeID, r int) {
 	if rt.wake[u] < 0 || int32(r) < rt.wake[u] {
 		rt.wake[u] = int32(r)
 	}
-	if rt.inInit {
-		// Init is sequential, so the shared pool bitmap is safe to touch;
-		// wake-ups from HandleRound are folded in at delivery time.
+	if rt.inInit || rt.serialRound {
+		// Init and serial handler rounds run on the session goroutine, so
+		// the shared pool bitmap is safe to touch directly; wake-ups from
+		// parallel handler rounds are folded in at delivery time.
 		rt.setPool(u)
 	}
 }
@@ -322,6 +444,9 @@ func (rt *Session) rejectedLocked() bool {
 func (s *Session) setPool(u NodeID) {
 	w, m := u>>6, uint64(1)<<(u&63)
 	if s.pool[w]&m == 0 {
+		if s.pool[w] == 0 {
+			s.summary[w>>6] |= 1 << (w & 63)
+		}
 		s.pool[w] |= m
 		s.cand++
 	}
@@ -331,24 +456,28 @@ func (s *Session) clearPool(u NodeID) {
 	w, m := u>>6, uint64(1)<<(u&63)
 	if s.pool[w]&m != 0 {
 		s.pool[w] &^= m
+		if s.pool[w] == 0 {
+			s.summary[w>>6] &^= 1 << (w & 63)
+		}
 		s.cand--
 	}
 }
 
 // inboxOf returns the messages delivered to u for the current round.
 func (s *Session) inboxOf(u NodeID) []Message {
-	if s.inboxStamp[u] != s.stamp {
+	c := s.inCur[u]
+	if c.stamp != s.stamp {
 		return nil
 	}
-	off := s.inboxOff[u]
-	return s.inboxBuf[off : off+s.inboxLen[u]]
+	return s.inboxBuf[c.beg:c.pos]
 }
 
 func (s *Session) inboxCount(u NodeID) int {
-	if s.inboxStamp[u] != s.stamp {
+	c := s.inCur[u]
+	if c.stamp != s.stamp {
 		return 0
 	}
-	return int(s.inboxLen[u])
+	return int(c.pos - c.beg)
 }
 
 // cleanup restores the session invariants (wake sentinel values, empty
@@ -357,19 +486,27 @@ func (s *Session) inboxCount(u NodeID) int {
 func (s *Session) cleanup() {
 	for _, u := range s.due {
 		s.wake[u] = -1
-		if len(s.out[u]) > 0 {
-			s.out[u] = s.out[u][:0]
+		if len(s.outTo[u]) > 0 {
+			s.outTo[u] = s.outTo[u][:0]
 		}
 	}
 	s.due = s.due[:0]
+	s.senders = s.senders[:0]
+	s.serialRound = false
 	if s.cand > 0 {
-		for wi, w := range s.pool {
-			for w != 0 {
-				b := bits.TrailingZeros64(w)
-				w &^= 1 << b
-				s.wake[NodeID(wi*64+b)] = -1
+		for si, sw := range s.summary {
+			for sw != 0 {
+				sb := bits.TrailingZeros64(sw)
+				sw &^= 1 << sb
+				wi := si<<6 | sb
+				for w := s.pool[wi]; w != 0; {
+					b := bits.TrailingZeros64(w)
+					w &^= 1 << b
+					s.wake[NodeID(wi<<6|b)] = -1
+				}
+				s.pool[wi] = 0
 			}
-			s.pool[wi] = 0
+			s.summary[si] = 0
 		}
 		s.cand = 0
 	}
@@ -409,11 +546,19 @@ func (s *Session) run(h Handler, sess uint64) (*Report, error) {
 	}
 
 	rep := &Report{}
+	if e.Timeline {
+		// Presize to the previous run's executed-round count (sessions are
+		// pooled, so back-to-back runs of one protocol estimate exactly):
+		// collection then costs one allocation per run, not one per growth.
+		rep.Timeline = make([]RoundStat, 0, max(s.lastExec, 16))
+	}
 	msgBits := MessageBits(n)
 	var dropRng *rand.Rand
 	if e.DropProb > 0 {
 		dropRng = s.net.nodeRand(-1, sess)
 	}
+	s.ensureShards(e.deliveryShards(workers, n))
+	exec := 0
 
 	for round := 0; s.cand > 0; round++ {
 		if round >= maxRounds {
@@ -421,24 +566,41 @@ func (s *Session) run(h Handler, sess uint64) (*Report, error) {
 		}
 		s.stamp++
 
-		// Scan the candidate bitmap (ascending node order): nodes due now
-		// run; the rest wait for a future wake-up.
+		// Scan the candidate bitmap through the summary level (ascending
+		// node order): nodes due now run; the rest wait for a future
+		// wake-up. The walk costs O(active words), not O(n/64).
 		s.due = s.due[:0]
 		earliest := int32(-1)
-		for wi, w := range s.pool {
-			for w != 0 {
-				b := bits.TrailingZeros64(w)
-				w &^= 1 << b
-				u := NodeID(wi*64 + b)
-				wk := s.wake[u]
-				if s.inboxStamp[u] == s.stamp || (wk >= 0 && int(wk) <= round) {
-					s.due = append(s.due, u)
-					s.clearPool(u)
-					if wk >= 0 && int(wk) <= round {
+		maxInbox := rep.MaxInbox
+		for si, sw := range s.summary {
+			for sw != 0 {
+				sb := bits.TrailingZeros64(sw)
+				sw &^= 1 << sb
+				wi := si<<6 | sb
+				for w := s.pool[wi]; w != 0; {
+					b := bits.TrailingZeros64(w)
+					w &^= 1 << b
+					u := NodeID(wi<<6 | b)
+					wk := s.wake[u]
+					if c := s.inCur[u]; c.stamp == s.stamp {
+						if load := int(c.pos - c.beg); load > maxInbox {
+							maxInbox = load
+						}
+						s.due = append(s.due, u)
+						if wk >= 0 && int(wk) <= round {
+							s.wake[u] = -1
+							s.clearPool(u)
+						} else if wk < 0 {
+							s.clearPool(u)
+						}
+						// A pending future wake keeps the node a candidate.
+					} else if wk >= 0 && int(wk) <= round {
+						s.due = append(s.due, u)
 						s.wake[u] = -1
+						s.clearPool(u)
+					} else if earliest < 0 || wk < earliest {
+						earliest = wk
 					}
-				} else if earliest < 0 || wk < earliest {
-					earliest = wk
 				}
 			}
 		}
@@ -449,66 +611,18 @@ func (s *Session) run(h Handler, sess uint64) (*Report, error) {
 			round = int(earliest) - 1
 			continue
 		}
+		rep.MaxInbox = maxInbox
 		s.round = round
 		rep.Rounds = round + 1
-		for _, u := range s.due {
-			if load := s.inboxCount(u); load > rep.MaxInbox {
-				rep.MaxInbox = load
-			}
-		}
+		exec++
 
 		// Execute handlers (possibly in parallel).
-		e.runHandlers(s, h, s.due, round, workers)
+		serialHandlers := e.runHandlers(s, h, round, workers)
 		if s.violation != nil {
 			return nil, s.violation
 		}
 
-		// Deliver staged messages into the flat inboxes of the next round
-		// and refresh the candidate bitmap: message receivers, re-woken due
-		// nodes (waiting nodes never left the bitmap). Count first, then
-		// scatter, so each receiver's messages are contiguous and arrive in
-		// ascending sender order — the same per-receiver order for every
-		// worker count.
-		s.scratch = s.scratch[:0]
-		s.recv = s.recv[:0]
-		nextStamp := s.stamp + 1
-		var delivered int64
-		for _, u := range s.due {
-			for _, om := range s.out[u] {
-				if dropRng != nil && dropRng.Float64() < e.DropProb {
-					continue
-				}
-				if s.inboxStamp[om.to] != nextStamp {
-					s.inboxStamp[om.to] = nextStamp
-					s.inboxLen[om.to] = 0
-					s.recv = append(s.recv, om.to)
-				}
-				s.inboxLen[om.to]++
-				s.scratch = append(s.scratch, om)
-				delivered++
-			}
-			s.out[u] = s.out[u][:0]
-			if s.wake[u] >= 0 {
-				s.setPool(u)
-			}
-		}
-		total := int32(0)
-		for _, r := range s.recv {
-			s.inboxOff[r] = total
-			s.inboxFill[r] = 0
-			total += s.inboxLen[r]
-			s.setPool(r)
-		}
-		if cap(s.inboxBuf) < int(total) {
-			s.inboxBuf = make([]Message, total)
-		} else {
-			s.inboxBuf = s.inboxBuf[:total]
-		}
-		for _, om := range s.scratch {
-			pos := s.inboxOff[om.to] + s.inboxFill[om.to]
-			s.inboxFill[om.to]++
-			s.inboxBuf[pos] = om.msg
-		}
+		delivered := s.deliver(workers, dropRng, serialHandlers)
 		rep.Messages += delivered
 		rep.Bits += msgBits * delivered
 		if e.Timeline {
@@ -525,19 +639,25 @@ func (s *Session) run(h Handler, sess uint64) (*Report, error) {
 			break
 		}
 	}
+	s.lastExec = exec
 	if len(s.rejections) > 0 {
 		rep.Rejections = canonicalRejections(s.rejections)
+		// The sorted buffer is handed off to the escaping Report (callers
+		// read it after the Session returns to the pool), so the session
+		// must relinquish it rather than reuse it.
+		s.rejections = nil
 	}
 	return rep, nil
 }
 
-// canonicalRejections copies the rejection list into a deterministic
-// order (by node, then witness), erasing the handler-scheduling order in
-// which concurrent Reject calls were appended.
+// canonicalRejections sorts the rejection list in place into a
+// deterministic order (by node, then witness), erasing the
+// handler-scheduling order in which concurrent Reject calls were
+// appended, and returns it. Sorting in place instead of into a fresh
+// copy saves the per-run copy allocation; the caller transfers ownership
+// of the buffer to the Report.
 func canonicalRejections(rejs []Rejection) []Rejection {
-	out := make([]Rejection, len(rejs))
-	copy(out, rejs)
-	slices.SortFunc(out, func(a, b Rejection) int {
+	slices.SortFunc(rejs, func(a, b Rejection) int {
 		if a.Node != b.Node {
 			return int(a.Node) - int(b.Node)
 		}
@@ -546,34 +666,254 @@ func canonicalRejections(rejs []Rejection) []Rejection {
 		}
 		return slices.Compare(a.Witness, b.Witness)
 	})
-	return out
+	return rejs
 }
 
-// runHandlers invokes the handler for every due node, in parallel when the
-// batch is large enough to amortize goroutine overhead.
-func (e *Engine) runHandlers(s *Session, h Handler, due []NodeID, round int, workers int) {
-	const parallelThreshold = 256
-	if workers <= 1 || len(due) < parallelThreshold {
+// handlerGrain is the work-stealing batch: workers claim this many due
+// nodes per atomic increment. Small enough that one expensive handler
+// cannot strand a worker behind a prefilled chunk, large enough that the
+// cursor is not contended per node.
+const handlerGrain = 16
+
+const defaultParallelThreshold = 256
+
+func (e *Engine) parallelThreshold() int {
+	if e.ParallelThreshold > 0 {
+		return e.ParallelThreshold
+	}
+	return defaultParallelThreshold
+}
+
+// runHandlers invokes the handler for every due node, in parallel when
+// the batch is large enough to amortize goroutine overhead, and reports
+// whether it ran serially (on the session goroutine). Parallel execution
+// steals handlerGrain-sized batches off the shared due cursor, so uneven
+// handler costs rebalance instead of idling statically chunked workers.
+func (e *Engine) runHandlers(s *Session, h Handler, round int, workers int) bool {
+	due := s.due
+	if workers <= 1 || len(due) < e.parallelThreshold() {
+		s.serialRound = true
+		s.senders = s.senders[:0]
 		for _, u := range due {
 			h.HandleRound(s, u, round, s.inboxOf(u))
 		}
+		s.serialRound = false
+		return true
+	}
+	if maxW := (len(due) + handlerGrain - 1) / handlerGrain; workers > maxW {
+		workers = maxW
+	}
+	s.parH, s.parRound = h, round
+	s.parNext.Store(0)
+	s.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go s.handlerFn()
+	}
+	s.wg.Wait()
+	s.parH = nil
+	return false
+}
+
+func (s *Session) handlerWorker() {
+	defer s.wg.Done()
+	h, round, due := s.parH, s.parRound, s.due
+	for {
+		lo := int(s.parNext.Add(handlerGrain)) - handlerGrain
+		if lo >= len(due) {
+			return
+		}
+		for _, u := range due[lo:min(lo+handlerGrain, len(due))] {
+			h.HandleRound(s, u, round, s.inboxOf(u))
+		}
+	}
+}
+
+// deliveryShards picks the receiver-shard count for this run: the
+// engine's override, else one shard per worker, bounded so a shard never
+// covers fewer than 64 nodes (below that the two full-buffer scans per
+// shard cost more than they parallelize).
+func (e *Engine) deliveryShards(workers, n int) int {
+	shards := e.Shards
+	if shards <= 0 {
+		shards = workers
+	}
+	if maxS := n / 64; shards > maxS {
+		shards = max(maxS, 1)
+	}
+	return shards
+}
+
+// ensureShards sizes the shard state for k contiguous node-range shards.
+func (s *Session) ensureShards(k int) {
+	if s.shards == k {
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (len(due) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(due) {
-			break
-		}
-		hi := min(lo+chunk, len(due))
-		wg.Add(1)
-		go func(part []NodeID) {
-			defer wg.Done()
-			for _, u := range part {
-				h.HandleRound(s, u, round, s.inboxOf(u))
-			}
-		}(due[lo:hi])
+	if k <= 1 {
+		// Serial delivery never touches the shard state.
+		s.shards = k
+		return
 	}
-	wg.Wait()
+	s.shards = k
+	n := s.net.NumNodes()
+	if cap(s.shardBounds) < k+1 {
+		s.shardBounds = make([]int32, k+1)
+		s.shardCount = make([]int64, k)
+		s.shardRecv = make([][]NodeID, k)
+	}
+	s.shardBounds = s.shardBounds[:k+1]
+	s.shardCount = s.shardCount[:k]
+	s.shardRecv = s.shardRecv[:k]
+	for i := 0; i <= k; i++ {
+		s.shardBounds[i] = int32(i * n / k)
+	}
+}
+
+// deliver moves the round's staged messages into the fixed-offset
+// inboxes of the next round and refreshes the candidate bitmap: message
+// receivers, re-woken due nodes (waiting nodes never left the bitmap).
+// Both paths scatter in ascending-sender order into each receiver's
+// static CSR region, so per-receiver inboxes are identical for every
+// Workers and Shards setting. Returns the delivered count.
+func (s *Session) deliver(workers int, dropRng *rand.Rand, serialHandlers bool) int64 {
+	// After a serial handler round the senders list is exact; parallel
+	// rounds walk the whole due list instead, and their wake-ups (which
+	// serial rounds folded into the bitmap directly) are folded in here.
+	senders := s.due
+	if serialHandlers {
+		senders = s.senders
+	}
+	var delivered int64
+	if workers > 1 && s.shards > 1 && dropRng == nil {
+		staged := 0
+		for _, u := range senders {
+			staged += len(s.outTo[u])
+		}
+		if staged >= s.eng.parallelThreshold() {
+			delivered = s.deliverSharded(senders, workers)
+		} else {
+			delivered = s.deliverSerial(senders, dropRng)
+		}
+	} else {
+		delivered = s.deliverSerial(senders, dropRng)
+	}
+	for _, u := range senders {
+		if len(s.outTo[u]) > 0 {
+			s.outTo[u] = s.outTo[u][:0]
+		}
+	}
+	if !serialHandlers {
+		for _, u := range s.due {
+			if s.wake[u] >= 0 {
+				s.setPool(u)
+			}
+		}
+	}
+	return delivered
+}
+
+// deliverSerial is the single-threaded delivery path: one scatter pass
+// over the staged out buffers. Receiver regions are static (adjOff), so
+// there is nothing to count or place; each message is one cursor bump
+// and one 16-byte copy, and the per-message drop draw (when fault
+// injection is on) happens in the same global staging order as always.
+func (s *Session) deliverSerial(senders []NodeID, dropRng *rand.Rand) int64 {
+	nextStamp := s.stamp + 1
+	adjOff := s.eng.adjOff
+	var delivered int64
+	for _, u := range senders {
+		out := s.outTo[u]
+		pay := s.outPay[adjOff[u]:]
+		for i, r := range out {
+			if dropRng != nil && dropRng.Float64() < s.eng.DropProb {
+				continue
+			}
+			c := &s.inCur[r]
+			if c.stamp != nextStamp {
+				c.stamp = nextStamp
+				c.beg = adjOff[r]
+				c.pos = c.beg
+				s.setPool(r)
+			}
+			s.inboxBuf[c.pos] = pay[i]
+			c.pos++
+			delivered++
+		}
+	}
+	return delivered
+}
+
+// deliverSharded is the parallel delivery path: receivers are
+// partitioned into contiguous node-range shards and one worker per shard
+// scans the full staged buffers, scattering only its own shard's
+// messages. Fixed receiver regions mean one parallel pass suffices (no
+// count/offset phase or barrier between them); every inbox cell has
+// exactly one writer, the random-access traffic splits across workers,
+// and per-receiver order stays ascending-sender (workers walk the
+// sender list in ascending order, one message per directed edge per
+// round) — bit-identical to the serial path.
+func (s *Session) deliverSharded(senders []NodeID, workers int) int64 {
+	s.sendList = senders
+	shards := s.shards
+	s.shardNext.Store(0)
+	// Workers bounds the engine's parallelism; with more shards than
+	// workers, each worker loops claiming shards off the cursor.
+	w := min(workers, shards)
+	s.wg.Add(w)
+	for i := 0; i < w; i++ {
+		go s.scatterFn()
+	}
+	s.wg.Wait()
+	var delivered int64
+	// The pool bitmap, its summary and the cand counter are shared across
+	// shards, so receivers are folded in serially (O(receivers)).
+	for sh := 0; sh < shards; sh++ {
+		delivered += s.shardCount[sh]
+		for _, r := range s.shardRecv[sh] {
+			s.setPool(r)
+		}
+	}
+	s.sendList = nil
+	return delivered
+}
+
+// scatterWorker loops claiming unowned shards off the cursor and
+// scattering them, until none remain.
+func (s *Session) scatterWorker() {
+	defer s.wg.Done()
+	for {
+		sh := int(s.shardNext.Add(1)) - 1
+		if sh >= s.shards {
+			return
+		}
+		s.scatterShard(sh)
+	}
+}
+
+func (s *Session) scatterShard(sh int) {
+	lo, hi := s.shardBounds[sh], s.shardBounds[sh+1]
+	nextStamp := s.stamp + 1
+	adjOff := s.eng.adjOff
+	recv := s.shardRecv[sh][:0]
+	count := int64(0)
+	for _, u := range s.sendList {
+		out := s.outTo[u]
+		pay := s.outPay[adjOff[u]:]
+		for i, r := range out {
+			if r < lo || r >= hi {
+				continue
+			}
+			c := &s.inCur[r]
+			if c.stamp != nextStamp {
+				c.stamp = nextStamp
+				c.beg = adjOff[r]
+				c.pos = c.beg
+				recv = append(recv, r)
+			}
+			s.inboxBuf[c.pos] = pay[i]
+			c.pos++
+			count++
+		}
+	}
+	s.shardRecv[sh] = recv
+	s.shardCount[sh] = count
 }

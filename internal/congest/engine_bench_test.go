@@ -1,6 +1,7 @@
 package congest
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/graph"
@@ -56,6 +57,55 @@ func BenchmarkSessionRoundLoopSparse(b *testing.B) {
 		h.heard = nil // reset handler state; engine state is pooled
 		if _, err := e.Run(h); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeliveryDense drives the delivery pipeline at maximal message
+// density — every node broadcasts to every neighbor every round — on the
+// two dense regimes the Congested-Clique-motivated scatter work targets:
+// a complete bipartite network (uniform high degree, 32k messages per
+// round) and a random-regular network (large n, moderate degree). The
+// msgs/sec metric is the direct before/after number for the scatter
+// path; the Workers sub-benchmarks compare the serial path against the
+// work-stealing + sharded-scatter path (thresholds forced to 1 so every
+// round takes the parallel path).
+func BenchmarkDeliveryDense(b *testing.B) {
+	nets := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"bipartite-128x128", graph.CompleteBipartite(128, 128)},
+	}
+	if rr, err := graph.RandomRegular(4096, 4, graph.NewRand(11)); err == nil {
+		nets = append(nets, struct {
+			name string
+			g    *graph.Graph
+		}{"regular-4096x4", rr})
+	} else {
+		b.Fatalf("random regular: %v", err)
+	}
+	const rounds = 8
+	for _, net := range nets {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", net.name, workers), func(b *testing.B) {
+				e := NewEngine(NewNetwork(net.g, 1))
+				e.Workers = workers
+				if workers > 1 {
+					e.ParallelThreshold = 1
+				}
+				h := &pingpong{rounds: rounds}
+				var msgs int64
+				b.ReportAllocs()
+				for b.Loop() {
+					rep, err := e.Run(h)
+					if err != nil {
+						b.Fatal(err)
+					}
+					msgs += rep.Messages
+				}
+				b.ReportMetric(float64(msgs)/b.Elapsed().Seconds(), "msgs/sec")
+			})
 		}
 	}
 }

@@ -8,9 +8,12 @@ import (
 )
 
 // floodHandler floods a token from node 0; every node records the round at
-// which it first heard the token. Used to check basic delivery and timing.
+// which it first heard the token. Used to check basic delivery and timing;
+// the broadcast flag switches the flood from a per-edge Send loop to the
+// engine's Broadcast fast path (transcripts must be identical).
 type floodHandler struct {
-	heard []int32 // round of first receipt, -1 otherwise
+	heard     []int32 // round of first receipt, -1 otherwise
+	broadcast bool
 }
 
 func (f *floodHandler) Init(rt *Runtime) {
@@ -28,6 +31,10 @@ func (f *floodHandler) HandleRound(rt *Runtime, u NodeID, r int, inbox []Message
 	}
 	if f.heard[u] < 0 {
 		f.heard[u] = int32(r)
+	}
+	if f.broadcast {
+		rt.Broadcast(u, 1, uint64(u), 0)
+		return
 	}
 	for _, v := range rt.Neighbors(u) {
 		rt.Send(u, v, 1, uint64(u), 0)
@@ -113,7 +120,7 @@ func (s *sameRoundBothDirections) HandleRound(rt *Runtime, u NodeID, r int, inbo
 		return
 	}
 	for _, m := range inbox {
-		s.got[u] = s.got[u] || m.From == 1-u
+		s.got[u] = s.got[u] || m.From() == 1-u
 	}
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package congest
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package congest
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// allocation-count pins are skipped because instrumentation changes them.
+const raceEnabled = true

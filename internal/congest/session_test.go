@@ -43,8 +43,10 @@ func (p *transcriptProbe) HandleRound(rt *Runtime, u NodeID, r int, inbox []Mess
 			rt.Reject(u, []NodeID{u, NodeID((u + 1) % NodeID(rt.N()))})
 		}
 	}
+	// The random draw travels in A (the full payload word); B is capped
+	// at the ⌈log₂ n⌉-bit model word and carries the sender ID.
 	for _, v := range rt.Neighbors(u) {
-		rt.Send(u, v, 1, uint64(u), p.draws[u])
+		rt.Send(u, v, 1, p.draws[u], uint64(u))
 	}
 }
 

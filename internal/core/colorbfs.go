@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -88,9 +89,31 @@ type ColorBFS struct {
 
 	// Forwarding queues, shared by the batch phases (each node transmits in
 	// exactly one phase, so a drained queue never aliases a later phase's)
-	// and by the pipelined schedule.
+	// and by the pipelined schedule. Every queue starts as a slice of one
+	// shared slab (queueSlabCap entries per node, covering seeds and small
+	// forwarder sets without a first-touch allocation per node); queues
+	// that outgrow the slab segment get individual backing from append.
 	queue    [][]uint64
-	queueIdx []int
+	queueIdx []int32
+
+	// over mirrors "any entry of ascOver/descOver is set" so Overflowed is
+	// O(1) instead of a 2n-wide scan per invocation. It is an atomic only
+	// because overflow is flagged from concurrent node handlers; reads on
+	// the handler path stay on the per-node bool arrays.
+	over atomic.Bool
+
+	// Send-phase buckets, cached across invocations: bucketSeeds lists
+	// the color-0 vertices and bucketPhase[p-2] the vertices transmitting
+	// in batch phase p ≥ 2, for the coloring snapshot held in bucketColor
+	// (compared by content) at cycle length bucketL. The buckets depend
+	// only on (L, Color), so the three color-BFS calls of one trial —
+	// same coloring, different H and X, which initSender rechecks —
+	// bucket the graph once instead of once per call and phase.
+	bucketL     int
+	bucketSrc   []int8 // the Color slice the buckets were built from
+	bucketColor []int8 // private snapshot, compared when bucketSrc moved
+	bucketSeeds []graph.NodeID
+	bucketPhase [][]graph.NodeID
 }
 
 // validateSpec checks a spec against a graph on n vertices.
@@ -125,9 +148,13 @@ func NewColorBFS(n int, spec ColorBFSSpec) (*ColorBFS, error) {
 	return b, nil
 }
 
+// queueSlabCap is the per-node segment size of the shared forwarding-
+// queue slab.
+const queueSlabCap = 4
+
 // newColorBFS allocates the per-node state for an n-vertex graph.
 func newColorBFS(n int) *ColorBFS {
-	return &ColorBFS{
+	b := &ColorBFS{
 		n:        n,
 		asc:      idset.New(n),
 		desc:     idset.New(n),
@@ -135,8 +162,13 @@ func newColorBFS(n int) *ColorBFS {
 		descOver: make([]bool, n),
 		detAt:    make([][]Detection, n),
 		queue:    make([][]uint64, n),
-		queueIdx: make([]int, n),
+		queueIdx: make([]int32, n),
 	}
+	slab := make([]uint64, n*queueSlabCap)
+	for v := range b.queue {
+		b.queue[v] = slab[v*queueSlabCap : v*queueSlabCap : (v+1)*queueSlabCap]
+	}
+	return b
 }
 
 // reset prepares a (possibly reused) instance for a fresh invocation. The
@@ -165,9 +197,14 @@ func (b *ColorBFS) reset(spec ColorBFSSpec) {
 	}
 	b.detections = b.detections[:0]
 	for v := range b.queue {
-		b.queue[v] = b.queue[v][:0]
+		// Truncate only non-empty queues: reads are cheaper than
+		// unconditionally dirtying 2n header words.
+		if len(b.queue[v]) > 0 {
+			b.queue[v] = b.queue[v][:0]
+		}
 	}
 	clear(b.queueIdx)
+	b.over.Store(false)
 }
 
 // ColorBFSPool hands out reusable ColorBFS instances for a fixed vertex
@@ -242,6 +279,14 @@ func (b *ColorBFS) sendPhase(c int8) int {
 	}
 }
 
+// acceptAll runs accept over a whole inbox (one call per node per round
+// instead of one per message on the batch schedule's hot path).
+func (b *ColorBFS) acceptAll(v graph.NodeID, c int8, inbox []congest.Message) {
+	for _, m := range inbox {
+		b.accept(v, c, m)
+	}
+}
+
 // accept processes an incoming identifier at node v according to the
 // receiver-side rules and reports whether a detection occurred.
 // Receiver-side filtering (rather than sender-side color knowledge) keeps
@@ -251,26 +296,26 @@ func (b *ColorBFS) accept(v graph.NodeID, c int8, m congest.Message) {
 	if !b.spec.InH[v] {
 		return
 	}
-	id := m.A
-	switch m.Kind {
+	id := m.A()
+	switch m.Kind() {
 	case kindSeed:
 		if int(c) == 1 {
-			b.insertAsc(v, c, id, m.From)
+			b.insertAsc(v, c, id, m.From())
 		}
 		if int(c) == b.spec.L-1 {
-			b.insertDesc(v, c, id, m.From)
+			b.insertDesc(v, c, id, m.From())
 		}
 	case kindFwd:
-		sc := int(m.B) & 0xff
-		descDir := m.B&dirDesc != 0
+		sc := int(m.B()) & 0xff
+		descDir := m.B()&dirDesc != 0
 		if !descDir && int(c) == sc+1 && int(c) <= b.m {
-			b.insertAsc(v, c, id, m.From)
+			b.insertAsc(v, c, id, m.From())
 		}
 		if descDir && int(c) == sc-1 && int(c) >= b.m {
-			b.insertDesc(v, c, id, m.From)
+			b.insertDesc(v, c, id, m.From())
 		}
 		if descDir && b.spec.DetectSkip && sc == b.m+1 && int(c) == b.m-1 {
-			b.insertSkip(v, id, m.From)
+			b.insertSkip(v, id, m.From())
 		}
 	}
 }
@@ -279,18 +324,24 @@ func (b *ColorBFS) insertAsc(v graph.NodeID, c int8, id uint64, from graph.NodeI
 	if b.ascOver[v] {
 		return
 	}
-	if _, dup := b.asc.Get(v, id); dup {
-		return
-	}
 	// The forwarding threshold τ applies to forwarders: a set that would
 	// exceed τ is discarded entirely (Instruction 19 of Algorithm 1).
 	// In skip mode the color-(m-1) detectors are also forwarders, so their
-	// ascending set obeys the same rule.
-	if b.isAscForwarder(c) && b.asc.Len(v) >= b.spec.Threshold {
+	// ascending set obeys the same rule. InsertCapped settles the
+	// duplicate check, the bound and the insertion in one probe.
+	capLen := int32(math.MaxInt32)
+	if b.isAscForwarder(c) {
+		capLen = int32(b.spec.Threshold)
+	}
+	inserted, capped := b.asc.InsertCapped(v, id, from, capLen)
+	if capped {
 		b.ascOver[v] = true
+		b.over.Store(true)
 		return
 	}
-	b.asc.Insert(v, id, from)
+	if !inserted {
+		return // duplicate
+	}
 	if int(c) == b.m {
 		if _, hit := b.desc.Get(v, id); hit {
 			b.record(Detection{Node: v, Seed: id})
@@ -307,14 +358,19 @@ func (b *ColorBFS) insertDesc(v graph.NodeID, c int8, id uint64, from graph.Node
 	if b.descOver[v] {
 		return
 	}
-	if _, dup := b.desc.Get(v, id); dup {
-		return
+	capLen := int32(math.MaxInt32)
+	if b.isDescForwarder(c) {
+		capLen = int32(b.spec.Threshold)
 	}
-	if b.isDescForwarder(c) && b.desc.Len(v) >= b.spec.Threshold {
+	inserted, capped := b.desc.InsertCapped(v, id, from, capLen)
+	if capped {
 		b.descOver[v] = true
+		b.over.Store(true)
 		return
 	}
-	b.desc.Insert(v, id, from)
+	if !inserted {
+		return // duplicate
+	}
 	if int(c) == b.m {
 		if _, hit := b.asc.Get(v, id); hit {
 			b.record(Detection{Node: v, Seed: id})
@@ -352,14 +408,7 @@ func (b *ColorBFS) MaxCongestion() int {
 }
 
 // Overflowed reports whether any forwarder discarded its set.
-func (b *ColorBFS) Overflowed() bool {
-	for v := range b.ascOver {
-		if b.ascOver[v] || b.descOver[v] {
-			return true
-		}
-	}
-	return false
-}
+func (b *ColorBFS) Overflowed() bool { return b.over.Load() }
 
 // Run executes the invocation on the engine and returns the accumulated
 // report. Batch mode runs the paper's phase-synchronous schedule as one
@@ -450,63 +499,115 @@ var _ congest.Handler = (*batchPhase)(nil)
 
 func (p *batchPhase) Init(rt *congest.Runtime) {
 	b := p.bfs
-	n := rt.N()
-	for u := 0; u < n; u++ {
-		v := graph.NodeID(u)
-		if !b.spec.InH[v] {
-			continue
+	if p.phase == 1 {
+		b.ensureBuckets()
+		for _, v := range b.bucketSeeds {
+			if b.spec.InH[v] {
+				p.initSender(rt, v)
+			}
 		}
-		c := b.spec.Color[v]
-		if b.sendPhase(c) != p.phase {
-			continue
-		}
-		switch {
-		case c == 0:
-			if !b.spec.InX[v] {
-				continue
-			}
-			// Algorithm 2's randomized activation (Instruction 1).
-			if b.spec.SeedProb < 1 && rt.Rand(v).Float64() >= b.spec.SeedProb {
-				continue
-			}
-			b.queue[v] = append(b.queue[v][:0], uint64(v))
-		case b.isAscForwarder(c):
-			if b.ascOver[v] || b.asc.Len(v) == 0 {
-				continue
-			}
-			b.fillQueueSorted(b.asc, v)
-		default: // descending forwarder
-			if b.descOver[v] || b.desc.Len(v) == 0 {
-				continue
-			}
-			b.fillQueueSorted(b.desc, v)
-		}
-		b.queueIdx[v] = 0
-		rt.WakeAt(v, 0)
+		return
 	}
+	for _, v := range b.bucketPhase[p.phase-2] {
+		if b.spec.InH[v] {
+			p.initSender(rt, v)
+		}
+	}
+}
+
+// ensureBuckets (re)builds the send-phase buckets for the current
+// (L, Color) pair, skipping the walk when the cached buckets already
+// reflect it: first by slice identity (the three calls of one trial
+// share one coloring array — callers must not mutate a Color slice they
+// re-pass to a pooled instance), then by content. Vertices are bucketed
+// in ascending order, so the per-phase iteration order — and with it
+// every seed's randomness draw — matches the full-graph scan it
+// replaces.
+func (b *ColorBFS) ensureBuckets() {
+	if b.bucketL == b.spec.L && len(b.bucketSrc) == len(b.spec.Color) && len(b.bucketSrc) > 0 &&
+		(&b.bucketSrc[0] == &b.spec.Color[0] || slices.Equal(b.bucketColor, b.spec.Color)) {
+		b.bucketSrc = b.spec.Color
+		return
+	}
+	b.bucketSrc = b.spec.Color
+	b.bucketL = b.spec.L
+	b.bucketColor = append(b.bucketColor[:0], b.spec.Color...)
+	b.bucketSeeds = b.bucketSeeds[:0]
+	for len(b.bucketPhase) < b.tmax-1 {
+		b.bucketPhase = append(b.bucketPhase, nil)
+	}
+	b.bucketPhase = b.bucketPhase[:b.tmax-1]
+	for i := range b.bucketPhase {
+		b.bucketPhase[i] = b.bucketPhase[i][:0]
+	}
+	for u, c := range b.bucketColor {
+		v := graph.NodeID(u)
+		switch ph := b.sendPhase(c); {
+		case ph == 1:
+			b.bucketSeeds = append(b.bucketSeeds, v)
+		case ph > 1:
+			b.bucketPhase[ph-2] = append(b.bucketPhase[ph-2], v)
+		}
+	}
+}
+
+// initSender loads v's forwarding queue for its transmission phase and
+// wakes it, unless it has nothing to transmit (inactive seed, empty or
+// overflowed set).
+func (p *batchPhase) initSender(rt *congest.Runtime, v graph.NodeID) {
+	b := p.bfs
+	switch c := b.spec.Color[v]; {
+	case c == 0:
+		if !b.spec.InX[v] {
+			return
+		}
+		// Algorithm 2's randomized activation (Instruction 1).
+		if b.spec.SeedProb < 1 && rt.Rand(v).Float64() >= b.spec.SeedProb {
+			return
+		}
+		b.queue[v] = append(b.queue[v][:0], uint64(v))
+	case b.isAscForwarder(c):
+		if b.ascOver[v] || b.asc.Len(v) == 0 {
+			return
+		}
+		b.fillQueueSorted(b.asc, v)
+	default: // descending forwarder
+		if b.descOver[v] || b.desc.Len(v) == 0 {
+			return
+		}
+		b.fillQueueSorted(b.desc, v)
+	}
+	b.queueIdx[v] = 0
+	rt.WakeAt(v, 0)
 }
 
 func (p *batchPhase) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, inbox []congest.Message) {
 	b := p.bfs
-	c := b.spec.Color[u]
-	for _, m := range inbox {
-		b.accept(u, c, m)
+	if !b.spec.InH[u] {
+		// Non-H nodes neither accept nor transmit (their queues are never
+		// loaded); skipping them avoids a no-op walk of flood inboxes.
+		return
 	}
-	q := b.queue[u]
-	if idx := b.queueIdx[u]; idx < len(q) {
-		id := q[idx]
-		b.queueIdx[u]++
-		kind, payload := kindFwd, uint64(c)
-		if c == 0 {
-			kind, payload = kindSeed, 0
-		} else if b.isDescForwarder(c) {
-			payload |= dirDesc
-		}
-		for _, w := range rt.Neighbors(u) {
-			rt.Send(u, w, kind, id, payload)
-		}
-		if b.queueIdx[u] < len(q) {
-			rt.WakeAt(u, r+1)
+	c := b.spec.Color[u]
+	if len(inbox) > 0 {
+		b.acceptAll(u, c, inbox)
+	}
+	// Checking the queue before its index spares receive-only nodes (the
+	// common case) the queueIdx load.
+	if q := b.queue[u]; len(q) > 0 {
+		if idx := int(b.queueIdx[u]); idx < len(q) {
+			id := q[idx]
+			b.queueIdx[u]++
+			kind, payload := kindFwd, uint64(c)
+			if c == 0 {
+				kind, payload = kindSeed, 0
+			} else if b.isDescForwarder(c) {
+				payload |= dirDesc
+			}
+			rt.Broadcast(u, kind, id, payload)
+			if int(b.queueIdx[u]) < len(q) {
+				rt.WakeAt(u, r+1)
+			}
 		}
 	}
 }
@@ -540,9 +641,9 @@ var _ congest.Handler = (*pipelinedRun)(nil)
 
 func (p *pipelinedRun) Init(rt *congest.Runtime) {
 	b := p.bfs
-	for u := 0; u < rt.N(); u++ {
-		v := graph.NodeID(u)
-		if !b.spec.InH[v] || b.spec.Color[v] != 0 || !b.spec.InX[v] {
+	b.ensureBuckets()
+	for _, v := range b.bucketSeeds {
+		if !b.spec.InH[v] || !b.spec.InX[v] {
 			continue
 		}
 		if b.spec.SeedProb < 1 && rt.Rand(v).Float64() >= b.spec.SeedProb {
@@ -555,6 +656,10 @@ func (p *pipelinedRun) Init(rt *congest.Runtime) {
 
 func (p *pipelinedRun) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, inbox []congest.Message) {
 	b := p.bfs
+	if !b.spec.InH[u] {
+		// As in the batch schedule: non-H nodes are pure bystanders.
+		return
+	}
 	c := b.spec.Color[u]
 	forwarder := b.isAscForwarder(c) || b.isDescForwarder(c)
 	for _, m := range inbox {
@@ -564,7 +669,7 @@ func (p *pipelinedRun) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, i
 		}
 		b.accept(u, c, m)
 		if forwarder && p.setSize(u, c) > before && !p.overflowed(u, c) {
-			b.queue[u] = append(b.queue[u], m.A)
+			b.queue[u] = append(b.queue[u], m.A())
 		}
 	}
 	if p.overflowed(u, c) {
@@ -573,7 +678,7 @@ func (p *pipelinedRun) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, i
 		return
 	}
 	q := b.queue[u]
-	if idx := b.queueIdx[u]; idx < len(q) {
+	if idx := int(b.queueIdx[u]); idx < len(q) {
 		id := q[idx]
 		b.queueIdx[u]++
 		kind, payload := kindFwd, uint64(c)
@@ -582,10 +687,8 @@ func (p *pipelinedRun) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, i
 		} else if b.isDescForwarder(c) {
 			payload |= dirDesc
 		}
-		for _, w := range rt.Neighbors(u) {
-			rt.Send(u, w, kind, id, payload)
-		}
-		if b.queueIdx[u] < len(q) {
+		rt.Broadcast(u, kind, id, payload)
+		if int(b.queueIdx[u]) < len(q) {
 			rt.WakeAt(u, r+1)
 		}
 	}

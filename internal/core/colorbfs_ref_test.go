@@ -73,26 +73,26 @@ func (b *refColorBFS) accept(v graph.NodeID, c int8, m congest.Message) {
 	if !b.spec.InH[v] {
 		return
 	}
-	id := m.A
-	switch m.Kind {
+	id := m.A()
+	switch m.Kind() {
 	case kindSeed:
 		if int(c) == 1 {
-			b.insertAsc(v, c, id, m.From)
+			b.insertAsc(v, c, id, m.From())
 		}
 		if int(c) == b.spec.L-1 {
-			b.insertDesc(v, c, id, m.From)
+			b.insertDesc(v, c, id, m.From())
 		}
 	case kindFwd:
-		sc := int(m.B) & 0xff
-		descDir := m.B&dirDesc != 0
+		sc := int(m.B()) & 0xff
+		descDir := m.B()&dirDesc != 0
 		if !descDir && int(c) == sc+1 && int(c) <= b.m {
-			b.insertAsc(v, c, id, m.From)
+			b.insertAsc(v, c, id, m.From())
 		}
 		if descDir && int(c) == sc-1 && int(c) >= b.m {
-			b.insertDesc(v, c, id, m.From)
+			b.insertDesc(v, c, id, m.From())
 		}
 		if descDir && b.spec.DetectSkip && sc == b.m+1 && int(c) == b.m-1 {
-			b.insertSkip(v, id, m.From)
+			b.insertSkip(v, id, m.From())
 		}
 	}
 }
@@ -411,7 +411,7 @@ func (p *refPipelinedRun) HandleRound(rt *congest.Runtime, u graph.NodeID, r int
 		}
 		b.accept(u, c, m)
 		if forwarder && p.setSize(u, c) > before && !p.overflowedAt(u, c) {
-			b.queue[u] = append(b.queue[u], m.A)
+			b.queue[u] = append(b.queue[u], m.A())
 		}
 	}
 	if p.overflowedAt(u, c) {

@@ -47,6 +47,12 @@ type Options struct {
 	Seed uint64
 	// Workers configures engine parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Shards overrides the receiver-shard count of the engine's parallel
+	// delivery phase and ParallelThreshold its serial/parallel cutover
+	// (see congest.Engine); 0 keeps the engine defaults. Transcripts are
+	// bit-identical for every setting.
+	Shards            int
+	ParallelThreshold int
 	// Parallel is the number of coloring iterations (trials) in flight at
 	// once: 0 or 1 runs them sequentially, negative means GOMAXPROCS.
 	// Results are deterministic for a fixed Seed regardless of Parallel
@@ -161,6 +167,8 @@ func runAlgorithm1Capturing(g *graph.Graph, params Params, opt Options) (*Result
 	net := congest.NewNetwork(g, opt.Seed)
 	eng := congest.NewEngine(net)
 	eng.Workers = opt.Workers
+	eng.Shards = opt.Shards
+	eng.ParallelThreshold = opt.ParallelThreshold
 	eng.MaxRounds = opt.MaxRounds
 	eng.DropProb = opt.DropProb
 

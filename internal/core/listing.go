@@ -105,6 +105,8 @@ func ListEvenCycles(g *graph.Graph, k int, opt Options) (*ListResult, error) {
 	net := congest.NewNetwork(g, opt.Seed)
 	eng := congest.NewEngine(net)
 	eng.Workers = opt.Workers
+	eng.Shards = opt.Shards
+	eng.ParallelThreshold = opt.ParallelThreshold
 	eng.MaxRounds = opt.MaxRounds
 
 	res := &ListResult{}

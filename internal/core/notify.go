@@ -58,7 +58,7 @@ func (w *WitnessNotify) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, 
 		return
 	}
 	for _, m := range inbox {
-		if m.Kind != kindNotify || m.A != id {
+		if m.Kind() != kindNotify || m.A() != id {
 			continue
 		}
 		w.Member[u] = true
@@ -67,13 +67,13 @@ func (w *WitnessNotify) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, 
 		}
 		var parent graph.NodeID
 		var ok bool
-		if m.B == 0 {
+		if m.B() == 0 {
 			parent, ok = b.asc.Get(u, id)
 		} else {
 			parent, ok = b.desc.Get(u, id)
 		}
 		if ok {
-			rt.Send(u, parent, kindNotify, id, m.B)
+			rt.Send(u, parent, kindNotify, id, m.B())
 		}
 	}
 }

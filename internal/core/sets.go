@@ -49,13 +49,11 @@ func (s *Sets) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, inbox []c
 		s.InU[u] = rt.Degree(u) <= s.Params.LightMax
 		s.InS[u] = rt.Rand(u).Float64() < s.Params.P
 		if s.InS[u] {
-			for _, v := range rt.Neighbors(u) {
-				rt.Send(u, v, kindSelect, 0, 0)
-			}
+			rt.Broadcast(u, kindSelect, 0, 0)
 		}
 	default:
 		for _, m := range inbox {
-			if m.Kind == kindSelect {
+			if m.Kind() == kindSelect {
 				s.SCount[u]++
 			}
 		}

@@ -25,6 +25,7 @@ package decomp
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -85,14 +86,24 @@ func Decompose(g *graph.Graph, k int, seed uint64) (*Decomposition, error) {
 			distOut := boundaryDistance(g, owner, k+1)
 
 			// Cores: nodes strictly further than k from their cluster's
-			// boundary, grouped by owner.
+			// boundary, grouped by owner. Owners are walked in sorted
+			// order — map iteration order would otherwise leak into the
+			// cluster (hence component) order, and with it into every
+			// downstream per-component seed, making quantum runs
+			// irreproducible.
 			byOwner := make(map[graph.NodeID][]graph.NodeID)
 			for v := 0; v < n; v++ {
 				if distOut[v] > int32(k) {
 					byOwner[owner[v]] = append(byOwner[owner[v]], graph.NodeID(v))
 				}
 			}
-			for _, members := range byOwner {
+			owners := make([]graph.NodeID, 0, len(byOwner))
+			for o := range byOwner {
+				owners = append(owners, o)
+			}
+			slices.Sort(owners)
+			for _, o := range owners {
+				members := byOwner[o]
 				dec.Clusters = append(dec.Clusters, Cluster{Color: color, Members: members})
 				for _, v := range members {
 					if !dec.Covered[v] {

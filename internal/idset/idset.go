@@ -19,27 +19,50 @@
 // own handler invocation.
 package idset
 
+import "sync/atomic"
+
 // NodeID mirrors graph.NodeID; the package depends on nothing so the
 // substrate layers (graph, congest, core, baseline) can all use it.
 type NodeID = int32
 
 // slot is one open-addressing table entry; it is live iff gen matches the
-// store's current generation.
+// store's current generation. The generation is 32-bit so a slot packs
+// into 16 bytes (a Reset every microsecond would take an hour and a half
+// to wrap, and sets are reused on far coarser timescales), which matters
+// because the per-node minimum tables form one large slab.
 type slot struct {
-	gen uint64
 	id  uint64
+	gen uint32
 	val int32
 }
 
-const minTableSize = 8 // power of two
+const minTableSize = 4 // power of two
 
 // Store is a per-node family of identifier sets. The zero value is not
 // usable; call New.
 type Store struct {
-	gen    uint64
-	tables [][]slot // per-node open-addressing tables (nil until first use)
-	lens   []int32  // per-node live counts, valid iff genOf matches gen
-	genOf  []uint64
+	gen    uint32
+	tables [][]slot // per-node open-addressing tables
+	// meta[v] packs node v's generation (high 32 bits) and live count
+	// (low 32): one load answers both "is the set current?" and "how
+	// big is it?", which the insert and length paths ask together.
+	meta []uint64
+	// maxLen is the running maximum live count, packed like a meta entry
+	// (generation high, count low) so Reset invalidates it for free. It
+	// is atomic because inserts for distinct nodes may race; the common
+	// insert pays one relaxed load, and a CAS happens only when a set
+	// strictly exceeds the watermark — at most max-congestion times per
+	// generation, not per insert. MaxLen is then O(1) instead of an
+	// n-wide scan per query.
+	maxLen atomic.Uint64
+}
+
+func (s *Store) lenOf(v NodeID) int32 {
+	m := s.meta[v]
+	if uint32(m>>32) != s.gen {
+		return 0
+	}
+	return int32(uint32(m))
 }
 
 // New returns a store with one empty set per node.
@@ -52,17 +75,26 @@ func New(n int) *Store {
 // Reset empties every set (O(1) via the generation stamp) and re-sizes the
 // store to n nodes. Table capacity acquired by previous generations is
 // retained, which is what makes pooled reuse allocation-free.
+//
+// Every node starts with a minimum-size table carved out of one shared
+// slab: n separate first-touch allocations become one, and the common
+// small sets (the threshold τ bounds forwarder sets) stay contiguous in
+// memory. Only tables that outgrow the minimum size get individual
+// backing from grow.
 func (s *Store) Reset(n int) {
 	s.gen++
-	if n != len(s.lens) {
+	if n != len(s.meta) {
 		s.tables = make([][]slot, n)
-		s.lens = make([]int32, n)
-		s.genOf = make([]uint64, n)
+		s.meta = make([]uint64, n)
+		slab := make([]slot, n*minTableSize)
+		for v := range s.tables {
+			s.tables[v] = slab[v*minTableSize : (v+1)*minTableSize : (v+1)*minTableSize]
+		}
 	}
 }
 
 // NumNodes returns the number of per-node sets.
-func (s *Store) NumNodes() int { return len(s.lens) }
+func (s *Store) NumNodes() int { return len(s.meta) }
 
 // hash is the splitmix64 finalizer: a full-avalanche mix so that the
 // low bits used for table indexing depend on every bit of the identifier.
@@ -76,30 +108,23 @@ func hash(id uint64) uint64 {
 }
 
 // Len returns the size of node v's set.
-func (s *Store) Len(v NodeID) int {
-	if s.genOf[v] != s.gen {
-		return 0
-	}
-	return int(s.lens[v])
-}
+func (s *Store) Len(v NodeID) int { return int(s.lenOf(v)) }
 
 // MaxLen returns the largest set size across all nodes.
 func (s *Store) MaxLen() int {
-	best := int32(0)
-	for v, g := range s.genOf {
-		if g == s.gen && s.lens[v] > best {
-			best = s.lens[v]
-		}
+	m := s.maxLen.Load()
+	if uint32(m>>32) != s.gen {
+		return 0
 	}
-	return int(best)
+	return int(uint32(m))
 }
 
 // Get returns the value stored for id in node v's set.
 func (s *Store) Get(v NodeID, id uint64) (int32, bool) {
-	tbl := s.tables[v]
-	if len(tbl) == 0 || s.genOf[v] != s.gen {
+	if s.lenOf(v) == 0 {
 		return 0, false
 	}
+	tbl := s.tables[v]
 	mask := uint64(len(tbl) - 1)
 	for i := hash(id) & mask; ; i = (i + 1) & mask {
 		sl := &tbl[i]
@@ -120,6 +145,20 @@ func (s *Store) Insert(v NodeID, id uint64, val int32) bool {
 	return inserted
 }
 
+// InsertCapped is Insert with a capacity bound: when node v's set
+// already holds capLen entries and id is absent, nothing is inserted and
+// capped is reported. One meta load and one probe settle the duplicate
+// check, the bound, and the insertion together (callers that checked
+// Len before Insert paid both twice).
+func (s *Store) InsertCapped(v NodeID, id uint64, val int32, capLen int32) (inserted, capped bool) {
+	if s.lenOf(v) >= capLen {
+		_, dup := s.Get(v, id)
+		return false, !dup
+	}
+	_, _, inserted = s.put(v, id, val, false)
+	return inserted, false
+}
+
 // Put adds or overwrites id → val in node v's set, returning the previous
 // value if one existed (the upsert the k-ball TTL relaxation needs).
 func (s *Store) Put(v NodeID, id uint64, val int32) (prev int32, existed bool) {
@@ -128,14 +167,11 @@ func (s *Store) Put(v NodeID, id uint64, val int32) (prev int32, existed bool) {
 }
 
 func (s *Store) put(v NodeID, id uint64, val int32, overwrite bool) (prev int32, existed, inserted bool) {
-	if s.genOf[v] != s.gen {
-		s.genOf[v] = s.gen
-		s.lens[v] = 0
-	}
+	live := s.lenOf(v)
 	tbl := s.tables[v]
 	// Grow at ¾ load (or allocate the first table) before probing, so the
 	// probe loop below always finds a dead slot.
-	if len(tbl) == 0 || int(s.lens[v])*4 >= len(tbl)*3 {
+	if len(tbl) == 0 || int(live)*4 >= len(tbl)*3 {
 		tbl = s.grow(v)
 	}
 	mask := uint64(len(tbl) - 1)
@@ -145,7 +181,8 @@ func (s *Store) put(v NodeID, id uint64, val int32, overwrite bool) (prev int32,
 			sl.gen = s.gen
 			sl.id = id
 			sl.val = val
-			s.lens[v]++
+			s.meta[v] = uint64(s.gen)<<32 | uint64(uint32(live+1))
+			s.raiseMax(live + 1)
 			return 0, false, true
 		}
 		if sl.id == id {
@@ -158,15 +195,27 @@ func (s *Store) put(v NodeID, id uint64, val int32, overwrite bool) (prev int32,
 	}
 }
 
+// raiseMax lifts the packed watermark to newLen if it exceeds the
+// current generation's maximum.
+func (s *Store) raiseMax(newLen int32) {
+	packed := uint64(s.gen)<<32 | uint64(uint32(newLen))
+	for {
+		cur := s.maxLen.Load()
+		if uint32(cur>>32) == s.gen && int32(uint32(cur)) >= newLen {
+			return
+		}
+		if s.maxLen.CompareAndSwap(cur, packed) {
+			return
+		}
+	}
+}
+
 // grow doubles node v's table (or installs the retained one / a fresh
 // minimum-size one) and re-inserts the live entries.
 func (s *Store) grow(v NodeID) []slot {
 	old := s.tables[v]
 	size := minTableSize
-	live := 0
-	if s.genOf[v] == s.gen {
-		live = int(s.lens[v])
-	}
+	live := int(s.lenOf(v))
 	for size <= len(old) || live*4 >= size*3 {
 		size *= 2
 	}
@@ -192,7 +241,7 @@ func (s *Store) grow(v NodeID) []slot {
 // but deterministic table order) and returns the extended slice. Callers
 // that need a canonical order sort the result.
 func (s *Store) AppendIDs(v NodeID, buf []uint64) []uint64 {
-	if s.genOf[v] != s.gen {
+	if s.lenOf(v) == 0 {
 		return buf
 	}
 	for i := range s.tables[v] {

@@ -108,6 +108,11 @@ type OddOptions struct {
 	Threshold int
 	Seed      uint64
 	Workers   int
+	// Shards / ParallelThreshold tune the engine's parallel delivery
+	// phase (see congest.Engine); 0 keeps the engine defaults.
+	// Transcripts are bit-identical for every setting.
+	Shards            int
+	ParallelThreshold int
 	// Parallel is the number of coloring trials in flight (0/1 sequential,
 	// negative GOMAXPROCS); results are deterministic regardless.
 	Parallel  int
@@ -158,6 +163,8 @@ func DetectOdd(g *graph.Graph, k int, opt OddOptions) (*OddResult, error) {
 	net := congest.NewNetwork(g, opt.Seed)
 	eng := congest.NewEngine(net)
 	eng.Workers = opt.Workers
+	eng.Shards = opt.Shards
+	eng.ParallelThreshold = opt.ParallelThreshold
 
 	all := make([]bool, n)
 	for v := range all {

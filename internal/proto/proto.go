@@ -59,13 +59,11 @@ func (b *BFSTree) HandleRound(rt *congest.Runtime, u congest.NodeID, r int, inbo
 	if u == b.Root && !b.joined[u] {
 		b.joined[u] = true
 		b.Depth[u] = 0
-		for _, v := range rt.Neighbors(u) {
-			rt.Send(u, v, kindJoin, 0, 0)
-		}
+		rt.Broadcast(u, kindJoin, 0, 0)
 		return
 	}
 	for _, m := range inbox {
-		if m.Kind == kindChild {
+		if m.Kind() == kindChild {
 			b.Children[u]++
 		}
 	}
@@ -75,15 +73,15 @@ func (b *BFSTree) HandleRound(rt *congest.Runtime, u congest.NodeID, r int, inbo
 	// Adopt the first (lowest-ID, since inboxes are sender-ordered) join
 	// invitation.
 	for _, m := range inbox {
-		if m.Kind != kindJoin {
+		if m.Kind() != kindJoin {
 			continue
 		}
 		b.joined[u] = true
-		b.Parent[u] = m.From
-		b.Depth[u] = int32(m.A) + 1
-		rt.Send(u, m.From, kindChild, 0, 0)
+		b.Parent[u] = m.From()
+		b.Depth[u] = int32(m.A()) + 1
+		rt.Send(u, m.From(), kindChild, 0, 0)
 		for _, v := range rt.Neighbors(u) {
-			if v != m.From {
+			if v != m.From() {
 				rt.Send(u, v, kindJoin, uint64(b.Depth[u]), 0)
 			}
 		}
@@ -140,11 +138,11 @@ func (c *ConvergecastOr) Init(rt *congest.Runtime) {
 // HandleRound implements congest.Handler.
 func (c *ConvergecastOr) HandleRound(rt *congest.Runtime, u congest.NodeID, r int, inbox []congest.Message) {
 	for _, m := range inbox {
-		if m.Kind != kindUp {
+		if m.Kind() != kindUp {
 			continue
 		}
 		c.pendingChildren[u]--
-		if m.A != 0 {
+		if m.A() != 0 {
 			c.acc[u] = true
 		}
 	}
@@ -193,9 +191,9 @@ func (b *Broadcast) HandleRound(rt *congest.Runtime, u congest.NodeID, r int, in
 		b.Got[u] = b.Value
 	} else {
 		for _, m := range inbox {
-			if m.Kind == kindDown && m.From == b.Tree.Parent[u] {
+			if m.Kind() == kindDown && m.From() == b.Tree.Parent[u] {
 				b.Received[u] = true
-				b.Got[u] = m.A
+				b.Got[u] = m.A()
 			}
 		}
 		if !b.Received[u] {
@@ -205,9 +203,7 @@ func (b *Broadcast) HandleRound(rt *congest.Runtime, u congest.NodeID, r int, in
 	if b.Tree.Children[u] == 0 {
 		return
 	}
-	for _, v := range rt.Neighbors(u) {
-		rt.Send(u, v, kindDown, b.Got[u], 0)
-	}
+	rt.Broadcast(u, kindDown, b.Got[u], 0)
 }
 
 // LeaderElect elects, within each connected component, the node with the
@@ -246,10 +242,10 @@ func (l *LeaderElect) HandleRound(rt *congest.Runtime, u congest.NodeID, r int, 
 		improved = true
 	}
 	for _, m := range inbox {
-		if m.Kind != kindTag {
+		if m.Kind() != kindTag {
 			continue
 		}
-		tag, id := m.A, congest.NodeID(m.B)
+		tag, id := m.A(), congest.NodeID(m.B())
 		if tag < l.bestTag[u] || (tag == l.bestTag[u] && id < l.Leader[u]) {
 			l.bestTag[u] = tag
 			l.Leader[u] = id
@@ -259,9 +255,7 @@ func (l *LeaderElect) HandleRound(rt *congest.Runtime, u congest.NodeID, r int, 
 	if !improved {
 		return
 	}
-	for _, v := range rt.Neighbors(u) {
-		rt.Send(u, v, kindTag, l.bestTag[u], uint64(l.Leader[u]))
-	}
+	rt.Broadcast(u, kindTag, l.bestTag[u], uint64(l.Leader[u]))
 }
 
 // BuildTree is a convenience wrapper running BFSTree on its own session and

@@ -38,6 +38,12 @@ type Options struct {
 	EpsFn   func(n int) (float64, error)
 	Seed    uint64
 	Workers int
+	// Shards / ParallelThreshold tune the engine's parallel delivery
+	// phase (see congest.Engine); 0 keeps the engine defaults.
+	// Transcripts are bit-identical for every setting.
+	Shards            int
+	ParallelThreshold int
+
 	// Parallel is the number of Setup simulations amplified concurrently
 	// per component (0/1 sequential, negative GOMAXPROCS); see
 	// AmplifyOptions.Parallel.
@@ -98,10 +104,12 @@ func DetectEvenCycle(g *graph.Graph, k int, opt Options) (*Result, error) {
 		eps:   func(n int) (float64, error) { return lowprob.SuccessProb(n, k) },
 		attempt: func(sub *graph.Graph, seed uint64) (bool, []graph.NodeID, int, error) {
 			res, err := lowprob.Detect(sub, k, core.Options{
-				Seed:          seed,
-				MaxIterations: opt.AttemptIterations,
-				SeedProb:      opt.AttemptSeedProb,
-				Workers:       opt.Workers,
+				Seed:              seed,
+				MaxIterations:     opt.AttemptIterations,
+				SeedProb:          opt.AttemptSeedProb,
+				Workers:           opt.Workers,
+				Shards:            opt.Shards,
+				ParallelThreshold: opt.ParallelThreshold,
 			})
 			if err != nil {
 				return false, nil, 0, err
@@ -123,10 +131,12 @@ func DetectOddCycle(g *graph.Graph, k int, opt Options) (*Result, error) {
 		eps:   func(n int) (float64, error) { return lowprob.OddSuccessProb(n), nil },
 		attempt: func(sub *graph.Graph, seed uint64) (bool, []graph.NodeID, int, error) {
 			res, err := lowprob.DetectOdd(sub, k, lowprob.OddOptions{
-				Seed:          seed,
-				MaxIterations: opt.AttemptIterations,
-				SeedProb:      opt.AttemptSeedProb,
-				Workers:       opt.Workers,
+				Seed:              seed,
+				MaxIterations:     opt.AttemptIterations,
+				SeedProb:          opt.AttemptSeedProb,
+				Workers:           opt.Workers,
+				Shards:            opt.Shards,
+				ParallelThreshold: opt.ParallelThreshold,
 			})
 			if err != nil {
 				return false, nil, 0, err
@@ -149,10 +159,12 @@ func DetectBoundedCycle(g *graph.Graph, k int, opt Options) (*Result, error) {
 		eps:   func(n int) (float64, error) { return lowprob.BoundedSuccessProb(n, k) },
 		attempt: func(sub *graph.Graph, seed uint64) (bool, []graph.NodeID, int, error) {
 			res, err := lowprob.DetectBounded(sub, k, core.Options{
-				Seed:          seed,
-				MaxIterations: opt.AttemptIterations,
-				SeedProb:      opt.AttemptSeedProb,
-				Workers:       opt.Workers,
+				Seed:              seed,
+				MaxIterations:     opt.AttemptIterations,
+				SeedProb:          opt.AttemptSeedProb,
+				Workers:           opt.Workers,
+				Shards:            opt.Shards,
+				ParallelThreshold: opt.ParallelThreshold,
 			})
 			if err != nil {
 				return false, nil, 0, err
@@ -256,6 +268,8 @@ func amplifyComponent(comp decomp.Component, pipe pipeline, opt Options, salt ui
 	net := congest.NewNetwork(comp.Sub, opt.Seed^salt*0x9e3779b97f4a7c15)
 	eng := congest.NewEngine(net)
 	eng.Workers = opt.Workers
+	eng.Shards = opt.Shards
+	eng.ParallelThreshold = opt.ParallelThreshold
 
 	tree, repTree, err := proto.BuildTree(eng, 0)
 	if err != nil {
