@@ -1,7 +1,7 @@
 package evencycle
 
 // One benchmark per reproduced table/figure (the per-experiment index in
-// DESIGN.md §4 maps each to a Table 1 row or to Figure 1), plus
+// each experiment maps to a Table 1 row or to Figure 1), plus
 // micro-benchmarks of the load-bearing substrates. Benchmarks run the
 // quick sweeps; the full sweeps recorded in EXPERIMENTS.md are produced by
 // cmd/benchtab.
@@ -13,6 +13,7 @@ import (
 	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/decomp"
+	"repro/internal/deterministic"
 	"repro/internal/graph"
 	"repro/internal/lowprob"
 	"repro/internal/quantum"
@@ -66,6 +67,9 @@ func BenchmarkE9DensityExtraction(b *testing.B) { runExperiment(b, "E9") }
 
 // Theorem 1 error guarantees at faithful parameters.
 func BenchmarkE10ErrorCalibration(b *testing.B) { runExperiment(b, "E10") }
+
+// Deterministic broadcast CONGEST vs randomized detection.
+func BenchmarkD1Deterministic(b *testing.B) { runExperiment(b, "D1") }
 
 // Ablation A1: batch vs pipelined scheduling.
 func BenchmarkA1BatchVsPipelined(b *testing.B) { runExperiment(b, "A1") }
@@ -158,6 +162,29 @@ func BenchmarkDetectEvenCycle(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkDetectDeterministic measures the deterministic broadcast
+// detector end to end on the same pinned instance as
+// BenchmarkDetectEvenCycle's n=2000/k=2 scenario (one seedless broadcast
+// session: all-source walk relay + witness reconstruction). It mirrors
+// the det-broadcast entry of the perf-trajectory JSON.
+func BenchmarkDetectDeterministic(b *testing.B) {
+	g, err := bench.DetectScenarios[0].Graph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := deterministic.Detect(g, 2, deterministic.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Found {
+			b.Fatal("planted cycle missed by the deterministic detector")
+		}
 	}
 }
 

@@ -4,9 +4,14 @@
 // Usage:
 //
 //	cycledetect -gen planted:2000:4:1.5 -k 2 -mode classical
+//	cycledetect -gen planted:2000:4:1.5 -k 2 -algo det
 //	cycledetect -gen file:graph.txt -k 3 -mode quantum
 //	cycledetect -gen pg:7 -k 2 -mode bounded
 //	cycledetect -gen planted:8192:6:1.5 -k 3 -mode classical -trials 16 -parallel 0
+//
+// -algo is an alias for -mode; mode "det" runs the deterministic
+// broadcast-CONGEST detector (arXiv:2412.11195), which is seedless — its
+// output is a pure function of the graph.
 //
 // -trials runs that many independent detection runs (derived seeds) on the
 // shared trial scheduler and stops at the first detection; -parallel
@@ -49,9 +54,11 @@ func run() error {
 	gen := flag.String("gen", "gnm:1000:2000", "graph source (see doc comment)")
 	k := flag.Int("k", 2, "half cycle length: detect C_2k (or C_{2k+1} in odd mode)")
 	mode := flag.String("mode", "classical",
-		"classical | quantum | odd | oddquantum | bounded | boundedquantum | list | local | localthreshold | kball")
-	seed := flag.Uint64("seed", 1, "master random seed")
+		"classical | det | quantum | odd | oddquantum | bounded | boundedquantum | list | local | localthreshold | kball")
+	flag.StringVar(mode, "algo", "classical", "alias for -mode")
+	seed := flag.Uint64("seed", 1, "master random seed (also seeds -gen; the det detector itself is seedless — for a fixed graph its output never depends on the seed)")
 	iterations := flag.Int("iterations", 0, "override coloring repetitions (0 = faithful)")
+	threshold := flag.Int("threshold", 0, "override the congestion threshold τ (0 = faithful)")
 	trials := flag.Int("trials", 1,
 		"independent detection runs with derived seeds; stops at the first detection (detector modes only)")
 	parallel := flag.Int("parallel", 1,
@@ -72,6 +79,9 @@ func run() error {
 		opts := []evencycle.Option{evencycle.WithSeed(trialSeed), evencycle.WithParallel(par)}
 		if *iterations > 0 {
 			opts = append(opts, evencycle.WithIterations(*iterations))
+		}
+		if *threshold > 0 {
+			opts = append(opts, evencycle.WithThreshold(*threshold))
 		}
 		return opts
 	}
@@ -146,6 +156,23 @@ func run() error {
 	switch *mode {
 	case "classical":
 		return classicalTrials(evencycle.Detect)
+	case "det", "deterministic":
+		// The deterministic broadcast detector is seedless: one run is the
+		// whole answer, so -trials/-parallel do not apply.
+		res, err := evencycle.DetectDeterministic(g, *k, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("found=%v rounds=%d messages=%d congestion=%d overflowed=%v\n",
+			res.Found, res.Rounds, res.Messages, res.MaxCongestion, res.Overflowed)
+		if res.Found {
+			fmt.Printf("witness (C_%d): %v\n", res.FoundLen, res.Witness)
+			if err := evencycle.VerifyCycle(g, res.Witness); err != nil {
+				fmt.Printf("WITNESS INVALID: %v\n", err)
+			} else {
+				fmt.Println("witness verified against the input graph")
+			}
+		}
 	case "bounded":
 		return classicalTrials(evencycle.DetectBounded)
 	case "odd":

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/deterministic"
 	"repro/internal/graph"
 	"repro/internal/lowprob"
 	"repro/internal/quantum"
@@ -183,6 +184,23 @@ func TestDetectorTranscriptsInvariantAcrossDelivery(t *testing.T) {
 				t.Fatalf("kball diverges at workers=%d", w)
 			}
 		}
+	})
+
+	// The deterministic broadcast detector must be invariant not only
+	// across the delivery configurations but across master seeds: it
+	// draws no randomness, so its transcript is a pure function of the
+	// graph. The seed is folded into the sweep to pin exactly that.
+	t.Run("deterministic", func(t *testing.T) {
+		seeds := []uint64{29, 31337}
+		fingerprintInvariant(t, func(w, s, p int) (string, error) {
+			res, err := deterministic.Detect(g, 2, deterministic.Options{
+				Seed: seeds[(w+s+p)%2], Workers: w, Shards: s, ParallelThreshold: p,
+			})
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%+v", res), nil
+		})
 	})
 
 	t.Run("quantum-even", func(t *testing.T) {

@@ -11,15 +11,19 @@
 // congestion-reduced explorations amplified by distributed quantum
 // Monte-Carlo amplification inside diameter-reduced components). Odd
 // cycles (Θ̃(√n) quantum) and bounded-length families
-// F_{2k} = {C_ℓ | 3 ≤ ℓ ≤ 2k} are covered as well.
+// F_{2k} = {C_ℓ | 3 ≤ ℓ ≤ 2k} are covered as well, and
+// DetectDeterministic adds the same authors' deterministic broadcast-
+// CONGEST detector (arXiv:2412.11195), whose verdict uses no randomness
+// at all.
 //
 // Every detector is one-sided: when it reports a cycle, the cycle is real
 // and returned as a witness that has been re-verified against the input
 // graph; a C-free input is never rejected.
 //
-// The package is a facade over the internal engine; see DESIGN.md for the
-// system inventory, EXPERIMENTS.md for the reproduction of the paper's
-// Table 1, and the examples/ directory for runnable programs.
+// The package is a facade over the internal engine; see
+// docs/ARCHITECTURE.md for the system inventory, EXPERIMENTS.md for the
+// reproduced experiment tables, and the examples/ directory for runnable
+// programs.
 package evencycle
 
 import (
@@ -27,6 +31,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/deterministic"
 	"repro/internal/graph"
 	"repro/internal/lowprob"
 	"repro/internal/quantum"
@@ -81,10 +86,12 @@ type config struct {
 	iterations int
 	seed       uint64
 	workers    int
+	shards     int
 	parallel   int
 	pipelined  bool
 	maxSims    int
 	delta      float64
+	threshold  int
 }
 
 // WithError sets the one-sided error probability ε (default 1/3).
@@ -92,7 +99,7 @@ func WithError(eps float64) Option { return func(c *config) { c.eps = eps } }
 
 // WithIterations overrides the number of coloring repetitions (default:
 // the paper's ε̂(2k)^{2k}, which is constant in n but very large for
-// k ≥ 3 — long-running; see DESIGN.md).
+// k ≥ 3 — long-running; see docs/ARCHITECTURE.md).
 func WithIterations(k int) Option { return func(c *config) { c.iterations = k } }
 
 // WithSeed fixes the master random seed (runs are reproducible given the
@@ -102,6 +109,19 @@ func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 // WithWorkers sets the simulator's goroutine pool size (default
 // GOMAXPROCS).
 func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
+// WithShards overrides the receiver-shard count of the simulator's
+// parallel delivery phase (default: one shard per worker). Transcripts —
+// and therefore results — are bit-identical for every value; the knob
+// exists for tuning (see congest.Engine.Shards).
+func WithShards(s int) Option { return func(c *config) { c.shards = s } }
+
+// WithThreshold overrides the congestion threshold τ: the per-node
+// identifier cap of the classical detectors (Instruction 19 of
+// Algorithm 1; the faithful Θ(n^{1-1/k}) value when unset) and of
+// DetectDeterministic. Lower thresholds trade detection completeness for
+// congestion — the ablation experiments sweep exactly this.
+func WithThreshold(tau int) Option { return func(c *config) { c.threshold = tau } }
 
 // WithParallel sets how many independent trials (coloring iterations, or
 // amplification attempts in the quantum detectors) run concurrently on
@@ -146,7 +166,13 @@ type Result struct {
 	Messages      int64
 	Bits          int64
 	MaxCongestion int
-	// Iterations is the number of coloring repetitions executed.
+	// Overflowed reports whether some node hit the congestion threshold τ
+	// and discarded its identifier set (detectors with threshold pruning:
+	// Detect, DetectBounded, DetectLocal, DetectDeterministic). Overflow
+	// can cost detections, never fabricate one.
+	Overflowed bool
+	// Iterations is the number of coloring repetitions executed (0 for the
+	// deterministic detector, which runs a single session).
 	Iterations int
 }
 
@@ -157,8 +183,10 @@ func Detect(g *Graph, k int, opts ...Option) (*Result, error) {
 	res, err := core.DetectEvenCycle(g, k, core.Options{
 		Eps:           c.eps,
 		MaxIterations: c.iterations,
+		Threshold:     c.threshold,
 		Seed:          c.seed,
 		Workers:       c.workers,
+		Shards:        c.shards,
 		Parallel:      c.parallel,
 		Pipelined:     c.pipelined,
 	})
@@ -172,6 +200,7 @@ func Detect(g *Graph, k int, opts ...Option) (*Result, error) {
 		Messages:      res.Messages,
 		Bits:          res.Bits,
 		MaxCongestion: res.MaxCongestion,
+		Overflowed:    res.Overflowed,
 		Iterations:    res.IterationsRun,
 	}
 	if res.Found {
@@ -187,8 +216,10 @@ func DetectBounded(g *Graph, k int, opts ...Option) (*Result, error) {
 	res, err := core.DetectBoundedCycle(g, k, core.Options{
 		Eps:           c.eps,
 		MaxIterations: c.iterations,
+		Threshold:     c.threshold,
 		Seed:          c.seed,
 		Workers:       c.workers,
+		Shards:        c.shards,
 		Parallel:      c.parallel,
 		Pipelined:     c.pipelined,
 	})
@@ -203,6 +234,7 @@ func DetectBounded(g *Graph, k int, opts ...Option) (*Result, error) {
 		Messages:      res.Messages,
 		Bits:          res.Bits,
 		MaxCongestion: res.MaxCongestion,
+		Overflowed:    res.Overflowed,
 		Iterations:    res.IterationsRun,
 	}, nil
 }
@@ -216,6 +248,7 @@ func DetectOdd(g *Graph, k int, opts ...Option) (*Result, error) {
 		MaxIterations: c.iterations,
 		Seed:          c.seed,
 		Workers:       c.workers,
+		Shards:        c.shards,
 		Parallel:      c.parallel,
 		SeedProb:      1, // classical mode: every color-0 node participates
 	})
@@ -245,8 +278,10 @@ func ListCycles(g *Graph, k int, opts ...Option) ([][]NodeID, error) {
 	res, err := core.ListEvenCycles(g, k, core.Options{
 		Eps:           c.eps,
 		MaxIterations: c.iterations,
+		Threshold:     c.threshold,
 		Seed:          c.seed,
 		Workers:       c.workers,
+		Shards:        c.shards,
 		Parallel:      c.parallel,
 		Pipelined:     c.pipelined,
 	})
@@ -273,8 +308,10 @@ func DetectLocal(g *Graph, k int, opts ...Option) (*LocalDetection, error) {
 	res, err := core.DetectEvenCycleLocal(g, k, core.Options{
 		Eps:           c.eps,
 		MaxIterations: c.iterations,
+		Threshold:     c.threshold,
 		Seed:          c.seed,
 		Workers:       c.workers,
+		Shards:        c.shards,
 		Parallel:      c.parallel,
 		Pipelined:     c.pipelined,
 	})
@@ -289,6 +326,7 @@ func DetectLocal(g *Graph, k int, opts ...Option) (*LocalDetection, error) {
 			Messages:      res.Messages,
 			Bits:          res.Bits,
 			MaxCongestion: res.MaxCongestion,
+			Overflowed:    res.Overflowed,
 			Iterations:    res.IterationsRun,
 		},
 		Rejecting: res.Rejecting,
@@ -300,7 +338,7 @@ func DetectLocal(g *Graph, k int, opts ...Option) (*LocalDetection, error) {
 }
 
 // QuantumResult reports a quantum detection run: the verdict plus the
-// charged quantum round ledger (see DESIGN.md for the simulation
+// charged quantum round ledger (see docs/ARCHITECTURE.md for the simulation
 // substitution).
 type QuantumResult struct {
 	Found   bool
@@ -334,6 +372,7 @@ func DetectQuantum(g *Graph, k int, opts ...Option) (*QuantumResult, error) {
 		AttemptIterations: c.iterations,
 		Seed:              c.seed,
 		Workers:           c.workers,
+		Shards:            c.shards,
 		Parallel:          c.parallel,
 	})
 	if err != nil {
@@ -352,12 +391,53 @@ func DetectOddQuantum(g *Graph, k int, opts ...Option) (*QuantumResult, error) {
 		AttemptIterations: c.iterations,
 		Seed:              c.seed,
 		Workers:           c.workers,
+		Shards:            c.shards,
 		Parallel:          c.parallel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("evencycle: %w", err)
 	}
 	return quantumResult(res), nil
+}
+
+// DetectDeterministic runs the deterministic broadcast-CONGEST detector
+// of Fraigniaud–Luce–Magniez–Todinca (arXiv:2412.11195;
+// internal/deterministic): every node relays exact-length walk
+// announcements under the threshold τ = ⌈2k·n^{1-1/k}⌉, one broadcast
+// per round, and a verified walk collision certifies the cycle. The
+// one-sided guarantee is deterministic, not probabilistic: a reported
+// cycle is real and a C_2k-free input is never rejected, on every run. A
+// present C_2k can still be missed — on threshold overflow (Overflowed),
+// or when every walk collision reconstructs a self-intersecting walk
+// (chord-dense instances, mostly k ≥ 3). The detector draws no
+// randomness: the result is a pure function of the graph — WithSeed,
+// WithParallel and WithIterations have no effect, while
+// WithWorkers/WithShards tune the simulator (bit-identical results) and
+// WithThreshold overrides τ.
+func DetectDeterministic(g *Graph, k int, opts ...Option) (*Result, error) {
+	c := buildConfig(opts)
+	res, err := deterministic.Detect(g, k, deterministic.Options{
+		Threshold: c.threshold,
+		Seed:      c.seed,
+		Workers:   c.workers,
+		Shards:    c.shards,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("evencycle: %w", err)
+	}
+	out := &Result{
+		Found:         res.Found,
+		Witness:       res.Witness,
+		Rounds:        res.Rounds,
+		Messages:      res.Messages,
+		Bits:          res.Bits,
+		MaxCongestion: res.MaxCongestion,
+		Overflowed:    res.Overflowed,
+	}
+	if res.Found {
+		out.FoundLen = 2 * k
+	}
+	return out, nil
 }
 
 // DetectBoundedQuantum decides F_{2k}-freeness in Õ(n^{1/2-1/2k}) charged
@@ -370,6 +450,7 @@ func DetectBoundedQuantum(g *Graph, k int, opts ...Option) (*QuantumResult, erro
 		AttemptIterations: c.iterations,
 		Seed:              c.seed,
 		Workers:           c.workers,
+		Shards:            c.shards,
 		Parallel:          c.parallel,
 	})
 	if err != nil {

@@ -38,3 +38,121 @@ func ExampleListCycles() {
 	// Output:
 	// 3
 }
+
+// ExampleDetectDeterministic runs the deterministic broadcast-CONGEST
+// detector: no randomness at all, so the result is a pure function of
+// the graph — the seed changes nothing.
+func ExampleDetectDeterministic() {
+	g := evencycle.NewGraph(6, [][2]evencycle.NodeID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0}, // a C₄
+		{3, 4}, {4, 5},
+	})
+	a, err := evencycle.DetectDeterministic(g, 2)
+	if err != nil {
+		panic(err)
+	}
+	b, err := evencycle.DetectDeterministic(g, 2, evencycle.WithSeed(12345))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(a.Found, a.FoundLen, evencycle.VerifyCycle(g, a.Witness))
+	fmt.Println(fmt.Sprintf("%+v", a) == fmt.Sprintf("%+v", b))
+	// Output:
+	// true 4 <nil>
+	// true
+}
+
+// ExampleDetectBounded decides F₄-freeness (any cycle of length ≤ 4):
+// the shortest cycle here is a triangle, which the merged schedule finds.
+func ExampleDetectBounded() {
+	g := evencycle.NewGraph(5, [][2]evencycle.NodeID{
+		{0, 1}, {1, 2}, {2, 0}, // a C₃
+		{2, 3}, {3, 4},
+	})
+	res, err := evencycle.DetectBounded(g, 2, evencycle.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Found, res.FoundLen)
+	// Output:
+	// true 3
+}
+
+// ExampleDetectOdd decides C₅-freeness with the Section 3.4 randomized
+// base algorithm.
+func ExampleDetectOdd() {
+	g := evencycle.NewGraph(6, [][2]evencycle.NodeID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, // a C₅
+		{4, 5},
+	})
+	res, err := evencycle.DetectOdd(g, 2, evencycle.WithSeed(2))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Found, res.FoundLen, evencycle.VerifyCycle(g, res.Witness))
+	// Output:
+	// true 5 <nil>
+}
+
+// ExampleDetectLocal upgrades detection to the Section 1.2 local output:
+// exactly the members of the discovered cycle reject.
+func ExampleDetectLocal() {
+	g := evencycle.NewGraph(6, [][2]evencycle.NodeID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0}, // a C₄
+		{3, 4}, {4, 5},
+	})
+	res, err := evencycle.DetectLocal(g, 2, evencycle.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Found, res.Rejecting)
+	// Output:
+	// true [0 1 2 3]
+}
+
+// ExampleDetectQuantum runs the Theorem 2 pipeline on the quantum round
+// ledger; the verdict and the charged ledger are deterministic for a
+// fixed seed.
+func ExampleDetectQuantum() {
+	g := evencycle.NewGraph(5, [][2]evencycle.NodeID{
+		{0, 2}, {0, 3}, {0, 4},
+		{1, 2}, {1, 3}, {1, 4}, // K_{2,3}: three C₄ copies
+	})
+	res, err := evencycle.DetectQuantum(g, 2, evencycle.WithSeed(3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Found, evencycle.VerifyCycle(g, res.Witness))
+	// Output:
+	// true <nil>
+}
+
+// ExampleDetectOddQuantum decides C₅-freeness in Θ̃(√n) charged quantum
+// rounds.
+func ExampleDetectOddQuantum() {
+	g := evencycle.NewGraph(5, [][2]evencycle.NodeID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, // a C₅
+	})
+	res, err := evencycle.DetectOddQuantum(g, 2, evencycle.WithSeed(5))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Found, evencycle.VerifyCycle(g, res.Witness))
+	// Output:
+	// true <nil>
+}
+
+// ExampleDetectBoundedQuantum decides F₄-freeness on the quantum ledger.
+func ExampleDetectBoundedQuantum() {
+	g := evencycle.NewGraph(5, [][2]evencycle.NodeID{
+		{0, 1}, {1, 2}, {2, 0}, // a C₃
+		{2, 3}, {3, 4},
+	})
+	res, err := evencycle.DetectBoundedQuantum(g, 2, evencycle.WithSeed(6))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Found, len(res.Witness))
+	// Output:
+	// true 3
+}

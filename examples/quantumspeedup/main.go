@@ -66,5 +66,5 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Println("note: quantum rounds are a charged ledger (Lemma 8/Theorem 3 semantics")
-	fmt.Println("simulated classically; T_setup and D measured on the simulator — DESIGN.md §2)")
+	fmt.Println("simulated classically; T_setup and D measured on the simulator — docs/ARCHITECTURE.md)")
 }

@@ -36,7 +36,7 @@ func EdenBudgetRounds(n, k int) (float64, error) {
 // analytic budget for the same (n, k), for crossover plots (experiment
 // E2). The detection core reuses the repository's color-BFS machinery —
 // re-implementing all of [DISC'19] is out of scope (see the substitution
-// table in DESIGN.md); the row's *curve* is its budget.
+// matrix in docs/ARCHITECTURE.md); the row's *curve* is its budget.
 type EdenShapeResult struct {
 	Found        bool
 	Witness      []graph.NodeID

@@ -1,8 +1,3 @@
-// Package bench is the experiment harness that regenerates the paper's
-// Table 1 rows and Figure 1 empirically: parameter sweeps over n, log–log
-// slope fitting against the theoretical exponents, and plain-text/CSV
-// table rendering. The per-experiment index lives in DESIGN.md; measured
-// results are recorded in EXPERIMENTS.md.
 package bench
 
 import (
@@ -79,6 +74,50 @@ func (t *Table) Render(w io.Writer) error {
 	for _, note := range t.Notes {
 		if _, err := fmt.Fprintf(w, "  * %s\n", note); err != nil {
 			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored markdown section:
+// a heading, a pipe table, and the notes as a bullet list. It is the
+// renderer behind `benchtab -md`, which regenerates EXPERIMENTS.md.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	row := func(cells []string) error {
+		esc := make([]string, len(cells))
+		for i, c := range cells {
+			esc[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(esc, " | "))
+		return err
+	}
+	if err := row(t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if err := row(sep); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	if len(t.Notes) > 0 {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		for _, note := range t.Notes {
+			if _, err := fmt.Fprintf(w, "- %s\n", note); err != nil {
+				return err
+			}
 		}
 	}
 	_, err := fmt.Fprintln(w)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/congest"
 	"repro/internal/core"
+	"repro/internal/deterministic"
 	"repro/internal/gadget"
 	"repro/internal/graph"
 	"repro/internal/lowprob"
@@ -53,6 +54,7 @@ func All() []Experiment {
 		{"E8", "Monte-Carlo amplification: quantum √(1/ε) vs classical 1/ε", E8},
 		{"E9", "density lemma dichotomy statistics (Lemma 4 / Figure 1)", E9},
 		{"E10", "error calibration: one-sidedness and detection rate", E10},
+		{"D1", "deterministic broadcast CONGEST vs randomized C_2k detection", D1},
 		{"A1", "ablation: batch vs pipelined color-BFS scheduling", A1},
 		{"A2", "ablation: global vs constant local threshold on trap instances", A2},
 		{"A4", "ablation: quantum with vs without diameter reduction", A4},
@@ -191,7 +193,7 @@ func E1(cfg Config) (*Table, error) {
 		}
 	}
 	t.AddNote("instances: sparse host + degree-n/2 hub + planted C_2k through the hub")
-	t.AddNote("constant-rescaled p = c_k/n^{1/k}; exponent is the measured quantity (DESIGN.md §2)")
+	t.AddNote("constant-rescaled p = c_k/n^{1/k}; exponent is the measured quantity (docs/ARCHITECTURE.md)")
 	t.AddNote("rounds = max single-coloring cost over %d colorings (worst case, as the k·τ bound)", iters)
 	return t, nil
 }
@@ -749,6 +751,65 @@ func E10(cfg Config) (*Table, error) {
 	}
 	det := float64(found+foundHeavy) / float64(2*trials)
 	t.AddNote("detection rate %.2f (guarantee ≥ 1-ε = 0.67); false positives impossible by construction", det)
+	return t, nil
+}
+
+// --------------------------------------------------------------- D1
+
+// D1 compares the deterministic broadcast-CONGEST detector
+// (arXiv:2412.11195, internal/deterministic) with the randomized
+// Algorithm 1 on the planted C_2k sweep. The deterministic detector runs
+// one seedless broadcast session and decides; the randomized column is the
+// cost of a single coloring iteration of its K-iteration schedule, which
+// detects only when the random coloring cooperates.
+func D1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "D1",
+		Title:  "Deterministic broadcast vs randomized C_2k detection (planted sweep)",
+		Header: []string{"k", "n", "det rounds", "det cong", "det found", "rand rounds/iter", "rand found", "rounds ratio"},
+	}
+	ks := []int{2, 3}
+	sizes := []int{512, 2048, 8192, 32768}
+	if cfg.Quick {
+		sizes = []int{256, 1024, 4096}
+	}
+	for _, k := range ks {
+		var xs, ys []float64
+		for _, n := range sizes {
+			g, _, err := graph.PlantedLight(n, 2*k, 1.5, graph.NewRand(cfg.Seed+uint64(n*k)))
+			if err != nil {
+				return nil, err
+			}
+			det, err := deterministic.Detect(g, k, deterministic.Options{Workers: cfg.Workers})
+			if err != nil {
+				return nil, err
+			}
+			rnd, err := core.DetectEvenCycle(g, k, core.Options{
+				Seed:          cfg.Seed + uint64(n)*31,
+				POverride:     scaledP(n, k),
+				MaxIterations: 1,
+				KeepGoing:     true,
+				Workers:       cfg.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, float64(n))
+			ys = append(ys, float64(det.Rounds))
+			t.AddRow(itoa(k), itoa(n), itoa(det.Rounds), itoa(det.MaxCongestion),
+				fmt.Sprintf("%v", det.Found), itoa(rnd.Rounds), fmt.Sprintf("%v", rnd.Found),
+				f(float64(det.Rounds)/float64(rnd.Rounds)))
+		}
+		if slope, ok := FitSlope(xs, ys); ok {
+			t.AddNote("k=%d: deterministic rounds slope %.3f (threshold regime 1-1/k = %.3f; "+
+				"sparse hosts keep the relay queues far below τ, so the measured slope tracks "+
+				"the k-ball walk load, not the worst-case bound)",
+				k, slope, 1-1/float64(k))
+		}
+	}
+	t.AddNote("deterministic: one broadcast session, no repetition, no randomness; one-sided — misses need overflow or chord-polluted parent chains")
+	t.AddNote("randomized: one coloring iteration at the rescaled p; its schedule needs K iterations for the 1-ε guarantee")
+	t.AddNote("instances: sparse planted-light hosts; on hub-heavy instances the deterministic τ overflows (see internal/deterministic tests)")
 	return t, nil
 }
 

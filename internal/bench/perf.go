@@ -20,6 +20,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/congest"
 	"repro/internal/core"
+	"repro/internal/deterministic"
 	"repro/internal/graph"
 )
 
@@ -182,6 +183,13 @@ func perfScenarios() ([]perfScenario, error) {
 	bfsEng := congest.NewEngine(congest.NewNetwork(gBFS, 3))
 	bfsPool := core.NewColorBFSPool(n)
 	gBall := graph.Gnm(400, 800, graph.NewRand(4))
+	// The deterministic scenario reuses the pinned n=2000/k=2 detect
+	// instance, so the det-broadcast and detect-even numbers compare the
+	// two algorithms on identical work.
+	gDet, err := DetectScenarios[0].Graph()
+	if err != nil {
+		return nil, err
+	}
 
 	return append(scenarios,
 		perfScenario{"colorbfs/n=5000/L=4", func() (int, int64, error) {
@@ -205,6 +213,16 @@ func perfScenarios() ([]perfScenario, error) {
 			res, err := baseline.DetectKBall(gBall, 3, 7, 0)
 			if err != nil {
 				return 0, 0, err
+			}
+			return res.Rounds, res.Messages, nil
+		}},
+		perfScenario{"det-broadcast/n=2000/k=2", func() (int, int64, error) {
+			res, err := deterministic.Detect(gDet, 2, deterministic.Options{})
+			if err != nil {
+				return 0, 0, err
+			}
+			if !res.Found {
+				return 0, 0, fmt.Errorf("planted cycle missed by the deterministic detector")
 			}
 			return res.Rounds, res.Messages, nil
 		}},

@@ -1,33 +1,3 @@
-// Package congest implements the CONGEST model of distributed computing as
-// a deterministic, round-synchronous simulator.
-//
-// The model (Peleg 2000, as used by the paper): the network is a simple
-// connected n-vertex graph; one computing node per vertex; computation
-// proceeds in lockstep rounds; in each round every node may send one
-// O(log n)-bit message to each of its neighbors, receives the messages sent
-// to it, and performs arbitrary local computation. Nodes know their own
-// O(log n)-bit identifier, their incident edges, and (as in the paper) the
-// number n of vertices.
-//
-// Simulation contract:
-//
-//   - One Message per directed edge per round, enforced; a second send on
-//     the same edge in the same round aborts the run with an error.
-//   - A Message carries a kind byte and two payload words — a constant
-//     number of identifiers/counters, i.e. O(log n) bits (the host packs
-//     all of that into 16 bytes; see Message). Protocols that need to
-//     ship a set of identifiers must do so one message per round, which
-//     is exactly how congestion becomes round complexity.
-//   - Handlers for distinct nodes run concurrently (a goroutine worker pool
-//     with a barrier per round maps goroutines onto CONGEST rounds); a
-//     handler may only touch its own node's state, send to neighbors, and
-//     schedule its own future wake-ups, so execution is transcript-
-//     deterministic for a fixed master seed.
-//   - Rounds in which no node is active are not simulated (the clock
-//     fast-forwards to the next scheduled wake-up) but they still elapse:
-//     the reported round count is the CONGEST time of the execution, i.e.
-//     the span from round 0 to the last round with activity. This is the
-//     quantity the paper's theorems bound.
 package congest
 
 import (

@@ -23,6 +23,8 @@ type BoundedResult struct {
 	Messages      int64
 	Bits          int64
 	MaxCongestion int
+	// Overflowed reports whether any forwarder hit the threshold.
+	Overflowed    bool
 	IterationsRun int
 	Params        Params
 }
@@ -139,6 +141,7 @@ func DetectBoundedCycle(g *graph.Graph, k int, opt Options) (*BoundedResult, err
 				if c := bfs.MaxCongestion(); c > out.maxCong {
 					out.maxCong = c
 				}
+				out.overflowed = out.overflowed || bfs.Overflowed()
 				if len(bfs.Detections()) > 0 && !out.found {
 					d := bfs.Detections()[0]
 					witness, err := bfs.Witness(d)
@@ -169,6 +172,7 @@ func DetectBoundedCycle(g *graph.Graph, k int, opt Options) (*BoundedResult, err
 			if out.maxCong > res.MaxCongestion {
 				res.MaxCongestion = out.maxCong
 			}
+			res.Overflowed = res.Overflowed || out.overflowed
 			if out.found && !res.Found {
 				res.Found = true
 				res.FoundLen = L

@@ -1,8 +1,3 @@
-// Package core implements the paper's primary contribution: Algorithm 1
-// (deciding C_{2k}-freeness with a global congestion threshold), its
-// color-BFS-with-threshold subroutine in both the paper's batch schedule
-// and a pipelined variant, the construction of the vertex sets U, S and W,
-// witness extraction, and the Density Lemma machinery (see density.go).
 package core
 
 import (
@@ -624,7 +619,7 @@ func (b *ColorBFS) fillQueueSorted(set *idset.Store, v graph.NodeID) {
 // identifiers forwarded as they arrive, with the threshold acting as a
 // cutoff (a forwarder that exceeds τ stops forwarding; identifiers it
 // already relayed still witness well-colored paths, so one-sided
-// correctness is preserved — this is ablation A1 of DESIGN.md).
+// correctness is preserved — this is ablation A1).
 func (b *ColorBFS) runPipelined(e *congest.Engine, base uint64) (*congest.Report, error) {
 	rep, err := e.RunSession(&pipelinedRun{bfs: b}, base)
 	if err != nil {

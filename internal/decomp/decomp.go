@@ -1,25 +1,3 @@
-// Package decomp implements the network-decomposition machinery the paper
-// uses to remove the diameter dependence from its quantum algorithms:
-//
-//   - Lemma 10 (Eden et al. / Elkin–Neiman): a randomized construction of
-//     clusters of diameter O(k log n) colored with O(log n) colors such
-//     that (1) every node is in at least one cluster, (2) clusters of the
-//     same color are at distance ≥ k from each other.
-//   - Lemma 9: the diameter-reduction runner — for H-freeness with
-//     |V(H)| = k it suffices to run the detector on every connected
-//     component of G(i,k) (color-i clusters enlarged by their
-//     k-neighborhood), sequentially over colors, in parallel within a
-//     color.
-//
-// The construction is the exponential-shift ball carving of Miller–Peng–Xu
-// with shift parameter β = 1/Θ(k) and truncation Δ = Θ(k log n), followed
-// by shrinking each carved cluster to its core (nodes at distance > k from
-// the cluster boundary). Cores of distinct clusters of one carving are at
-// distance ≥ k+1 by construction; each node's k-ball is uncut with
-// constant probability per carving, so O(log n) carvings cover every node
-// with high probability. The simulation runs the carving centrally and
-// charges its distributed cost (Δ+k rounds per carving — the depth of the
-// two BFS passes a CONGEST implementation performs).
 package decomp
 
 import (

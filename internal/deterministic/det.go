@@ -1,0 +1,344 @@
+package deterministic
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sync/atomic"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/idset"
+)
+
+// kindWalk announces a walk: A = source identifier, B = walk length at the
+// sender. Receivers extend the walk by one hop.
+const kindWalk uint8 = 30
+
+// Key packing: a stored identifier is source<<hopBits | length. Sources are
+// bounded by congest.MaxNodes (2^28), lengths by MaxK, so keys fit a uint64
+// with room to spare.
+const (
+	hopBits = 6
+	hopMask = 1<<hopBits - 1
+
+	// MaxK bounds the half cycle length so a walk length always fits the
+	// key's hop field (and the simulation's memory; real runs use small k).
+	MaxK = 1<<hopBits - 1
+)
+
+func walkKey(src uint64, length uint64) uint64 { return src<<hopBits | length }
+
+// Options tunes a deterministic detection run. The zero value requests the
+// default threshold and a serial engine.
+type Options struct {
+	// Threshold overrides τ, the per-node identifier cap (0 keeps the
+	// default ⌈2k·n^{1-1/k}⌉). A node that would exceed τ discards its set
+	// and stops relaying; experiment D1 sweeps the resulting trade-off.
+	Threshold int
+	// Seed is the engine's master seed. The protocol draws no randomness,
+	// so every Seed yields a bit-identical transcript and Result; the
+	// field exists so tests can pin exactly that.
+	Seed uint64
+	// Workers, Shards and ParallelThreshold configure the engine's
+	// parallel handler/delivery phases (see congest.Engine); transcripts
+	// are bit-identical for every setting.
+	Workers           int
+	Shards            int
+	ParallelThreshold int
+	// MaxRounds bounds the engine session (0 = engine default).
+	MaxRounds int
+}
+
+// Result reports a deterministic detection run.
+type Result struct {
+	// Found is true iff a verified C_2k was reconstructed; Witness then
+	// holds the cycle and Detector the node whose walk collision found it.
+	Found    bool
+	Witness  []graph.NodeID
+	Detector graph.NodeID
+
+	// Rounds is the CONGEST time of the single broadcast session;
+	// Messages the delivered message count and Bits their model-level
+	// bandwidth.
+	Rounds   int
+	Messages int64
+	Bits     int64
+	// MaxCongestion is the largest walk-key set any node accumulated
+	// (bounded by the threshold).
+	MaxCongestion int
+	// Overflowed reports whether any node hit the threshold and discarded
+	// its set; detection may be missed on such instances, never fabricated.
+	Overflowed bool
+	// Candidates is the number of walk collisions examined; collisions
+	// whose reconstruction is not a simple 2k-cycle are discarded.
+	Candidates int
+	// Threshold echoes the τ used.
+	Threshold int
+}
+
+// DefaultThreshold is the faithful per-node identifier cap
+// τ = ⌈2k·n^{1-1/k}⌉ of the deterministic algorithm's Θ(n^{1-1/k}) regime.
+func DefaultThreshold(n, k int) int {
+	if n < 2 {
+		return 1
+	}
+	return int(math.Ceil(2 * float64(k) * math.Pow(float64(n), 1-1/float64(k))))
+}
+
+// candidate records one terminal walk collision: two walks of length k
+// from Src meet at Node, the first via the first-parent store and the
+// second via the distinct last hop Second. Every distinct second parent
+// yields its own candidate (a neighbor relays a given key at most once,
+// so arrivals per (Node, Src, Second) are unique), which lets witness
+// verification try every pairing rather than only the earliest.
+type candidate struct {
+	Node   graph.NodeID
+	Src    graph.NodeID
+	Second graph.NodeID
+}
+
+// detProto is the broadcast-CONGEST handler. All per-node state is touched
+// only by that node's handler invocation, so the engine may execute
+// handlers in parallel; detections are buffered per node and merged into a
+// canonical order after the session (the same lock-free discipline as
+// core.ColorBFS).
+type detProto struct {
+	k   uint64 // target walk length (half cycle length)
+	tau int32
+
+	// first maps walk key → first parent (the neighbor whose relay
+	// created the entry). Terminal keys arriving again over a different
+	// last hop are the detection events; the extra parents live in the
+	// candidate records, not in a store.
+	first *idset.Store
+
+	// over[v] is set when v's set hit the threshold; overAny mirrors it
+	// globally (written from concurrent handlers, hence atomic).
+	over    []bool
+	overAny atomic.Bool
+
+	// Pending relays, drained one broadcast per round (pipelined).
+	queue [][]uint64
+	qIdx  []int32
+
+	detAt    [][]candidate
+	detCount atomic.Int64
+}
+
+var _ congest.Handler = (*detProto)(nil)
+
+func newDetProto(n, k, tau int) *detProto {
+	return &detProto{
+		k:     uint64(k),
+		tau:   int32(tau),
+		first: idset.New(n),
+		over:  make([]bool, n),
+		queue: make([][]uint64, n),
+		qIdx:  make([]int32, n),
+		detAt: make([][]candidate, n),
+	}
+}
+
+func (p *detProto) Init(rt *congest.Runtime) {
+	for u := 0; u < rt.N(); u++ {
+		rt.WakeAt(graph.NodeID(u), 0)
+	}
+}
+
+func (p *detProto) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, inbox []congest.Message) {
+	if r == 0 {
+		// Round 0: every node announces itself as a walk of length 0.
+		rt.Broadcast(u, kindWalk, uint64(u), 0)
+		return
+	}
+	for _, m := range inbox {
+		p.accept(u, m)
+	}
+	if p.over[u] {
+		return
+	}
+	if q := p.queue[u]; int(p.qIdx[u]) < len(q) {
+		key := q[p.qIdx[u]]
+		p.qIdx[u]++
+		rt.Broadcast(u, kindWalk, key>>hopBits, key&hopMask)
+		if int(p.qIdx[u]) < len(q) {
+			rt.WakeAt(u, r+1)
+		}
+	}
+}
+
+// accept extends an incoming walk announcement by one hop: record the key,
+// enqueue a relay while the walk is still short of k, and detect when a
+// terminal key arrives over a second distinct last hop.
+func (p *detProto) accept(u graph.NodeID, m congest.Message) {
+	if p.over[u] || m.Kind() != kindWalk {
+		return
+	}
+	src := m.A()
+	if graph.NodeID(src) == u {
+		// A walk that returned to its source certifies nothing at length
+		// ≤ k; dropping it also keeps parent chains acyclic at the source.
+		return
+	}
+	h := m.B() + 1
+	key := walkKey(src, h)
+	inserted, capped := p.first.InsertCapped(u, key, int32(m.From()), p.tau)
+	if capped {
+		// Instruction-19 semantics: the set is discarded — stop accepting
+		// and cancel the relays not yet sent (those already broadcast
+		// remain valid walk certificates downstream).
+		p.over[u] = true
+		p.overAny.Store(true)
+		p.queue[u] = p.queue[u][:p.qIdx[u]]
+		return
+	}
+	if inserted {
+		if h < p.k {
+			p.queue[u] = append(p.queue[u], key)
+		}
+		return
+	}
+	// Duplicate key: a second walk of the same length from the same
+	// source. Only terminal collisions over a distinct last hop can close
+	// a C_2k; each distinct second parent is its own candidate, so
+	// verification can fall back to a later pairing when the earliest
+	// reconstructs a non-simple walk.
+	if h != p.k {
+		return
+	}
+	if firstParent, _ := p.first.Get(u, key); firstParent == int32(m.From()) {
+		return
+	}
+	p.detAt[u] = append(p.detAt[u], candidate{Node: u, Src: graph.NodeID(src), Second: m.From()})
+	p.detCount.Add(1)
+}
+
+// candidates merges the per-node detection buffers into a canonical order
+// (ascending node, then source), erasing any handler-scheduling order.
+func (p *detProto) candidates() []candidate {
+	if p.detCount.Load() == 0 {
+		return nil
+	}
+	var out []candidate
+	for _, buf := range p.detAt {
+		out = append(out, buf...)
+	}
+	slices.SortFunc(out, func(a, b candidate) int {
+		if a.Node != b.Node {
+			return int(a.Node) - int(b.Node)
+		}
+		if a.Src != b.Src {
+			return int(a.Src) - int(b.Src)
+		}
+		return int(a.Second) - int(b.Second)
+	})
+	return out
+}
+
+// witness reconstructs the closed walk of a candidate from the recorded
+// parent pointers: the first chain t → … → s via the first-parent store,
+// and the second chain starting at the second parent. The result has
+// length 2k but may repeat vertices (walks are not paths); the caller
+// verifies simplicity and discards the candidate otherwise.
+func (p *detProto) witness(c candidate) ([]graph.NodeID, error) {
+	k := int(p.k)
+	src := uint64(c.Src)
+	chain := func(start graph.NodeID, fromLen int) ([]graph.NodeID, error) {
+		out := make([]graph.NodeID, 0, fromLen)
+		cur := start
+		for h := fromLen; h >= 1; h-- {
+			parent, ok := p.first.Get(cur, walkKey(src, uint64(h)))
+			if !ok {
+				return nil, fmt.Errorf("deterministic: parent missing at node %d (length %d)", cur, h)
+			}
+			cur = graph.NodeID(parent)
+			out = append(out, cur)
+		}
+		if cur != c.Src {
+			return nil, fmt.Errorf("deterministic: walk ended at %d, want source %d", cur, c.Src)
+		}
+		return out, nil
+	}
+	first, err := chain(c.Node, k) // [v_{k-1}, …, v_1, s]
+	if err != nil {
+		return nil, err
+	}
+	w2 := c.Second
+	rest, err := chain(w2, k-1) // [u_{k-2}, …, u_1, s]
+	if err != nil {
+		return nil, err
+	}
+	// Assemble s, v_1, …, v_{k-1}, t, w2, u_{k-2}, …, u_1 — the same
+	// source-to-detector-and-back ordering as core.ColorBFS.Witness.
+	cycle := make([]graph.NodeID, 0, 2*k)
+	cycle = append(cycle, c.Src)
+	for i := len(first) - 2; i >= 0; i-- {
+		cycle = append(cycle, first[i])
+	}
+	cycle = append(cycle, c.Node, w2)
+	cycle = append(cycle, rest[:len(rest)-1]...)
+	if len(cycle) != 2*k {
+		return nil, fmt.Errorf("deterministic: witness has %d vertices, want %d", len(cycle), 2*k)
+	}
+	return cycle, nil
+}
+
+// Detect runs the deterministic broadcast-CONGEST detector: one pipelined
+// engine session in which every node relays exact-length walk
+// announcements under the threshold τ, followed by witness reconstruction
+// and verification of every walk collision. The guarantee is one-sided
+// and deterministic: a reported cycle is always real, and a C_2k-free
+// input is never rejected. A present C_2k can go undetected when the
+// threshold overflows (Result.Overflowed) or when every recorded
+// collision reconstructs a self-intersecting walk (parent chains are
+// first-arrival; chords can pollute them, mostly at k ≥ 3 on dense
+// instances — experiment D1 tabulates the realized detection rate).
+func Detect(g *graph.Graph, k int, opt Options) (*Result, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("deterministic: k = %d < 2 (C_2k detection needs k ≥ 2)", k)
+	}
+	if k > MaxK {
+		return nil, fmt.Errorf("deterministic: k = %d exceeds the %d-bit walk-length field (MaxK = %d)", k, hopBits, MaxK)
+	}
+	n := g.NumNodes()
+	tau := opt.Threshold
+	if tau <= 0 {
+		tau = DefaultThreshold(n, k)
+	}
+	net := congest.NewNetwork(g, opt.Seed)
+	eng := congest.NewEngine(net)
+	eng.Workers = opt.Workers
+	eng.Shards = opt.Shards
+	eng.ParallelThreshold = opt.ParallelThreshold
+	eng.MaxRounds = opt.MaxRounds
+
+	proto := newDetProto(n, k, tau)
+	rep, err := eng.Run(proto)
+	if err != nil {
+		return nil, fmt.Errorf("deterministic: %w", err)
+	}
+	res := &Result{
+		Rounds:        rep.Rounds,
+		Messages:      rep.Messages,
+		Bits:          rep.Bits,
+		MaxCongestion: proto.first.MaxLen(),
+		Overflowed:    proto.overAny.Load(),
+		Threshold:     tau,
+	}
+	for _, c := range proto.candidates() {
+		res.Candidates++
+		cycle, err := proto.witness(c)
+		if err != nil {
+			return nil, err
+		}
+		if graph.IsSimpleCycle(g, cycle, 2*k) != nil {
+			continue // a self-intersecting closed walk, not a C_2k
+		}
+		res.Found = true
+		res.Witness = cycle
+		res.Detector = c.Node
+		break
+	}
+	return res, nil
+}

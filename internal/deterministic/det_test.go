@@ -1,0 +1,205 @@
+package deterministic
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDetectsPlantedEvenCycles(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			g, planted, err := graph.PlantedLight(400, 2*k, 1.5, graph.NewRand(uint64(k)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Detect(g, k, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Found {
+				t.Fatalf("planted C_%d (at %v) missed; candidates=%d overflowed=%v",
+					2*k, planted, res.Candidates, res.Overflowed)
+			}
+			if err := graph.IsSimpleCycle(g, res.Witness, 2*k); err != nil {
+				t.Fatalf("invalid witness %v: %v", res.Witness, err)
+			}
+			if res.Rounds <= 0 || res.Messages <= 0 || res.Bits <= 0 {
+				t.Fatalf("degenerate cost report: %+v", res)
+			}
+		})
+	}
+}
+
+func TestDetectsExactCycleGraphs(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		res, err := Detect(graph.Cycle(2*k), k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			t.Fatalf("k=%d: C_%d itself not detected", k, 2*k)
+		}
+		if err := graph.IsSimpleCycle(graph.Cycle(2*k), res.Witness, 2*k); err != nil {
+			t.Fatalf("k=%d: invalid witness: %v", k, err)
+		}
+	}
+	// Theta(3,2): two hubs joined by three length-2 arms — three C₄ copies.
+	res, err := Detect(graph.Theta(3, 2), 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("theta graph C₄ not detected")
+	}
+}
+
+// TestCycleFreeNeverRejects pins the deterministic guarantee: on a
+// C_2k-free input the detector never reports a cycle — not with high
+// probability, always.
+func TestCycleFreeNeverRejects(t *testing.T) {
+	pg, err := graph.ProjectivePlaneIncidence(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}{
+		{"high-girth", graph.HighGirth(300, 450, 7, graph.NewRand(5)), 2},
+		{"high-girth-k3", graph.HighGirth(300, 450, 7, graph.NewRand(6)), 3},
+		{"pg(2,7)", pg, 2},               // girth 6: C₄-free
+		{"odd-cycle", graph.Cycle(5), 2}, // contains only C₅
+		{"tree", graph.Tree(200, graph.NewRand(8)), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if graph.HasCycleLen(tc.g, 2*tc.k) {
+				t.Fatalf("instance is not C_%d-free", 2*tc.k)
+			}
+			res, err := Detect(tc.g, tc.k, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Found {
+				t.Fatalf("false rejection on a C_%d-free input: %+v", 2*tc.k, res)
+			}
+		})
+	}
+}
+
+// TestThresholdOverflow forces the Instruction-19 discard on a hub
+// instance and checks that overflow is reported, bounded, and one-sided.
+func TestThresholdOverflow(t *testing.T) {
+	g, _, err := graph.PlantedHeavy(400, 4, 120, 1.5, graph.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Detect(g, 2, Options{Threshold: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Overflowed {
+		t.Fatalf("hub instance with τ=8 did not overflow: %+v", res)
+	}
+	if res.MaxCongestion > 8 {
+		t.Fatalf("congestion %d exceeds the threshold 8", res.MaxCongestion)
+	}
+	if res.Found {
+		if err := graph.IsSimpleCycle(g, res.Witness, 4); err != nil {
+			t.Fatalf("overflowed run reported an invalid witness: %v", err)
+		}
+	}
+	// One-sidedness under overflow: a C₄-free star cannot be rejected no
+	// matter how small the threshold.
+	star, err := Detect(graph.Star(100), 2, Options{Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if star.Found {
+		t.Fatalf("star rejected under overflow: %+v", star)
+	}
+}
+
+// TestKnownMissIsOneSided documents the detector's incompleteness mode:
+// on chord-dense instances every recorded walk collision can reconstruct
+// a self-intersecting walk, so a present C_2k goes unreported (here a
+// small G(8,10) with a C₆, every candidate rejected by verification, no
+// overflow). The contract under a miss is what this test pins: the run
+// is deterministic, one-sided, and the candidates were all examined —
+// never a false rejection.
+func TestKnownMissIsOneSided(t *testing.T) {
+	g := graph.Gnm(8, 10, graph.NewRand(2))
+	if !graph.HasCycleLen(g, 6) {
+		t.Fatal("instance lost its C₆; pick a new pinned miss")
+	}
+	res, err := Detect(g, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		// Not a failure: an algorithm improvement that closes this gap is
+		// welcome — but then this pin must move to a still-missing
+		// instance, so flag it loudly.
+		t.Fatalf("pinned miss instance is now detected (%+v); update the test to a current miss", res)
+	}
+	if res.Candidates == 0 || res.Overflowed {
+		t.Fatalf("miss should come from rejected candidates, not silence/overflow: %+v", res)
+	}
+}
+
+// TestTranscriptInvariance pins the determinism contract of the package
+// doc: the full Result is bit-identical across engine worker counts,
+// shard counts, parallel thresholds, and — because the protocol draws no
+// randomness — across master seeds.
+func TestTranscriptInvariance(t *testing.T) {
+	g, _, err := graph.PlantedLight(500, 4, 2.0, graph.NewRand(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Options{
+		{Seed: 1, Workers: 1},
+		{Seed: 1, Workers: 4, ParallelThreshold: 1},
+		{Seed: 1, Workers: 8, Shards: 3, ParallelThreshold: 1},
+		{Seed: 99999, Workers: 2, ParallelThreshold: 1},
+		{Seed: 424242, Workers: 1},
+	}
+	var base string
+	for i, opt := range cfgs {
+		res, err := Detect(g, 2, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := fmt.Sprintf("%+v", res)
+		if i == 0 {
+			base = fp
+		} else if fp != base {
+			t.Fatalf("transcript diverges at cfg %+v:\nbase: %s\ngot:  %s", opt, base, fp)
+		}
+	}
+}
+
+func TestDefaultThreshold(t *testing.T) {
+	if got := DefaultThreshold(1, 2); got != 1 {
+		t.Fatalf("n=1: got %d", got)
+	}
+	// τ = ⌈2k·n^{1-1/k}⌉ grows with both n and k.
+	if a, b := DefaultThreshold(1000, 2), DefaultThreshold(4000, 2); b <= a {
+		t.Fatalf("threshold not increasing in n: %d vs %d", a, b)
+	}
+	if a, b := DefaultThreshold(4096, 2), DefaultThreshold(4096, 3); b <= a {
+		t.Fatalf("threshold not increasing in k at this n: %d vs %d", a, b)
+	}
+}
+
+func TestRejectsBadK(t *testing.T) {
+	g := graph.Cycle(8)
+	if _, err := Detect(g, 1, Options{}); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := Detect(g, MaxK+1, Options{}); err == nil {
+		t.Fatal("k beyond the walk-length field accepted")
+	}
+}

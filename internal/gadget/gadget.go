@@ -1,15 +1,3 @@
-// Package gadget builds the hard-instance families underlying the paper's
-// lower-bound reductions (Section 3.3): graphs parameterized by a two-party
-// Set-Disjointness instance (x, y) such that the target cycle exists if and
-// only if the sets intersect.
-//
-// These are the inputs of experiment E7. The communication-complexity
-// theorems themselves ([4]: any r-round quantum protocol for Disjointness
-// on N elements needs Ω(r + N/r) qubits) cannot be reproduced empirically;
-// what we reproduce is the *instance structure* of the reductions of
-// Drucker et al. [PODC'14] (C₄, N = Θ(n^{3/2})) and Korhonen–Rybicki
-// [OPODIS'17] (C_{2k}, N = Θ(n)), plus the odd-cycle family
-// (N = Θ(n²)), each verified against exact search.
 package gadget
 
 import (

@@ -1,0 +1,16 @@
+// Package graph provides the static-graph substrate used by every layer of
+// the repository: a compact immutable adjacency representation (CSR with
+// sorted rows, which the engine's fixed-offset delivery pipeline indexes
+// directly), generators for the instance families the experiments need
+// (random graphs, planted cycles, high-girth incidence graphs; lower-bound
+// gadgets are in package gadget), and exact reference checkers (cycle
+// search, girth, diameter) that the test suite uses to validate the
+// distributed detectors — every witness any detector reports is
+// re-verified with IsSimpleCycle before it reaches a caller.
+//
+// Determinism contract: generators draw exclusively from the *rand.Rand
+// passed in, so a (generator, seed) pair always produces the same graph;
+// Builder packs edges into one sorted pass, so graph construction order
+// does not leak into adjacency order — Neighbors always returns ascending
+// IDs, which the engine's ascending-sender delivery order builds on.
+package graph

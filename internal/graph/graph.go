@@ -1,9 +1,3 @@
-// Package graph provides the static-graph substrate used by every layer of
-// the repository: a compact immutable adjacency representation, generators
-// for the instance families the experiments need (random graphs, planted
-// cycles, high-girth incidence graphs; lower-bound gadgets are in package
-// gadget), and exact reference checkers (cycle search, girth, diameter) that
-// the test suite uses to validate the distributed detectors.
 package graph
 
 import (

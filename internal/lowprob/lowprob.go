@@ -1,14 +1,3 @@
-// Package lowprob implements the congestion-reduction step of the paper's
-// quantum pipeline (Section 3.2): Algorithm 2 (randomized-color-BFS) and
-// the detectors built on it.
-//
-// The trade-off (Lemma 12): replacing color-BFS with randomized-color-BFS —
-// each color-0 seed activates independently with probability 1/τ and the
-// forwarding threshold drops to the constant 4 — turns Algorithm 1 into a
-// detector with round complexity k^{O(k)} (constant in n) and one-sided
-// *success* probability 1/(3τ) = Θ(1/n^{1-1/k}). The quantum layer
-// (package quantum) then amplifies this small success probability
-// quadratically faster than classical repetition.
 package lowprob
 
 import (

@@ -1,0 +1,16 @@
+// Package proto provides the reusable distributed building blocks that the
+// paper's algorithms compose: BFS spanning-tree construction, broadcast,
+// convergecast, and leader election, all as CONGEST handlers on the
+// simulator in package congest.
+//
+// These are the O(D)-round primitives that appear inside Theorem 3's Setup
+// procedure (elect a leader, run the base algorithm, converge-cast the
+// existence of a rejecting node to the leader), in the diameter-reduction
+// machinery of Lemma 9, and in the Θ(k)-round witness-notification
+// protocol of the local-detection output (Section 1.2).
+//
+// Determinism contract: the handlers draw no randomness (ties break by
+// identifier), so for a fixed topology their transcripts are identical
+// across seeds, worker counts and shard settings — the same guarantee the
+// detectors built on top of them inherit.
+package proto

@@ -1,12 +1,3 @@
-// Package proto provides the reusable distributed building blocks that the
-// paper's algorithms compose: BFS spanning-tree construction, broadcast,
-// convergecast, and leader election, all as CONGEST handlers on the
-// simulator in package congest.
-//
-// These are the O(D)-round primitives that appear inside Theorem 3's Setup
-// procedure (elect a leader, run the base algorithm, converge-cast the
-// existence of a rejecting node to the leader) and in the diameter-reduction
-// machinery of Lemma 9.
 package proto
 
 import (
