@@ -1,0 +1,350 @@
+// Command cycleload is a closed-loop load generator for cycleserved: C
+// client goroutines each keep exactly one request in flight against
+// POST /v1/detect, cycling through a slice of the server's corpus so the
+// request stream mixes cache misses (first touch of each graph) with hits
+// (every revisit). It reports throughput, a latency histogram with
+// percentiles, and the serve-path split the server advertises in its
+// X-Evencycle-Source headers — and can gate on minimum cache-hit ratio
+// and maximum failures, which is how the CI smoke job asserts the service
+// works.
+//
+// Usage:
+//
+//	cycleload -addr http://localhost:8972 -requests 400 -clients 8 \
+//	  -algo det -k 2 -distinct 4 [-json -out BENCH_5.json] \
+//	  [-min-hit-ratio 0.5] [-max-failures 0]
+//
+// The corpus names are discovered from GET /v1/corpus; -distinct D uses
+// the first D names, so with R requests the expected hit ratio approaches
+// 1 - D/R once every graph has been touched. Deterministic mode (-algo
+// det) additionally asserts that every response body for a given graph is
+// byte-identical — the service's determinism acceptance check.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cycleload:", err)
+		os.Exit(1)
+	}
+}
+
+// LoadRecord is the serialized result of one load run (BENCH_5.json and
+// the CI service-smoke artifact use it).
+type LoadRecord struct {
+	Schema string     `json:"schema"`
+	Label  string     `json:"label"`
+	Target string     `json:"target"`
+	Config LoadConfig `json:"config"`
+	Totals LoadTotals `json:"totals"`
+	// ElapsedNs is the whole-run wall time; RPS the completed requests
+	// per second over it.
+	ElapsedNs int64   `json:"elapsed_ns"`
+	RPS       float64 `json:"rps"`
+	Latency   Latency `json:"latency_ns"`
+}
+
+// LoadConfig echoes the generator parameters.
+type LoadConfig struct {
+	Clients    int    `json:"clients"`
+	Requests   int    `json:"requests"`
+	Algo       string `json:"algo"`
+	K          int    `json:"k"`
+	Distinct   int    `json:"distinct"`
+	Iterations int    `json:"iterations,omitempty"`
+	Seed       uint64 `json:"seed"`
+}
+
+// LoadTotals is the outcome tally.
+type LoadTotals struct {
+	Completed int `json:"completed"`
+	Failures  int `json:"failures"`
+	// BySource splits completed requests by the server's serve path.
+	BySource map[string]int `json:"by_source"`
+	// HitRatio is the fraction of completed requests served without a
+	// full computation (cache + coalesced + amplified).
+	HitRatio float64 `json:"hit_ratio"`
+	// DetByteIdentical is set in det mode: whether every response body
+	// per graph was identical across serves.
+	DetByteIdentical *bool `json:"det_byte_identical,omitempty"`
+}
+
+// Latency summarizes the per-request latency sample in nanoseconds.
+type Latency struct {
+	P50  int64 `json:"p50"`
+	P90  int64 `json:"p90"`
+	P99  int64 `json:"p99"`
+	Max  int64 `json:"max"`
+	Mean int64 `json:"mean"`
+	// Histogram counts requests at or under each power-of-two bound.
+	Histogram []Bucket `json:"histogram"`
+}
+
+// Bucket is one histogram cell: latency ≤ LeNs.
+type Bucket struct {
+	LeNs  int64 `json:"le_ns"`
+	Count int   `json:"count"`
+}
+
+type sample struct {
+	ns     int64
+	source string
+	name   string
+	body   []byte
+	err    error
+}
+
+func run() error {
+	addr := flag.String("addr", "http://localhost:8972", "cycleserved base URL")
+	clients := flag.Int("clients", 8, "concurrent closed-loop clients")
+	requests := flag.Int("requests", 400, "total requests to issue")
+	algo := flag.String("algo", "det", "algo per request: even | bounded | odd | det")
+	k := flag.Int("k", 2, "half cycle length")
+	distinct := flag.Int("distinct", 0, "corpus names to cycle through (0 = all)")
+	iterations := flag.Int("iterations", 0, "trial budget per request (0 = server default; randomized algos)")
+	seed := flag.Uint64("seed", 1, "request seed (randomized algos)")
+	label := flag.String("label", "cycleload", "label recorded in the JSON output")
+	jsonOut := flag.Bool("json", false, "emit the LoadRecord JSON instead of text")
+	out := flag.String("out", "", "output file (default stdout)")
+	minHitRatio := flag.Float64("min-hit-ratio", -1, "fail unless the hit ratio reaches this (negative disables)")
+	maxFailures := flag.Int("max-failures", -1, "fail if more requests fail than this (negative disables)")
+	flag.Parse()
+
+	names, err := corpusNames(*addr)
+	if err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("server has no corpus graphs; start cycleserved with -corpus name=spec")
+	}
+	if *distinct > 0 && *distinct < len(names) {
+		names = names[:*distinct]
+	}
+	fmt.Fprintf(os.Stderr, "load: %d requests, %d clients, %d distinct graphs, algo=%s k=%d\n",
+		*requests, *clients, len(names), *algo, *k)
+
+	samples := make([]sample, *requests)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 5 * time.Minute}
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= *requests {
+					return
+				}
+				name := names[i%len(names)]
+				samples[i] = oneRequest(client, *addr, &service.WireRequest{
+					Algo:       *algo,
+					K:          *k,
+					Corpus:     name,
+					Seed:       *seed,
+					Iterations: *iterations,
+				}, name)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rec := summarize(samples, elapsed)
+	rec.Label = *label
+	rec.Target = *addr
+	rec.Config = LoadConfig{
+		Clients: *clients, Requests: *requests, Algo: *algo, K: *k,
+		Distinct: len(names), Iterations: *iterations, Seed: *seed,
+	}
+	if *algo == "det" || *algo == "deterministic" {
+		identical := detBodiesIdentical(samples)
+		rec.Totals.DetByteIdentical = &identical
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	} else {
+		renderText(w, rec)
+	}
+
+	if *maxFailures >= 0 && rec.Totals.Failures > *maxFailures {
+		return fmt.Errorf("%d requests failed (max %d)", rec.Totals.Failures, *maxFailures)
+	}
+	if *minHitRatio >= 0 && rec.Totals.HitRatio < *minHitRatio {
+		return fmt.Errorf("hit ratio %.3f below required %.3f", rec.Totals.HitRatio, *minHitRatio)
+	}
+	if rec.Totals.DetByteIdentical != nil && !*rec.Totals.DetByteIdentical {
+		return fmt.Errorf("deterministic-mode responses were not byte-identical per graph")
+	}
+	return nil
+}
+
+func corpusNames(addr string) ([]string, error) {
+	resp, err := http.Get(addr + "/v1/corpus")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/corpus: %s", resp.Status)
+	}
+	var entries []struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+	}
+	return names, nil
+}
+
+func oneRequest(client *http.Client, addr string, wire *service.WireRequest, name string) sample {
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return sample{err: err}
+	}
+	start := time.Now()
+	resp, err := client.Post(addr+"/v1/detect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return sample{ns: time.Since(start).Nanoseconds(), name: name, err: err}
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	ns := time.Since(start).Nanoseconds()
+	if err != nil {
+		return sample{ns: ns, name: name, err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return sample{ns: ns, name: name, err: fmt.Errorf("%s: %s", resp.Status, payload)}
+	}
+	return sample{
+		ns:     ns,
+		source: resp.Header.Get("X-Evencycle-Source"),
+		name:   name,
+		body:   payload,
+	}
+}
+
+func summarize(samples []sample, elapsed time.Duration) *LoadRecord {
+	rec := &LoadRecord{
+		Schema:    "evencycle-service-load/v1",
+		ElapsedNs: elapsed.Nanoseconds(),
+		Totals:    LoadTotals{BySource: make(map[string]int)},
+	}
+	var lats []int64
+	var sum int64
+	for _, s := range samples {
+		if s.err != nil {
+			rec.Totals.Failures++
+			fmt.Fprintf(os.Stderr, "request failed: %v\n", s.err)
+			continue
+		}
+		rec.Totals.Completed++
+		rec.Totals.BySource[s.source]++
+		lats = append(lats, s.ns)
+		sum += s.ns
+	}
+	if rec.Totals.Completed > 0 {
+		saved := rec.Totals.Completed - rec.Totals.BySource[string(service.SourceComputed)]
+		rec.Totals.HitRatio = float64(saved) / float64(rec.Totals.Completed)
+		rec.RPS = float64(rec.Totals.Completed) / elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		slices.Sort(lats)
+		q := func(p float64) int64 {
+			i := int(p * float64(len(lats)-1))
+			return lats[i]
+		}
+		rec.Latency = Latency{
+			P50: q(0.50), P90: q(0.90), P99: q(0.99),
+			Max:  lats[len(lats)-1],
+			Mean: sum / int64(len(lats)),
+		}
+		// Power-of-two buckets from 4µs up to the max.
+		for le := int64(4096); ; le *= 2 {
+			n, _ := slices.BinarySearch(lats, le+1)
+			rec.Latency.Histogram = append(rec.Latency.Histogram, Bucket{LeNs: le, Count: n})
+			if le >= rec.Latency.Max {
+				break
+			}
+		}
+	}
+	return rec
+}
+
+// detBodiesIdentical checks the determinism acceptance bar: for each
+// graph, every successful det-mode response body must be byte-identical
+// no matter which serve path produced it.
+func detBodiesIdentical(samples []sample) bool {
+	first := make(map[string][]byte)
+	ok := true
+	for _, s := range samples {
+		if s.err != nil || s.body == nil {
+			continue
+		}
+		if prev, seen := first[s.name]; seen {
+			if !bytes.Equal(prev, s.body) {
+				fmt.Fprintf(os.Stderr, "det responses differ for %s:\n  %s\n  %s\n", s.name, prev, s.body)
+				ok = false
+			}
+		} else {
+			first[s.name] = s.body
+		}
+	}
+	return ok
+}
+
+func renderText(w io.Writer, rec *LoadRecord) {
+	fmt.Fprintf(w, "completed %d requests in %s (%.1f req/s), %d failures\n",
+		rec.Totals.Completed, time.Duration(rec.ElapsedNs).Round(time.Millisecond),
+		rec.RPS, rec.Totals.Failures)
+	fmt.Fprintf(w, "serve paths:")
+	for _, src := range []string{"computed", "amplified", "coalesced", "cache"} {
+		if n := rec.Totals.BySource[src]; n > 0 {
+			fmt.Fprintf(w, " %s=%d", src, n)
+		}
+	}
+	fmt.Fprintf(w, "  hit ratio %.3f\n", rec.Totals.HitRatio)
+	fmt.Fprintf(w, "latency: p50=%s p90=%s p99=%s max=%s\n",
+		time.Duration(rec.Latency.P50), time.Duration(rec.Latency.P90),
+		time.Duration(rec.Latency.P99), time.Duration(rec.Latency.Max))
+	if rec.Totals.DetByteIdentical != nil {
+		fmt.Fprintf(w, "det responses byte-identical per graph: %v\n", *rec.Totals.DetByteIdentical)
+	}
+}

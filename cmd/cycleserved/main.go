@@ -1,0 +1,241 @@
+// Command cycleserved serves the repository's cycle detectors over
+// HTTP/JSON: a long-running detection service with a bounded worker pool,
+// single-flight coalescing of identical requests, and a verdict cache
+// keyed by graph fingerprint (see internal/service and
+// docs/ARCHITECTURE.md, "Service layer").
+//
+// Usage:
+//
+//	cycleserved -addr :8972 \
+//	  -corpus planted-a=planted:2000:4:1.5 -corpus free-a=highgirth:2000:3000:6
+//
+// API:
+//
+//	POST /v1/detect     {"algo":"even|bounded|odd|det","k":2,
+//	                     "corpus":"name" | "graph":{"n":N,"edges":[[u,v],...]},
+//	                     "seed":S,"iterations":I,"threshold":T,"pipelined":false}
+//	                    → the verdict JSON (found, witness, rounds, bits, ...).
+//	                    Serve-path metadata travels in headers
+//	                    (X-Evencycle-Source: cache|coalesced|amplified|computed,
+//	                    X-Evencycle-Elapsed-Ns), keeping deterministic-mode
+//	                    response bodies byte-identical across serves.
+//	POST /v1/jobs       same body → {"id":"job-N"} immediately (async).
+//	GET  /v1/jobs/{id}  → job status, including the verdict once done.
+//	GET  /v1/jobs/{id}/witness → just the witness cycle of a done job.
+//	GET  /v1/corpus     → the registered named graphs with fingerprints.
+//	GET  /v1/stats      → request/hit/coalesce/amplify/engine-session counters.
+//	GET  /healthz       → {"ok":true} once the corpus is built.
+//
+// Cache policy: deterministic-mode (algo=det) verdicts are pure functions
+// of the graph and cache forever (the seed is not part of the key);
+// randomized verdicts record their trial budget — a repeat query within
+// budget is a pure hit, a larger budget runs only the missing trials
+// (amplification). -iterations sets the default budget for requests that
+// omit one.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/service"
+)
+
+// corpusFlag collects repeated -corpus name=spec flags.
+type corpusFlag []string
+
+func (c *corpusFlag) String() string { return strings.Join(*c, ",") }
+func (c *corpusFlag) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cycleserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8972", "listen address")
+	slots := flag.Int("slots", 0, "concurrent detections (worker pool size; 0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 1024, "admission queue bound; deeper requests are rejected (negative = unbounded)")
+	cache := flag.Int("cache", 1024, "verdict cache capacity (entries)")
+	parallel := flag.Int("parallel", 1, "per-request trial parallelism (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "engine goroutine pool per session (0 = GOMAXPROCS)")
+	iterations := flag.Int("iterations", 32, "default trial budget for randomized requests that omit one")
+	corpusSeed := flag.Uint64("corpus-seed", 1, "seed for randomized corpus generators")
+	var corpus corpusFlag
+	flag.Var(&corpus, "corpus", "named corpus graph as name=spec (repeatable); specs:\n"+graph.SpecHelp)
+	flag.Parse()
+
+	par := *parallel
+	if par == 0 {
+		par = -1
+	}
+	svc := service.New(service.Config{
+		Slots:        *slots,
+		MaxQueue:     *queue,
+		CacheEntries: *cache,
+		Parallel:     par,
+		Workers:      *workers,
+	})
+	for _, entry := range corpus {
+		name, spec, ok := strings.Cut(entry, "=")
+		if !ok {
+			return fmt.Errorf("-corpus %q: want name=spec", entry)
+		}
+		g, err := graph.FromSpec(spec, *corpusSeed)
+		if err != nil {
+			return fmt.Errorf("-corpus %q: %w", entry, err)
+		}
+		if err := svc.RegisterGraph(name, g); err != nil {
+			return err
+		}
+		log.Printf("corpus %s: %s (n=%d m=%d fp=%s)", name, spec, g.NumNodes(), g.NumEdges(), g.Fingerprint())
+	}
+
+	srv := &server{svc: svc, defaultIterations: *iterations}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", srv.handleHealth)
+	mux.HandleFunc("GET /v1/stats", srv.handleStats)
+	mux.HandleFunc("GET /v1/corpus", srv.handleCorpus)
+	mux.HandleFunc("POST /v1/detect", srv.handleDetect)
+	mux.HandleFunc("POST /v1/jobs", srv.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", srv.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/witness", srv.handleWitness)
+
+	log.Printf("cycleserved listening on %s (%d corpus graphs)", *addr, len(svc.GraphNames()))
+	return http.ListenAndServe(*addr, mux)
+}
+
+type server struct {
+	svc               *service.Service
+	defaultIterations int
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (srv *server) decodeRequest(w http.ResponseWriter, r *http.Request) (*service.Request, bool) {
+	var wire service.WireRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wire); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("decoding request: %v", err)})
+		return nil, false
+	}
+	req, err := srv.svc.Resolve(&wire, srv.defaultIterations)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, service.ErrUnknownCorpus) {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, apiError{err.Error()})
+		return nil, false
+	}
+	return req, true
+}
+
+func (srv *server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	req, ok := srv.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	resp, src, err := srv.svc.Do(r.Context(), req)
+	elapsed := time.Since(start)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, service.ErrOverloaded) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, apiError{err.Error()})
+		return
+	}
+	// Serve-path metadata rides in headers so the body — the cached
+	// verdict — is byte-identical however the request was served.
+	w.Header().Set("X-Evencycle-Source", string(src))
+	w.Header().Set("X-Evencycle-Elapsed-Ns", fmt.Sprintf("%d", elapsed.Nanoseconds()))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (srv *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, ok := srv.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	id := srv.svc.Submit(req)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+func (srv *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := srv.svc.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"unknown job id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (srv *server) handleWitness(w http.ResponseWriter, r *http.Request) {
+	job, ok := srv.svc.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"unknown job id"})
+		return
+	}
+	if job.State != service.JobDone {
+		writeJSON(w, http.StatusConflict, apiError{fmt.Sprintf("job is %s, not done", job.State)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"found":   job.Response.Found,
+		"witness": job.Response.Witness,
+	})
+}
+
+func (srv *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, srv.svc.Stats())
+}
+
+type corpusEntry struct {
+	Name        string `json:"name"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+func (srv *server) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	names := srv.svc.GraphNames()
+	out := make([]corpusEntry, 0, len(names))
+	for _, name := range names {
+		g, _ := srv.svc.NamedGraph(name)
+		out = append(out, corpusEntry{
+			Name: name, N: g.NumNodes(), M: g.NumEdges(), Fingerprint: g.Fingerprint().String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (srv *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}

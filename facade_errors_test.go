@@ -1,0 +1,164 @@
+package evencycle_test
+
+// Table-driven coverage of the facade's error paths: malformed edge lists
+// through ReadGraph, invalid k / ε arguments through every Detect* entry
+// point, and Overflowed propagation through every detector that exposes
+// threshold pruning.
+
+import (
+	"strings"
+	"testing"
+
+	evencycle "repro"
+)
+
+func TestReadGraphMalformed(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  string
+	}{
+		{"empty", "", "empty input"},
+		{"comments-only", "# nothing\n\n# here\n", "empty input"},
+		{"one-field", "zzz\n", "want two fields"},
+		{"three-fields", "1 2 3\n", "want two fields"},
+		{"non-integer-header", "a b\n", "invalid syntax"},
+		{"non-integer-edge", "4 1\nx y\n", "invalid syntax"},
+		{"negative-header", "-5 0\n", "negative value"},
+		{"negative-endpoint", "4 1\n0 -2\n", "negative value"},
+		{"huge-header", "4294967295 0\n", "exceeds"},
+		{"giant-alloc-header", "2147483646 0\n", "exceeds"},
+		{"huge-endpoint", "4 1\n0 4294967295\n", "out of range"},
+		{"three-fields-edge", "4 1\n0 1 2\n", "want two fields"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := evencycle.ReadGraph(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("parsed malformed input into n=%d m=%d", g.NumNodes(), g.NumEdges())
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// A header lying about a gigantic edge count must not pre-allocate or
+	// panic (the count is a hint; the clamp keeps it a hint).
+	g, err := evencycle.ReadGraph(strings.NewReader("1 4611686018427387904\n"))
+	if err != nil || g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Fatalf("huge edge-count header: g=%v err=%v", g, err)
+	}
+	// Sanity: the hardening did not break valid input.
+	g, err = evencycle.ReadGraph(strings.NewReader("3 3\n0 1\n1 2\n2 0\n"))
+	if err != nil || g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("valid input: g=%v err=%v", g, err)
+	}
+}
+
+func TestDetectInvalidArguments(t *testing.T) {
+	g := evencycle.RandomGraph(50, 100, 1)
+	type entry struct {
+		name string
+		run  func(opts ...evencycle.Option) error
+	}
+	res := func(_ *evencycle.Result, err error) error { return err }
+	qres := func(_ *evencycle.QuantumResult, err error) error { return err }
+	entries := []entry{
+		{"Detect", func(o ...evencycle.Option) error { return res(evencycle.Detect(g, 1, o...)) }},
+		{"DetectBounded", func(o ...evencycle.Option) error { return res(evencycle.DetectBounded(g, 1, o...)) }},
+		{"DetectLocal", func(o ...evencycle.Option) error {
+			_, err := evencycle.DetectLocal(g, 1, o...)
+			return err
+		}},
+		{"ListCycles", func(o ...evencycle.Option) error {
+			_, err := evencycle.ListCycles(g, 1, o...)
+			return err
+		}},
+		{"DetectOdd", func(o ...evencycle.Option) error { return res(evencycle.DetectOdd(g, 0, o...)) }},
+		{"DetectDeterministic", func(o ...evencycle.Option) error {
+			return res(evencycle.DetectDeterministic(g, 1, o...))
+		}},
+		{"DetectQuantum", func(o ...evencycle.Option) error { return qres(evencycle.DetectQuantum(g, 1, o...)) }},
+		{"DetectOddQuantum", func(o ...evencycle.Option) error { return qres(evencycle.DetectOddQuantum(g, 0, o...)) }},
+		{"DetectBoundedQuantum", func(o ...evencycle.Option) error {
+			return qres(evencycle.DetectBoundedQuantum(g, 1, o...))
+		}},
+	}
+	for _, e := range entries {
+		t.Run(e.name+"/k-too-small", func(t *testing.T) {
+			err := e.run()
+			if err == nil {
+				t.Fatal("undersized k accepted")
+			}
+			if !strings.Contains(err.Error(), "k") {
+				t.Fatalf("error %q does not mention k", err)
+			}
+		})
+	}
+	// Invalid ε through the classical entry points that honor WithError.
+	for _, eps := range []float64{-0.5, 1, 2} {
+		if _, err := evencycle.Detect(g, 2, evencycle.WithError(eps)); err == nil {
+			t.Fatalf("ε=%v accepted", eps)
+		} else if !strings.Contains(err.Error(), "ε") {
+			t.Fatalf("ε=%v error %q does not mention ε", eps, err)
+		}
+	}
+}
+
+// TestOverflowPropagation plants a cycle in a dense-enough instance, runs
+// every threshold-pruning detector with τ=1 (every forwarder overflows
+// immediately), and requires Overflowed to surface through the facade
+// result — with one-sidedness intact: an overflow can cost the
+// detection, never fabricate one.
+func TestOverflowPropagation(t *testing.T) {
+	host := evencycle.RandomGraph(200, 600, 8)
+	g, _, err := evencycle.WithPlantedCycle(host, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []evencycle.Option{
+		evencycle.WithThreshold(1),
+		evencycle.WithSeed(5),
+		evencycle.WithIterations(4),
+	}
+	check := func(name string, res *evencycle.Result, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Overflowed {
+			t.Errorf("%s: τ=1 run did not report Overflowed", name)
+		}
+		if res.Found {
+			if err := evencycle.VerifyCycle(g, res.Witness); err != nil {
+				t.Errorf("%s: overflowed run fabricated witness: %v", name, err)
+			}
+		}
+	}
+	res, err := evencycle.Detect(g, 2, opts...)
+	check("Detect", res, err)
+	res, err = evencycle.DetectBounded(g, 2, opts...)
+	check("DetectBounded", res, err)
+	local, err := evencycle.DetectLocal(g, 2, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("DetectLocal", &local.Result, nil)
+	res, err = evencycle.DetectDeterministic(g, 2, evencycle.WithThreshold(1))
+	check("DetectDeterministic", res, err)
+
+	// And the complement: on a sparse instance the faithful threshold does
+	// not overflow, and the flag stays false.
+	sparseHost := evencycle.RandomGraph(200, 150, 8)
+	sparse, _, err := evencycle.WithPlantedCycle(sparseHost, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := evencycle.DetectDeterministic(sparse, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Overflowed {
+		t.Error("faithful-threshold deterministic run reported Overflowed on a sparse instance")
+	}
+}

@@ -9,6 +9,7 @@ package bench
 // BenchmarkColorBFS) so `go test -bench` and the JSON stay comparable.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deterministic"
 	"repro/internal/graph"
+	"repro/internal/service"
 )
 
 // PerfResult is one measured scenario.
@@ -226,6 +228,29 @@ func perfScenarios() ([]perfScenario, error) {
 			}
 			return res.Rounds, res.Messages, nil
 		}},
+		// The service hit path: after the warm-up op computes and caches
+		// the det verdict (the measure() warm-up call), every measured op
+		// must be a pure cache hit — fingerprint + LRU lookup, no engine
+		// session. Domain cost is reported as 0: that zero IS the point.
+		perfScenario{"service/hit-path/n=2000/k=2", func() func() (int, int64, error) {
+			svc := service.New(service.Config{Slots: 1})
+			req := &service.Request{Graph: gDet, Algo: service.AlgoDet, K: 2}
+			calls := 0
+			return func() (int, int64, error) {
+				resp, src, err := svc.Do(context.Background(), req)
+				if err != nil {
+					return 0, 0, err
+				}
+				if !resp.Found {
+					return 0, 0, fmt.Errorf("service lost the det verdict")
+				}
+				calls++
+				if calls > 1 && src != service.SourceCache {
+					return 0, 0, fmt.Errorf("warmed request served from %q, not cache", src)
+				}
+				return 0, 0, nil
+			}
+		}()},
 	), nil
 }
 

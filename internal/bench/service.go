@@ -1,0 +1,162 @@
+package bench
+
+// S1 — the service-layer scenario family: a mixed planted/C-free corpus
+// replayed against internal/service with varying worker counts and
+// distinct-graph mixes. The table reports only *deterministic* quantities
+// (request counts, engine sessions, saved work, hit ratios, verdicts):
+// EXPERIMENTS.md must regenerate byte-identically, and wall-clock numbers
+// are host noise. The invariant the table certifies is the service
+// contract itself — engine sessions == distinct keys however many workers
+// race (single-flight + cache make computation at-most-once per key), and
+// deterministic-mode responses byte-identical across worker counts.
+// Throughput/latency for the same scenario family is recorded out of band
+// by cmd/cycleload (BENCH_5.json; see the CI service-smoke job).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/service"
+)
+
+// s1Corpus builds the mixed corpus: half planted C_4 instances, half
+// C_4-free high-girth instances, all distinct.
+func s1Corpus(distinct int, n int, seed uint64) ([]*graph.Graph, error) {
+	gs := make([]*graph.Graph, 0, distinct)
+	for i := 0; i < distinct; i++ {
+		gseed := seed + uint64(i)*1000
+		if i%2 == 0 {
+			g, _, err := graph.PlantedLight(n, 4, 1.5, graph.NewRand(gseed))
+			if err != nil {
+				return nil, err
+			}
+			gs = append(gs, g)
+		} else {
+			gs = append(gs, graph.HighGirth(n, 3*n/2, 6, graph.NewRand(gseed)))
+		}
+	}
+	return gs, nil
+}
+
+// s1Point replays `requests` det-mode requests over the corpus from
+// `clients` closed-loop goroutines against a fresh service with `slots`
+// workers, returning the stats and the per-graph response bodies.
+func s1Point(gs []*graph.Graph, requests, clients, slots int) (service.Stats, map[int][]byte, int, error) {
+	svc := service.New(service.Config{Slots: slots, CacheEntries: 4 * len(gs)})
+	bodies := make(map[int][]byte, len(gs))
+	found := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	next := 0
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= requests {
+					return
+				}
+				gi := i % len(gs)
+				resp, _, err := svc.Do(context.Background(), &service.Request{
+					Graph: gs[gi], Algo: service.AlgoDet, K: 2,
+				})
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err == nil {
+					body, merr := json.Marshal(resp)
+					if merr != nil && firstErr == nil {
+						firstErr = merr
+					}
+					if prev, ok := bodies[gi]; ok {
+						if string(prev) != string(body) && firstErr == nil {
+							firstErr = fmt.Errorf("graph %d: responses differ across serves", gi)
+						}
+					} else {
+						bodies[gi] = body
+						if resp.Found {
+							found++
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return svc.Stats(), bodies, found, firstErr
+}
+
+// S1 runs the detection-service scenario family: worker count × corpus
+// mix, deterministic counters only (see the file comment).
+func S1(cfg Config) (*Table, error) {
+	n, requests, clients := 1200, 240, 8
+	workerSweep := []int{1, 2, 8}
+	mixSweep := []int{4, 12}
+	if cfg.Quick {
+		n, requests, clients = 300, 60, 4
+		workerSweep = []int{1, 4}
+		mixSweep = []int{2, 6}
+	}
+	tab := &Table{
+		ID:    "S1",
+		Title: "detection service: saved work vs worker count × corpus mix (deterministic counters)",
+		Header: []string{"slots", "distinct", "requests", "engine sessions", "saved", "hit ratio",
+			"planted found", "at-most-once", "det identical"},
+	}
+	for _, distinct := range mixSweep {
+		gs, err := s1Corpus(distinct, n, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		// Responses must be byte-identical not just across serves within a
+		// point but across worker counts too.
+		var ref map[int][]byte
+		for _, slots := range workerSweep {
+			st, bodies, found, err := s1Point(gs, requests, clients, slots)
+			if err != nil {
+				return nil, fmt.Errorf("S1 slots=%d distinct=%d: %w", slots, distinct, err)
+			}
+			atMostOnce := st.EngineSessions == int64(distinct)
+			identical := true
+			if ref == nil {
+				ref = bodies
+			} else {
+				for gi, body := range bodies {
+					if string(ref[gi]) != string(body) {
+						identical = false
+					}
+				}
+			}
+			saved := st.Hits + st.Coalesced
+			tab.AddRow(itoa(slots), itoa(distinct), itoa(requests),
+				itoa(int(st.EngineSessions)), itoa(int(saved)),
+				f(float64(saved)/float64(st.Requests)),
+				itoa(found),
+				fmt.Sprintf("%v", atMostOnce), fmt.Sprintf("%v", identical))
+			if !atMostOnce {
+				return nil, fmt.Errorf("S1 slots=%d distinct=%d: %d engine sessions for %d keys",
+					slots, distinct, st.EngineSessions, distinct)
+			}
+			if !identical {
+				return nil, fmt.Errorf("S1 slots=%d distinct=%d: det responses differ across worker counts",
+					slots, distinct)
+			}
+		}
+	}
+	tab.AddNote("requests replay a mixed planted-C4 / C4-free corpus in det mode from %d closed-loop clients; "+
+		"saved = hits + coalesced (the split between the two depends on scheduling and is deliberately not tabled)", clients)
+	tab.AddNote("at-most-once: engine sessions == distinct graphs — the single-flight + fingerprint-cache contract under concurrency")
+	tab.AddNote("wall-clock throughput/latency for this family is measured by cmd/cycleload against cycleserved " +
+		"and recorded as BENCH_5.json (see the CI service-smoke job); this table pins only host-independent counters")
+	return tab, nil
+}

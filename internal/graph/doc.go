@@ -13,4 +13,9 @@
 // Builder packs edges into one sorted pass, so graph construction order
 // does not leak into adjacency order — Neighbors always returns ascending
 // IDs, which the engine's ascending-sender delivery order builds on.
+//
+// Because the CSR is canonical, Fingerprint — a pinned 128-bit structural
+// hash — identifies the graph itself, independent of how it was built;
+// the detection service keys its cross-request verdict cache on it, so
+// the hash must never change (fingerprint_test.go pins known values).
 package graph

@@ -1,0 +1,90 @@
+package graph
+
+import "fmt"
+
+// Fingerprint is a stable 128-bit hash of a graph's structure. Two graphs
+// have equal fingerprints exactly when their CSR representations are equal
+// — and the CSR is canonical (Build sorts and deduplicates edges), so the
+// fingerprint is invariant under builder insertion order, duplicate edges
+// and self-loops: it identifies the graph itself, not how it was built.
+//
+// The value is pinned: it must never change across releases, because the
+// detection service keys its cross-request result cache on it and recorded
+// corpus fingerprints (BENCH_*.json, CI smoke replays) compare against
+// stored values. fingerprint_test.go pins known values for exactly this
+// reason — if a change to this file trips those tests, the change is wrong.
+type Fingerprint [2]uint64
+
+// String renders the fingerprint as 32 hex digits (high word first).
+func (f Fingerprint) String() string {
+	return fmt.Sprintf("%016x%016x", f[0], f[1])
+}
+
+// IsZero reports whether f is the zero fingerprint. The hash of any graph
+// (even the empty one) mixes at least the vertex count, so the zero value
+// can serve as an "unset" sentinel.
+func (f Fingerprint) IsZero() bool { return f[0] == 0 && f[1] == 0 }
+
+// fpMix advances one 64-bit accumulator lane by one value using the
+// SplitMix64 finalizer over the running state — the same construction as
+// sched.Tag, duplicated here so the graph package (which sched depends on
+// nothing in, and which nothing below it may import) stays dependency-free
+// and the pinned values are self-contained.
+func fpMix(h, v uint64) uint64 {
+	h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Fingerprint returns the stable 128-bit structural hash of g. It is a
+// pure function of (NumNodes, adjacency structure), and since Graph is
+// immutable the value is computed once and memoized — the detection
+// service hashes every request's graph to form its cache key, and a
+// cache hit must not pay an O(n+m) rehash of a static value. Concurrent
+// first calls may both compute; they store the identical value, so the
+// race is benign.
+func (g *Graph) Fingerprint() Fingerprint {
+	if fp := g.fp.Load(); fp != nil {
+		return *fp
+	}
+	fp := g.fingerprint()
+	g.fp.Store(&fp)
+	return fp
+}
+
+// fingerprint computes the hash: two independent accumulator lanes with
+// distinct initial states absorb the vertex count, every row boundary and
+// every CSR target, packing two int32 values per absorbed word. Cost is
+// one pass over the CSR, no allocation.
+func (g *Graph) fingerprint() Fingerprint {
+	// Distinct lane seeds (digits of π and e) so a collision must hold in
+	// two decorrelated 64-bit hashes at once.
+	h0 := uint64(0x243f6a8885a308d3)
+	h1 := uint64(0xb7e151628aed2a6a)
+	n := g.NumNodes()
+	h0 = fpMix(h0, uint64(n))
+	h1 = fpMix(h1, uint64(n)+0x9d)
+	// Absorb offsets and targets pairwise. The offsets delimit rows (so
+	// ["0 1","2"] and ["0","1 2"] differ even with equal target streams),
+	// and the targets are each row's sorted adjacency list.
+	absorb := func(vals []int32) {
+		i := 0
+		for ; i+1 < len(vals); i += 2 {
+			w := uint64(uint32(vals[i]))<<32 | uint64(uint32(vals[i+1]))
+			h0 = fpMix(h0, w)
+			h1 = fpMix(h1, w^0xa5a5a5a5a5a5a5a5)
+		}
+		if i < len(vals) {
+			w := uint64(uint32(vals[i])) | 1<<63 // tail marker: ≠ any pair
+			h0 = fpMix(h0, w)
+			h1 = fpMix(h1, w^0xa5a5a5a5a5a5a5a5)
+		}
+	}
+	absorb(g.offsets)
+	absorb(g.targets)
+	return Fingerprint{h0, h1}
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestFingerprintPinnedValues pins the fingerprint of known graphs. These
+// values are load-bearing: the detection service's result cache and
+// recorded corpus fingerprints key on them, so any change to the hash is a
+// cache-format break and must be rejected, not re-pinned casually.
+func TestFingerprintPinnedValues(t *testing.T) {
+	pg, err := ProjectivePlaneIncidence(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		g    *Graph
+		want string
+	}{
+		{"empty", FromEdges(0, nil), "3e1f2ef101ddc56f2d30741bbb014171"},
+		{"singleton", FromEdges(1, nil), "7226e0fd1a927f649a76020bc1e74888"},
+		{"triangle", FromEdges(3, [][2]NodeID{{0, 1}, {1, 2}, {2, 0}}), "a93a7bccd0993f80e59450e4c2f07b44"},
+		{"c4", FromEdges(4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}}), "5dbb8fda1f9a569c2fa4a8d937fab285"},
+		{"gnm-100-250-seed7", Gnm(100, 250, NewRand(7)), "0dc21565f12903e4260e5ee988c79878"},
+		{"pg-2-3", pg, "cd3e983838d5d8ebca7694742d601bef"},
+	}
+	for _, tc := range cases {
+		if got := tc.g.Fingerprint().String(); got != tc.want {
+			t.Errorf("%s: fingerprint %s, want pinned %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestFingerprintInsertionOrderInvariant builds the same edge set in
+// shuffled orders, with duplicates and self-loops sprinkled in, and
+// requires one fingerprint.
+func TestFingerprintInsertionOrderInvariant(t *testing.T) {
+	base := Gnm(200, 600, NewRand(11))
+	edges := base.Edges()
+	want := base.Fingerprint()
+	rng := rand.New(rand.NewPCG(3, 5))
+	for trial := 0; trial < 20; trial++ {
+		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		b := NewBuilder(base.NumNodes())
+		for _, e := range edges {
+			u, v := e[0], e[1]
+			if rng.IntN(2) == 0 {
+				u, v = v, u // reversed endpoints
+			}
+			b.AddEdge(u, v)
+			if rng.IntN(4) == 0 {
+				b.AddEdge(u, v) // duplicate
+			}
+			if rng.IntN(8) == 0 {
+				b.AddEdge(u, u) // self-loop (dropped by the builder)
+			}
+		}
+		got := b.Build().Fingerprint()
+		if got != want {
+			t.Fatalf("trial %d: fingerprint %s, want %s", trial, got, want)
+		}
+	}
+}
+
+// TestFingerprintDistinguishesStructure checks that near-miss graphs get
+// distinct fingerprints: same target stream split differently across rows,
+// one edge flipped, one vertex added.
+func TestFingerprintDistinguishesStructure(t *testing.T) {
+	g := Gnm(50, 120, NewRand(13))
+	seen := map[Fingerprint]string{g.Fingerprint(): "base"}
+	add := func(name string, h *Graph) {
+		fp := h.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s: %s", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+	// One extra isolated vertex, same edges.
+	b := NewBuilder(g.NumNodes() + 1)
+	for _, e := range g.Edges() {
+		b.AddEdge(e[0], e[1])
+	}
+	add("extra-vertex", b.Build())
+	// Remove one edge; add a different one.
+	edges := g.Edges()
+	add("drop-edge", FromEdges(g.NumNodes(), edges[1:]))
+	swapped := append([][2]NodeID{}, edges[1:]...)
+	swapped = append(swapped, [2]NodeID{edges[0][0], (edges[0][1] + 1) % NodeID(g.NumNodes())})
+	add("swap-edge", FromEdges(g.NumNodes(), swapped))
+	// Empty vs zero-edge graphs of increasing n.
+	for n := 0; n < 8; n++ {
+		add("edgeless", FromEdges(n, nil))
+	}
+}
+
+// TestFingerprintCollisionSweep hashes a few hundred generator outputs —
+// G(n,m) sweeps, planted instances, high-girth instances, projective
+// planes — and requires all fingerprints distinct. With 128 bits, any
+// collision here is a hash defect, not bad luck.
+func TestFingerprintCollisionSweep(t *testing.T) {
+	seen := make(map[Fingerprint]string)
+	add := func(name string, g *Graph) {
+		t.Helper()
+		fp := g.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("%s collides with %s: %s", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+	for seed := uint64(0); seed < 10; seed++ {
+		for _, n := range []int{20, 50, 100} {
+			add("gnm", Gnm(n, 2*n, NewRand(seed)))
+			add("highgirth", HighGirth(n, 3*n/2, 6, NewRand(seed)))
+			g, _, err := PlantedLight(n, 4, 1.5, NewRand(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			add("planted", g)
+		}
+	}
+	for _, q := range []int{2, 3, 5, 7} {
+		pg, err := ProjectivePlaneIncidence(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		add("pg", pg)
+	}
+	if len(seen) < 90 {
+		t.Fatalf("sweep produced only %d distinct graphs", len(seen))
+	}
+}

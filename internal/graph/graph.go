@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"slices"
+	"sync/atomic"
 )
 
 // NodeID identifies a vertex. Vertices are always 0..N-1.
@@ -13,6 +14,8 @@ type NodeID = int32
 type Graph struct {
 	offsets []int32 // len n+1; row pointers into targets
 	targets []int32 // concatenated sorted adjacency lists
+	// fp memoizes Fingerprint (immutability makes the hash a constant).
+	fp atomic.Pointer[Fingerprint]
 }
 
 // NumNodes returns the number of vertices.

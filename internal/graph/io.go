@@ -23,6 +23,12 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// MaxReadNodes caps the vertex count ReadEdgeList accepts — from the
+// header and from edge endpoints (which grow the vertex set). The CSR
+// allocates O(n) up front, so unvalidated input may not declare an
+// arbitrary n.
+const MaxReadNodes = 1 << 27
+
 // ReadEdgeList parses the format produced by WriteEdgeList. Blank lines and
 // lines starting with '#' are ignored.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
@@ -48,10 +54,30 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 		}
+		if a < 0 || c < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative value in %q", lineNo, line)
+		}
+		// MaxReadNodes bounds both the header's vertex count and every
+		// endpoint: Build allocates O(n) slabs up front, so a corrupt or
+		// malicious header (or a stray huge endpoint, which would grow
+		// the vertex set to match) must error out instead of demanding
+		// gigabytes. ~134M vertices is far beyond any corpus this
+		// repository handles; raise the constant if that ever changes.
 		if b == nil {
+			if a > MaxReadNodes {
+				return nil, fmt.Errorf("graph: line %d: vertex count %d exceeds the %d limit", lineNo, a, MaxReadNodes)
+			}
 			b = NewBuilder(a) // header: n m
-			b.Grow(c)
+			// The edge count is a pre-allocation hint, not a contract;
+			// clamp it tightly (1M edges = an 8MB slab) so a lying header
+			// cannot demand gigabytes (or panic slices.Grow) before a
+			// single edge line is read — larger legitimate files just
+			// regrow organically.
+			b.Grow(min(c, 1<<20))
 			continue
+		}
+		if a > MaxReadNodes || c > MaxReadNodes {
+			return nil, fmt.Errorf("graph: line %d: endpoint out of range in %q", lineNo, line)
 		}
 		b.AddEdge(int32(a), int32(c))
 	}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// SpecHelp documents the generator-spec mini-language accepted by
+// FromSpec, shared by the cycledetect, cycleserved and cycleload commands.
+const SpecHelp = `gnm:N:M          Erdős–Rényi G(N,M)
+planted:N:L:AVG  sparse host (avg degree AVG) + planted C_L
+heavy:N:L:HUB    planted C_L through a degree-HUB hub
+highgirth:N:M:G  girth > G
+pg:Q             PG(2,Q) point–line incidence graph (C₄-free)
+file:PATH        edge-list file ("n m" header then "u v" lines)`
+
+// FromSpec builds a graph from a generator spec string (see SpecHelp for
+// the accepted forms). Randomized generators draw from NewRand(seed), so a
+// (spec, seed) pair names one reproducible graph — the detection service's
+// corpus registry and the load harness rely on exactly that.
+func FromSpec(spec string, seed uint64) (*Graph, error) {
+	parts := strings.Split(spec, ":")
+	atoi := func(i int) (int, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("graph: generator %q: missing field %d", spec, i)
+		}
+		return strconv.Atoi(parts[i])
+	}
+	atof := func(i int) (float64, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("graph: generator %q: missing field %d", spec, i)
+		}
+		return strconv.ParseFloat(parts[i], 64)
+	}
+	rng := NewRand(seed)
+	switch parts[0] {
+	case "gnm":
+		n, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		m, err := atoi(2)
+		if err != nil {
+			return nil, err
+		}
+		return Gnm(n, m, rng), nil
+	case "planted":
+		n, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		l, err := atoi(2)
+		if err != nil {
+			return nil, err
+		}
+		avg, err := atof(3)
+		if err != nil {
+			return nil, err
+		}
+		g, _, err := PlantedLight(n, l, avg, rng)
+		return g, err
+	case "heavy":
+		n, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		l, err := atoi(2)
+		if err != nil {
+			return nil, err
+		}
+		hub, err := atoi(3)
+		if err != nil {
+			return nil, err
+		}
+		g, _, err := PlantedHeavy(n, l, hub, 1.5, rng)
+		return g, err
+	case "highgirth":
+		n, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		m, err := atoi(2)
+		if err != nil {
+			return nil, err
+		}
+		girth, err := atoi(3)
+		if err != nil {
+			return nil, err
+		}
+		return HighGirth(n, m, girth, rng), nil
+	case "pg":
+		q, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		return ProjectivePlaneIncidence(q)
+	case "file":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("graph: file generator needs a path")
+		}
+		f, err := os.Open(strings.Join(parts[1:], ":"))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ReadEdgeList(f)
+	default:
+		return nil, fmt.Errorf("graph: unknown generator %q", parts[0])
+	}
+}

@@ -23,4 +23,10 @@
 // Trials must be independent: trial(i) may not observe state written by
 // trial(j). Determinism inside one trial is the trial's own business —
 // detectors achieve it by deriving all randomness from Tag(seed, i, ...).
+//
+// Gate complements TrialRunner for long-running servers: a FIFO-fair,
+// context-aware admission semaphore that bounds how many computations run
+// at once (the detection service admits every request through one before
+// spending engine work, so bursts queue in arrival order instead of
+// oversubscribing the host).
 package sched

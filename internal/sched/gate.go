@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Gate is a bounded, FIFO-fair admission semaphore. The detection service
+// layers it over TrialRunner: every request acquires one of Slots
+// computation slots before it may spend engine-session work, so a burst of
+// expensive requests queues instead of oversubscribing the host, and slots
+// are granted strictly in arrival order — a stream of cheap requests
+// cannot starve an earlier expensive one (fairness across sessions).
+//
+// Waiting is context-aware: a canceled waiter leaves the queue without
+// consuming a slot. The zero value is not usable; call NewGate.
+type Gate struct {
+	mu      sync.Mutex
+	slots   int
+	inUse   int
+	waiters []chan struct{} // FIFO; closed when the head waiter is granted
+}
+
+// NewGate returns a gate with the given number of slots (minimum 1).
+func NewGate(slots int) *Gate {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Gate{slots: slots}
+}
+
+// Slots returns the gate's capacity.
+func (g *Gate) Slots() int { return g.slots }
+
+// InUse returns the number of currently held slots.
+func (g *Gate) InUse() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inUse
+}
+
+// Waiting returns the current queue length.
+func (g *Gate) Waiting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.waiters)
+}
+
+// Acquire blocks until a slot is granted (FIFO order) or ctx is done, in
+// which case it returns ctx's error without holding a slot.
+func (g *Gate) Acquire(ctx context.Context) error {
+	g.mu.Lock()
+	if g.inUse < g.slots && len(g.waiters) == 0 {
+		g.inUse++
+		g.mu.Unlock()
+		return nil
+	}
+	ready := make(chan struct{})
+	g.waiters = append(g.waiters, ready)
+	g.mu.Unlock()
+
+	select {
+	case <-ready:
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		// Either remove ourselves from the queue, or — if the grant raced
+		// the cancellation — pass the already-granted slot on.
+		for i, w := range g.waiters {
+			if w == ready {
+				g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+				g.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		g.releaseLocked()
+		g.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot, granting it to the head waiter if any. Releasing
+// an unheld slot panics — that is always a caller bug.
+func (g *Gate) Release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.releaseLocked()
+}
+
+func (g *Gate) releaseLocked() {
+	if g.inUse <= 0 {
+		panic(fmt.Sprintf("sched: Gate.Release without Acquire (inUse=%d)", g.inUse))
+	}
+	if len(g.waiters) > 0 {
+		// Hand the slot directly to the head waiter: inUse stays constant,
+		// so FIFO order is preserved without a wakeup race.
+		head := g.waiters[0]
+		g.waiters = g.waiters[1:]
+		close(head)
+		return
+	}
+	g.inUse--
+}

@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	const slots, workers, perWorker = 3, 16, 20
+	g := NewGate(slots)
+	var cur, peak, total atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := g.Acquire(context.Background()); err != nil {
+					t.Error(err)
+					return
+				}
+				c := cur.Add(1)
+				for {
+					p := peak.Load()
+					if c <= p || peak.CompareAndSwap(p, c) {
+						break
+					}
+				}
+				total.Add(1)
+				cur.Add(-1)
+				g.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > slots {
+		t.Fatalf("peak concurrency %d exceeds %d slots", got, slots)
+	}
+	if got := total.Load(); got != workers*perWorker {
+		t.Fatalf("completed %d acquisitions, want %d", got, workers*perWorker)
+	}
+	if g.InUse() != 0 || g.Waiting() != 0 {
+		t.Fatalf("gate not drained: inUse=%d waiting=%d", g.InUse(), g.Waiting())
+	}
+}
+
+// TestGateFIFO fills the gate, queues waiters in a known order, and checks
+// grants come back in exactly that order.
+func TestGateFIFO(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	order := make(chan int, n)
+	var started sync.WaitGroup
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		started.Add(1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Serialize queue entry so arrival order is deterministic.
+			started.Done()
+			if err := g.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			order <- i
+			g.Release()
+		}(i)
+		started.Wait()
+		waitUntil(t, func() bool { return g.Waiting() == i+1 })
+	}
+	g.Release()
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("grant order: got waiter %d at position %d", got, want)
+		}
+		want++
+	}
+}
+
+func TestGateAcquireCancel(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- g.Acquire(ctx)
+	}()
+	waitUntil(t, func() bool { return g.Waiting() == 1 })
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("canceled Acquire returned %v", err)
+	}
+	waitUntil(t, func() bool { return g.Waiting() == 0 })
+	// The held slot is unaffected; releasing it leaves a fully free gate.
+	g.Release()
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire on a free gate: %v", err)
+	}
+	g.Release()
+	if g.InUse() != 0 || g.Waiting() != 0 {
+		t.Fatalf("gate not drained: inUse=%d waiting=%d", g.InUse(), g.Waiting())
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

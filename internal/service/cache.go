@@ -1,0 +1,110 @@
+package service
+
+import (
+	"container/list"
+
+	"repro/internal/graph"
+)
+
+// cacheKey identifies one cached verdict. The fingerprint pins the graph
+// structure; the remaining fields pin every parameter that can change a
+// detector's verdict. Iterations are deliberately absent: the entry
+// records the budget it has accumulated, so requests with different
+// budgets share an entry (see entry.serves). For the deterministic
+// detector the seed and schedule are normalized away — they cannot affect
+// the verdict.
+type cacheKey struct {
+	fp        graph.Fingerprint
+	algo      Algo
+	k         int
+	threshold int
+	eps       float64
+	pipelined bool
+	seed      uint64
+}
+
+func keyFor(req *Request, fp graph.Fingerprint) cacheKey {
+	key := cacheKey{
+		fp:        fp,
+		algo:      req.Algo,
+		k:         req.K,
+		threshold: req.Threshold,
+		eps:       req.Eps,
+		pipelined: req.Pipelined,
+		seed:      req.Seed,
+	}
+	if req.Algo == AlgoDet {
+		key.seed = 0
+		key.pipelined = false
+	}
+	if req.Algo == AlgoDet || req.Algo == AlgoOdd {
+		key.eps = 0 // no ε parameter in these detectors
+	}
+	return key
+}
+
+// entry is one cached verdict plus its accumulated trial budget.
+type entry struct {
+	resp *Response
+	// budget is the cumulative number of randomized trials this entry has
+	// exhausted without a detection; meaningless once resp.Found or for
+	// the deterministic detector.
+	budget int
+}
+
+// serves reports whether the entry can answer a request for `iterations`
+// trials without any computation: always for the deterministic detector
+// and for permanent Found verdicts, otherwise only when the accumulated
+// not-found budget covers the request.
+func (e *entry) serves(algo Algo, iterations int) bool {
+	if algo == AlgoDet || e.resp.Found {
+		return true
+	}
+	return iterations <= e.budget
+}
+
+// lru is a size-bounded LRU map from cacheKey to entry. Not safe for
+// concurrent use; the Service guards it with its own mutex.
+type lru struct {
+	cap   int
+	ll    *list.List // front = most recent; values are *lruItem
+	items map[cacheKey]*list.Element
+}
+
+type lruItem struct {
+	key cacheKey
+	ent *entry
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, ll: list.New(), items: make(map[cacheKey]*list.Element, capacity)}
+}
+
+// get returns the entry for key (marking it most-recently-used) or nil.
+func (c *lru) get(key cacheKey) *entry {
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).ent
+}
+
+// put inserts or replaces the entry for key, evicting the least-recently
+// used entry when over capacity.
+func (c *lru) put(key cacheKey, ent *entry) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem).ent = ent
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, ent: ent})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lru) len() int { return c.ll.Len() }

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle state of an async job.
+type JobState string
+
+// Job lifecycle: queued → running → done | failed. "queued" covers only
+// the instant between Submit and the job goroutine picking the request
+// up; "running" means the request is inside the service pipeline, which
+// INCLUDES waiting for an admission slot — per-job gate position is not
+// observable from outside Do, so operators triaging queue depth should
+// read the service-wide Stats.Queued/InFlight counters, not job states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is the status of one async detection request.
+type Job struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Source and Response are set once State is JobDone.
+	Source   Source    `json:"source,omitempty"`
+	Response *Response `json:"response,omitempty"`
+	// Error is set once State is JobFailed.
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Finished time.Time `json:"finished,omitzero"`
+}
+
+// maxRetainedJobs bounds the registry: once exceeded, the oldest finished
+// jobs are pruned (a job still queued or running is never pruned).
+const maxRetainedJobs = 4096
+
+type jobRegistry struct {
+	mu   sync.Mutex
+	seq  uint64
+	jobs map[string]*Job
+	// order tracks insertion order for pruning.
+	order []string
+}
+
+func (r *jobRegistry) init() {
+	r.jobs = make(map[string]*Job)
+}
+
+// Submit enqueues req as an async job and returns its ID immediately. The
+// job runs through the same admission/cache/single-flight path as Do; its
+// result is retrievable via Job until pruned.
+func (s *Service) Submit(req *Request) string {
+	r := &s.jobs
+	r.mu.Lock()
+	r.seq++
+	id := fmt.Sprintf("job-%d", r.seq)
+	job := &Job{ID: id, State: JobQueued, Created: time.Now().UTC()}
+	r.jobs[id] = job
+	r.order = append(r.order, id)
+	r.prune()
+	r.mu.Unlock()
+
+	go func() {
+		r.mu.Lock()
+		job.State = JobRunning
+		r.mu.Unlock()
+		resp, src, err := s.Do(context.Background(), req)
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		job.Finished = time.Now().UTC()
+		if err != nil {
+			job.State = JobFailed
+			job.Error = err.Error()
+			return
+		}
+		job.State = JobDone
+		job.Source = src
+		job.Response = resp
+	}()
+	return id
+}
+
+// Job returns a snapshot of the job's status.
+func (s *Service) Job(id string) (Job, bool) {
+	r := &s.jobs
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	job, ok := r.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *job, true
+}
+
+// prune drops the oldest finished jobs beyond maxRetainedJobs. Caller
+// holds r.mu.
+func (r *jobRegistry) prune() {
+	if len(r.jobs) <= maxRetainedJobs {
+		return
+	}
+	kept := r.order[:0]
+	for _, id := range r.order {
+		job := r.jobs[id]
+		if job == nil {
+			continue
+		}
+		if len(r.jobs) > maxRetainedJobs && (job.State == JobDone || job.State == JobFailed) {
+			delete(r.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	r.order = kept
+}

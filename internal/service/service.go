@@ -1,0 +1,533 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/deterministic"
+	"repro/internal/graph"
+	"repro/internal/lowprob"
+	"repro/internal/sched"
+)
+
+// Algo names a detector family servable by the Service.
+type Algo string
+
+// The servable detector families. They are exactly the classical
+// detectors whose results share the Response shape; the quantum detectors
+// report a different cost model (charged rounds) and stay on the direct
+// facade path.
+const (
+	// AlgoEven is Algorithm 1: C_{2k}-freeness, randomized, one-sided.
+	AlgoEven Algo = "even"
+	// AlgoBounded is the F_{2k} bounded-length family detector.
+	AlgoBounded Algo = "bounded"
+	// AlgoOdd is the Section 3.4 C_{2k+1} detector (classical repetition).
+	AlgoOdd Algo = "odd"
+	// AlgoDet is the deterministic broadcast-CONGEST detector
+	// (arXiv:2412.11195): seedless, verdict a pure function of the graph.
+	AlgoDet Algo = "det"
+)
+
+// randomized reports whether the algo draws randomness (and therefore
+// carries a trial budget and a seed in its cache key).
+func (a Algo) randomized() bool { return a != AlgoDet }
+
+// ParseAlgo resolves the wire names (including aliases) to an Algo.
+func ParseAlgo(s string) (Algo, error) {
+	switch s {
+	case "even", "classical", "":
+		return AlgoEven, nil
+	case "bounded":
+		return AlgoBounded, nil
+	case "odd":
+		return AlgoOdd, nil
+	case "det", "deterministic":
+		return AlgoDet, nil
+	}
+	return "", fmt.Errorf("service: unknown algo %q (want even|bounded|odd|det)", s)
+}
+
+// Request is one detection request. Graph is required; the remaining
+// fields mirror the facade's Detect* options.
+type Request struct {
+	Graph *graph.Graph
+	Algo  Algo
+	// K is the half cycle length: detect C_2k (AlgoOdd: C_{2k+1}).
+	K int
+	// Seed is the master random seed of randomized algos (ignored and
+	// normalized to 0 in the cache key for AlgoDet).
+	Seed uint64
+	// Iterations is the trial budget of randomized algos and must be ≥ 1:
+	// a service request states its budget explicitly (the faithful
+	// iteration counts are astronomically large for k ≥ 3, so an implicit
+	// "faithful" default would be an availability hazard). Ignored for
+	// AlgoDet, which runs a single session.
+	Iterations int
+	// Threshold overrides the congestion threshold τ (0 = faithful).
+	Threshold int
+	// Eps is the one-sided error probability of AlgoEven/AlgoBounded
+	// (0 = the default 1/3); it parameterizes τ and p exactly as the
+	// direct Detect path's WithError does, and is part of the cache key.
+	// AlgoOdd and AlgoDet take no ε and normalize it away.
+	Eps float64
+	// Pipelined selects the pipelined color-BFS schedule (AlgoEven and
+	// AlgoBounded only).
+	Pipelined bool
+}
+
+// Response is the cached, deterministic portion of a detection answer: it
+// contains the verdict and domain costs but no wall-clock or serve-path
+// metadata, so repeated deterministic-mode requests serialize to
+// byte-identical responses no matter how they were served.
+type Response struct {
+	Algo          Algo           `json:"algo"`
+	K             int            `json:"k"`
+	Fingerprint   string         `json:"fingerprint"`
+	Found         bool           `json:"found"`
+	Witness       []graph.NodeID `json:"witness,omitempty"`
+	FoundLen      int            `json:"found_len,omitempty"`
+	Rounds        int            `json:"rounds"`
+	Messages      int64          `json:"messages"`
+	Bits          int64          `json:"bits"`
+	MaxCongestion int            `json:"max_congestion"`
+	Overflowed    bool           `json:"overflowed"`
+	// Iterations is the cumulative trial budget behind this verdict (0
+	// for the deterministic detector's single session).
+	Iterations int `json:"iterations"`
+}
+
+// Source says how a request was served.
+type Source string
+
+// Serve paths, from cheapest to most expensive.
+const (
+	// SourceCache: pure cache hit — no engine work, no queuing.
+	SourceCache Source = "cache"
+	// SourceCoalesced: waited on an identical in-flight computation.
+	SourceCoalesced Source = "coalesced"
+	// SourceAmplified: a cached not-found entry ran only the additional
+	// trials the request asked for beyond the recorded budget.
+	SourceAmplified Source = "amplified"
+	// SourceComputed: full computation.
+	SourceComputed Source = "computed"
+)
+
+// Config tunes a Service. The zero value gets sensible defaults.
+type Config struct {
+	// Slots is the number of concurrent computations admitted (the worker
+	// pool bound); 0 means GOMAXPROCS.
+	Slots int
+	// MaxQueue bounds the admission queue: requests that would queue
+	// deeper are rejected with ErrOverloaded. 0 means 1024; negative
+	// means unbounded.
+	MaxQueue int
+	// CacheEntries is the LRU verdict-cache capacity; 0 means 1024.
+	CacheEntries int
+	// Parallel is the per-request trial parallelism handed to the
+	// detectors (0/1 sequential, negative GOMAXPROCS). The pool bound
+	// applies to requests; Parallel spends each request's slot wider.
+	Parallel int
+	// Workers and Shards configure each engine session (see
+	// congest.Engine); 0 keeps the engine defaults.
+	Workers int
+	Shards  int
+}
+
+// ErrOverloaded is returned when the admission queue is full.
+var ErrOverloaded = fmt.Errorf("service: admission queue full")
+
+// ErrUnknownCorpus is returned (wrapped) by Resolve when a request names
+// a corpus graph that is not registered; the HTTP server maps it to 404.
+var ErrUnknownCorpus = fmt.Errorf("service: unknown corpus graph")
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	// Requests counts every Do call; the four serve-path counters
+	// partition the successful ones.
+	Requests  int64 `json:"requests"`
+	Hits      int64 `json:"hits"`
+	Coalesced int64 `json:"coalesced"`
+	Amplified int64 `json:"amplified"`
+	Computed  int64 `json:"computed"`
+	// Errors counts failed requests, Rejected the ErrOverloaded subset.
+	Errors   int64 `json:"errors"`
+	Rejected int64 `json:"rejected"`
+	// EngineSessions counts computations that ran detector work (computed
+	// + amplified): the "work actually done" number that cache hits and
+	// coalescing save.
+	EngineSessions int64 `json:"engine_sessions"`
+	// CacheEntries is the current verdict-cache size, InFlight the
+	// computations currently holding pool slots, Queued the admission
+	// queue length.
+	CacheEntries int `json:"cache_entries"`
+	InFlight     int `json:"in_flight"`
+	Queued       int `json:"queued"`
+}
+
+// Service is a concurrent, caching detection server. Create with New;
+// safe for concurrent use.
+type Service struct {
+	cfg  Config
+	gate *sched.Gate
+
+	mu       sync.Mutex
+	cache    *lru
+	inflight map[cacheKey]*call
+
+	corpusMu sync.RWMutex
+	corpus   map[string]*graph.Graph
+
+	jobs jobRegistry
+
+	requests, hits, coalesced, amplified, computed atomic.Int64
+	errors, rejected, engineSessions               atomic.Int64
+
+	// computeHook, when set, replaces the detector dispatch — tests use it
+	// to block and count computations deterministically. Never set in
+	// production paths.
+	computeHook func(req *Request, fp graph.Fingerprint, prior *entry) (*Response, bool, error)
+}
+
+// call is one in-flight computation; followers wait on done.
+type call struct {
+	done chan struct{}
+	// targetIter is the budget the computation will have accumulated when
+	// it finishes (entry budget + delta); followers needing no more than
+	// this coalesce onto it.
+	targetIter int
+	resp       *Response
+	err        error
+}
+
+// New creates a Service.
+func New(cfg Config) *Service {
+	if cfg.Slots <= 0 {
+		cfg.Slots = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 1024
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 1024
+	}
+	s := &Service{
+		cfg:      cfg,
+		gate:     sched.NewGate(cfg.Slots),
+		cache:    newLRU(cfg.CacheEntries),
+		inflight: make(map[cacheKey]*call),
+		corpus:   make(map[string]*graph.Graph),
+	}
+	s.jobs.init()
+	return s
+}
+
+// validate rejects malformed requests before they consume a pool slot,
+// and normalizes req.Algo to its canonical name (aliases like
+// "classical" or "deterministic" would otherwise slip past the
+// string-keyed cache and dispatch switches).
+func validate(req *Request) error {
+	if req.Graph == nil {
+		return fmt.Errorf("service: request has no graph")
+	}
+	algo, err := ParseAlgo(string(req.Algo))
+	if err != nil {
+		return err
+	}
+	req.Algo = algo
+	minK := 2
+	if req.Algo == AlgoOdd {
+		minK = 1
+	}
+	if req.K < minK {
+		return fmt.Errorf("service: algo %s needs k ≥ %d, got %d", req.Algo, minK, req.K)
+	}
+	if req.Algo.randomized() && req.Iterations < 1 {
+		return fmt.Errorf("service: algo %s requires an explicit trial budget (iterations ≥ 1), got %d",
+			req.Algo, req.Iterations)
+	}
+	if req.Threshold < 0 {
+		return fmt.Errorf("service: negative threshold %d", req.Threshold)
+	}
+	if req.Eps != 0 && (req.Eps <= 0 || req.Eps >= 1) {
+		return fmt.Errorf("service: ε = %v outside (0,1)", req.Eps)
+	}
+	return nil
+}
+
+// Do serves one detection request: cache hit, coalesce onto an identical
+// in-flight computation, amplify a cached not-found entry, or compute.
+// The returned Source says which path served it. ctx cancellation is
+// honored while queued for admission or while waiting on another
+// request's computation; a computation that has started always runs to
+// completion (its result is cached for everyone).
+func (s *Service) Do(ctx context.Context, req *Request) (*Response, Source, error) {
+	s.requests.Add(1)
+	// Work on a copy: validate normalizes the algo name, and mutating the
+	// caller's Request would make sharing one Request across goroutines a
+	// data race.
+	local := *req
+	req = &local
+	if err := validate(req); err != nil {
+		s.errors.Add(1)
+		return nil, "", err
+	}
+	fp := req.Graph.Fingerprint()
+	key := keyFor(req, fp)
+
+	for {
+		s.mu.Lock()
+		if ent := s.cache.get(key); ent != nil && ent.serves(req.Algo, req.Iterations) {
+			resp := ent.resp
+			s.mu.Unlock()
+			s.hits.Add(1)
+			return resp, SourceCache, nil
+		}
+		if c, ok := s.inflight[key]; ok {
+			// A follower coalesces when the in-flight computation's budget
+			// covers its own (a Found result covers any budget; the check
+			// below re-verifies after completion).
+			covered := req.Algo == AlgoDet || c.targetIter >= req.Iterations
+			s.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				s.errors.Add(1)
+				return nil, "", ctx.Err()
+			}
+			if c.err == nil && (covered || c.resp.Found) {
+				s.coalesced.Add(1)
+				return c.resp, SourceCoalesced, nil
+			}
+			// Leader failed, or its budget was short of ours: re-enter.
+			continue
+		}
+
+		// We are the leader. Snapshot the prior entry (if any) for
+		// amplification before releasing the lock; the in-flight map keeps
+		// other leaders for this key out until finish().
+		prior := s.cache.get(key)
+		c := &call{done: make(chan struct{}), targetIter: req.Iterations}
+		s.inflight[key] = c
+		overloaded := s.cfg.MaxQueue >= 0 && s.gate.Waiting() >= s.cfg.MaxQueue
+		if overloaded {
+			delete(s.inflight, key)
+		}
+		s.mu.Unlock()
+		if overloaded {
+			c.err = ErrOverloaded
+			close(c.done)
+			s.rejected.Add(1)
+			s.errors.Add(1)
+			return nil, "", ErrOverloaded
+		}
+
+		if err := s.gate.Acquire(ctx); err != nil {
+			s.finish(key, c, nil, err)
+			s.errors.Add(1)
+			return nil, "", err
+		}
+		resp, amplified, err := s.compute(req, fp, prior)
+		s.gate.Release()
+		if err != nil {
+			s.finish(key, c, nil, err)
+			s.errors.Add(1)
+			return nil, "", err
+		}
+		s.engineSessions.Add(1)
+		source := SourceComputed
+		if amplified {
+			source = SourceAmplified
+			s.amplified.Add(1)
+		} else {
+			s.computed.Add(1)
+		}
+		s.mu.Lock()
+		s.cache.put(key, &entry{resp: resp, budget: req.Iterations})
+		s.mu.Unlock()
+		s.finish(key, c, resp, nil)
+		return resp, source, nil
+	}
+}
+
+// finish publishes the call result and clears the in-flight slot.
+func (s *Service) finish(key cacheKey, c *call, resp *Response, err error) {
+	c.resp, c.err = resp, err
+	s.mu.Lock()
+	if s.inflight[key] == c {
+		delete(s.inflight, key)
+	}
+	s.mu.Unlock()
+	close(c.done)
+}
+
+// amplifySalt separates the derived seeds of amplification runs from
+// every other consumer of sched.Tag.
+const amplifySalt = 0x5e2f1ce
+
+// compute runs the detector. When prior is a not-found entry with budget
+// B < req.Iterations, only the missing req.Iterations-B trials run, with
+// a seed derived from (req.Seed, B) so the accumulated trial history
+// never repeats a coloring; costs accumulate into the returned response.
+// The reported second value is true on that amplification path.
+func (s *Service) compute(req *Request, fp graph.Fingerprint, prior *entry) (*Response, bool, error) {
+	if s.computeHook != nil {
+		return s.computeHook(req, fp, prior)
+	}
+	iterations := req.Iterations
+	seed := req.Seed
+	amplify := prior != nil && !prior.resp.Found && req.Algo.randomized()
+	if amplify {
+		iterations = req.Iterations - prior.budget
+		seed = sched.Tag(req.Seed, amplifySalt, uint64(prior.budget))
+	}
+	resp := &Response{Algo: req.Algo, K: req.K, Fingerprint: fp.String()}
+	switch req.Algo {
+	case AlgoEven, AlgoBounded:
+		opt := core.Options{
+			Eps:           req.Eps,
+			MaxIterations: iterations,
+			Threshold:     req.Threshold,
+			Seed:          seed,
+			Workers:       s.cfg.Workers,
+			Shards:        s.cfg.Shards,
+			Parallel:      s.cfg.Parallel,
+			Pipelined:     req.Pipelined,
+		}
+		if req.Algo == AlgoEven {
+			res, err := core.DetectEvenCycle(req.Graph, req.K, opt)
+			if err != nil {
+				return nil, false, err
+			}
+			resp.Found = res.Found
+			resp.Witness = res.Witness
+			if res.Found {
+				resp.FoundLen = 2 * req.K
+			}
+			resp.Rounds, resp.Messages, resp.Bits = res.Rounds, res.Messages, res.Bits
+			resp.MaxCongestion, resp.Overflowed = res.MaxCongestion, res.Overflowed
+			resp.Iterations = res.IterationsRun
+		} else {
+			res, err := core.DetectBoundedCycle(req.Graph, req.K, opt)
+			if err != nil {
+				return nil, false, err
+			}
+			resp.Found = res.Found
+			resp.Witness = res.Witness
+			resp.FoundLen = res.FoundLen
+			resp.Rounds, resp.Messages, resp.Bits = res.Rounds, res.Messages, res.Bits
+			resp.MaxCongestion, resp.Overflowed = res.MaxCongestion, res.Overflowed
+			resp.Iterations = res.IterationsRun
+		}
+	case AlgoOdd:
+		res, err := lowprob.DetectOdd(req.Graph, req.K, lowprob.OddOptions{
+			MaxIterations: iterations,
+			Threshold:     req.Threshold,
+			Seed:          seed,
+			Workers:       s.cfg.Workers,
+			Shards:        s.cfg.Shards,
+			Parallel:      s.cfg.Parallel,
+			SeedProb:      1,
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		resp.Found = res.Found
+		resp.Witness = res.Witness
+		if res.Found {
+			resp.FoundLen = 2*req.K + 1
+		}
+		resp.Rounds, resp.Messages = res.Rounds, res.Messages
+		resp.Iterations = res.IterationsRun
+	case AlgoDet:
+		res, err := deterministic.Detect(req.Graph, req.K, deterministic.Options{
+			Threshold: req.Threshold,
+			Workers:   s.cfg.Workers,
+			Shards:    s.cfg.Shards,
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		resp.Found = res.Found
+		resp.Witness = res.Witness
+		if res.Found {
+			resp.FoundLen = 2 * req.K
+		}
+		resp.Rounds, resp.Messages, resp.Bits = res.Rounds, res.Messages, res.Bits
+		resp.MaxCongestion, resp.Overflowed = res.MaxCongestion, res.Overflowed
+	default:
+		return nil, false, fmt.Errorf("service: unknown algo %q", req.Algo)
+	}
+	if amplify {
+		// Accumulate the entry's history so the response reports the full
+		// budget the verdict rests on.
+		p := prior.resp
+		resp.Rounds += p.Rounds
+		resp.Messages += p.Messages
+		resp.Bits += p.Bits
+		resp.MaxCongestion = max(resp.MaxCongestion, p.MaxCongestion)
+		resp.Overflowed = resp.Overflowed || p.Overflowed
+		resp.Iterations += p.Iterations
+	}
+	return resp, amplify, nil
+}
+
+// RegisterGraph adds a named graph to the corpus registry. Registering an
+// existing name fails.
+func (s *Service) RegisterGraph(name string, g *graph.Graph) error {
+	if name == "" || g == nil {
+		return fmt.Errorf("service: corpus entries need a name and a graph")
+	}
+	s.corpusMu.Lock()
+	defer s.corpusMu.Unlock()
+	if _, dup := s.corpus[name]; dup {
+		return fmt.Errorf("service: corpus graph %q already registered", name)
+	}
+	s.corpus[name] = g
+	return nil
+}
+
+// NamedGraph resolves a corpus name.
+func (s *Service) NamedGraph(name string) (*graph.Graph, bool) {
+	s.corpusMu.RLock()
+	defer s.corpusMu.RUnlock()
+	g, ok := s.corpus[name]
+	return g, ok
+}
+
+// GraphNames returns the sorted corpus names.
+func (s *Service) GraphNames() []string {
+	s.corpusMu.RLock()
+	defer s.corpusMu.RUnlock()
+	names := make([]string, 0, len(s.corpus))
+	for name := range s.corpus {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	return names
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	entries := s.cache.len()
+	s.mu.Unlock()
+	return Stats{
+		Requests:       s.requests.Load(),
+		Hits:           s.hits.Load(),
+		Coalesced:      s.coalesced.Load(),
+		Amplified:      s.amplified.Load(),
+		Computed:       s.computed.Load(),
+		Errors:         s.errors.Load(),
+		Rejected:       s.rejected.Load(),
+		EngineSessions: s.engineSessions.Load(),
+		CacheEntries:   entries,
+		InFlight:       s.gate.InUse(),
+		Queued:         s.gate.Waiting(),
+	}
+}

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestResolveInlineGraphValidation pins the hardening of the
+// network-facing inline-graph path: hostile n/edge values must come back
+// as errors, never reach the builder (which would panic or allocate
+// unbounded memory).
+func TestResolveInlineGraphValidation(t *testing.T) {
+	svc := New(Config{})
+	cases := []struct {
+		name string
+		wg   WireGraph
+		want string
+	}{
+		{"negative-n", WireGraph{N: -1}, "declares -1 vertices"},
+		{"huge-n", WireGraph{N: 1 << 30}, "vertices for 0 edges"},
+		{"n-beyond-edges", WireGraph{N: 1 << 20, Edges: [][2]graph.NodeID{{0, 1}}}, "vertices for 1 edges"},
+		{"negative-endpoint", WireGraph{N: 4, Edges: [][2]graph.NodeID{{-1, 0}}}, "out of range"},
+		{"huge-endpoint", WireGraph{N: 4, Edges: [][2]graph.NodeID{{0, 1 << 30}}}, "out of range"},
+	}
+	for _, tc := range cases {
+		wg := tc.wg
+		_, err := svc.Resolve(&WireRequest{Algo: "det", K: 2, Graph: &wg}, 8)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	// A valid inline graph still resolves.
+	req, err := svc.Resolve(&WireRequest{Algo: "det", K: 2, Graph: &WireGraph{
+		N: 3, Edges: [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 0}},
+	}}, 8)
+	if err != nil || req.Graph.NumNodes() != 3 {
+		t.Fatalf("valid inline graph: req=%v err=%v", req, err)
+	}
+}
+
+// TestResolveWireRequestShapes covers the corpus/inline/neither arms and
+// the default-budget fill.
+func TestResolveWireRequestShapes(t *testing.T) {
+	svc := New(Config{})
+	g := graph.Gnm(20, 30, graph.NewRand(1))
+	if err := svc.RegisterGraph("g", g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Resolve(&WireRequest{Algo: "even", K: 2}, 8); err == nil ||
+		!strings.Contains(err.Error(), "neither corpus nor graph") {
+		t.Fatalf("graphless request: %v", err)
+	}
+	if _, err := svc.Resolve(&WireRequest{Algo: "even", K: 2, Corpus: "nope"}, 8); err == nil ||
+		!strings.Contains(err.Error(), "unknown corpus") {
+		t.Fatalf("unknown corpus: %v", err)
+	}
+	if _, err := svc.Resolve(&WireRequest{Algo: "even", K: 2, Corpus: "g",
+		Graph: &WireGraph{N: 1}}, 8); err == nil || !strings.Contains(err.Error(), "pick one") {
+		t.Fatalf("both corpus and graph: %v", err)
+	}
+	req, err := svc.Resolve(&WireRequest{Algo: "even", K: 2, Corpus: "g"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Iterations != 8 {
+		t.Fatalf("default budget not applied: %d", req.Iterations)
+	}
+	if req.Graph != g {
+		t.Fatal("corpus graph not resolved by reference")
+	}
+}
+
+// TestAlgoAliasNormalization: aliases accepted by ParseAlgo must behave
+// exactly like their canonical names all the way through Do — same cache
+// key, det semantics (no budget required), canonical name in the
+// response.
+func TestAlgoAliasNormalization(t *testing.T) {
+	svc := New(Config{})
+	g := graph.Gnm(40, 80, graph.NewRand(2))
+	resp, src, err := svc.Do(context.Background(), &Request{Graph: g, Algo: "deterministic", K: 2})
+	if err != nil {
+		t.Fatalf("alias request failed: %v", err)
+	}
+	if src != SourceComputed || resp.Algo != AlgoDet {
+		t.Fatalf("alias request: src=%q algo=%q", src, resp.Algo)
+	}
+	// The canonical name must hit the same entry.
+	_, src, err = svc.Do(context.Background(), &Request{Graph: g, Algo: AlgoDet, K: 2})
+	if err != nil || src != SourceCache {
+		t.Fatalf("canonical follow-up: src=%q err=%v", src, err)
+	}
+	// "classical" is AlgoEven and therefore needs a budget.
+	if _, _, err := svc.Do(context.Background(), &Request{Graph: g, Algo: "classical", K: 2}); err == nil ||
+		!strings.Contains(err.Error(), "trial budget") {
+		t.Fatalf("classical alias without budget: %v", err)
+	}
+}

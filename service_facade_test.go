@@ -1,0 +1,85 @@
+package evencycle_test
+
+import (
+	"context"
+	"testing"
+
+	evencycle "repro"
+)
+
+// TestServiceFacade drives evencycle.Service end to end: computed first
+// serve, cache hit second, det-mode seed independence, and stats
+// accounting.
+func TestServiceFacade(t *testing.T) {
+	svc := evencycle.NewService(
+		evencycle.WithServiceSlots(2),
+		evencycle.WithServiceCache(64),
+		evencycle.WithServiceIterations(20),
+	)
+	host := evencycle.RandomGraph(300, 330, 5)
+	g, _, err := evencycle.WithPlantedCycle(host, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	res, src, err := svc.Detect(ctx, g, 2, evencycle.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != "computed" {
+		t.Fatalf("first serve source %q", src)
+	}
+	if !res.Found {
+		t.Fatal("planted C_4 not found within the default budget")
+	}
+	if err := evencycle.VerifyCycle(g, res.Witness); err != nil {
+		t.Fatal(err)
+	}
+
+	again, src, err := svc.Detect(ctx, g, 2, evencycle.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != "cache" {
+		t.Fatalf("repeat serve source %q, want cache", src)
+	}
+	if !again.Found || again.Rounds != res.Rounds {
+		t.Fatal("cache hit returned a different result")
+	}
+
+	// Deterministic mode ignores the seed in its cache key.
+	det1, src1, err := svc.DetectDeterministic(ctx, g, 2, evencycle.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det2, src2, err := svc.DetectDeterministic(ctx, g, 2, evencycle.WithSeed(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src1 != "computed" || src2 != "cache" {
+		t.Fatalf("det sources %q/%q, want computed/cache", src1, src2)
+	}
+	if det1.Found != det2.Found || det1.Rounds != det2.Rounds {
+		t.Fatal("det results differ across seeds")
+	}
+
+	if err := svc.RegisterGraph("g1", g); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := svc.NamedGraph("g1"); !ok {
+		t.Fatal("registered graph not resolvable")
+	}
+	if names := svc.GraphNames(); len(names) != 1 || names[0] != "g1" {
+		t.Fatalf("corpus names %v", names)
+	}
+	if fp := evencycle.Fingerprint(g); len(fp) != 32 {
+		t.Fatalf("fingerprint %q is not 32 hex digits", fp)
+	}
+
+	st := svc.Stats()
+	if st.Requests != 4 || st.Hits != 2 || st.EngineSessions != 2 {
+		t.Fatalf("stats requests=%d hits=%d engineSessions=%d, want 4/2/2",
+			st.Requests, st.Hits, st.EngineSessions)
+	}
+}
