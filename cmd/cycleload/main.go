@@ -19,10 +19,32 @@
 // 1 - D/R once every graph has been touched. Deterministic mode (-algo
 // det) additionally asserts that every response body for a given graph is
 // byte-identical — the service's determinism acceptance check.
+//
+// The many-small-graphs mode (-inline spec) generates -distinct D graphs
+// client-side from the spec template (one per derived seed) and ships
+// them inline instead of referencing the corpus. With D close to the
+// request count nearly every request is a first touch — a pure miss-path
+// workload, which is what the server's fused batching exists for. The
+// report then includes the batch-size distribution the server advertises
+// in its X-Evencycle-Batch headers, and the server's own final counters;
+// -max-engine-sessions gates on fused batching actually collapsing the
+// session count (the CI smoke job's batching assertion).
+//
+// The in-process mode (-direct, requires -inline) drives service.Do
+// directly instead of going through HTTP, so the measurement isolates
+// the miss path itself — fingerprint, scheduling, engine session — from
+// the HTTP/JSON transport cost, which on small graphs is several times
+// the detection cost and identical on every serve path. -direct -vs-solo
+// replays the same workload twice, against a batching-disabled service
+// and a batched one, verifies the responses are byte-identical per graph
+// across both, and emits a single comparison record with the throughput
+// ratio (BENCH_6.json); -min-speedup gates on that ratio and -trials
+// takes the best of N runs per path to damp scheduler noise.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,9 +52,12 @@ import (
 	"net/http"
 	"os"
 	"slices"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/graph"
 	"repro/internal/service"
 )
 
@@ -56,6 +81,11 @@ type LoadRecord struct {
 	ElapsedNs int64   `json:"elapsed_ns"`
 	RPS       float64 `json:"rps"`
 	Latency   Latency `json:"latency_ns"`
+	// ServerStats is the server's own counter snapshot after the run
+	// (GET /v1/stats, or Service.Stats in -direct mode) — the
+	// authoritative engine-session count behind the client-observed
+	// batch sizes.
+	ServerStats *service.Stats `json:"server_stats,omitempty"`
 }
 
 // LoadConfig echoes the generator parameters.
@@ -67,6 +97,9 @@ type LoadConfig struct {
 	Distinct   int    `json:"distinct"`
 	Iterations int    `json:"iterations,omitempty"`
 	Seed       uint64 `json:"seed"`
+	// Inline is the graph-spec template of the many-small-graphs mode
+	// (empty = corpus mode).
+	Inline string `json:"inline,omitempty"`
 }
 
 // LoadTotals is the outcome tally.
@@ -81,6 +114,34 @@ type LoadTotals struct {
 	// DetByteIdentical is set in det mode: whether every response body
 	// per graph was identical across serves.
 	DetByteIdentical *bool `json:"det_byte_identical,omitempty"`
+	// BatchSizes counts computed requests by the engine batch size the
+	// server fused them into (the X-Evencycle-Batch header): key "1" is
+	// solo sessions, larger keys are fused batches.
+	BatchSizes map[string]int `json:"batch_sizes,omitempty"`
+}
+
+// MissBatchRecord is the -vs-solo comparison artifact (BENCH_6.json):
+// the same miss-path workload replayed against a solo-session service
+// and a fused-batching one, with the responses pinned identical.
+type MissBatchRecord struct {
+	Schema string     `json:"schema"`
+	Label  string     `json:"label"`
+	Config LoadConfig `json:"config"`
+	// BatchSize / BatchLingerNs / Slots are the batched service's knobs
+	// (the solo reference differs only in BatchSize 1).
+	BatchSize     int   `json:"batch_size"`
+	BatchLingerNs int64 `json:"batch_linger_ns"`
+	Slots         int   `json:"slots"`
+	// Trials is how many times each path ran; Solo/Batched are the
+	// best-throughput trial of each.
+	Trials  int         `json:"trials"`
+	Solo    *LoadRecord `json:"solo"`
+	Batched *LoadRecord `json:"batched"`
+	// Speedup is Batched.RPS / Solo.RPS.
+	Speedup float64 `json:"speedup"`
+	// ResponsesIdentical records the equivalence check: every graph's
+	// response body byte-identical between the solo and batched runs.
+	ResponsesIdentical bool `json:"responses_identical"`
 }
 
 // Latency summarizes the per-request latency sample in nanoseconds.
@@ -103,9 +164,14 @@ type Bucket struct {
 type sample struct {
 	ns     int64
 	source string
+	batch  int // engine batch size for computed requests (X-Evencycle-Batch)
 	name   string
 	body   []byte
-	err    error
+	// resp holds the unserialized response in -direct mode; the body is
+	// marshaled after the timed run so serialization isn't billed to the
+	// service.
+	resp *service.Response
+	err  error
 }
 
 func run() error {
@@ -122,64 +188,61 @@ func run() error {
 	out := flag.String("out", "", "output file (default stdout)")
 	minHitRatio := flag.Float64("min-hit-ratio", -1, "fail unless the hit ratio reaches this (negative disables)")
 	maxFailures := flag.Int("max-failures", -1, "fail if more requests fail than this (negative disables)")
+	inline := flag.String("inline", "", "many-small-graphs mode: generate -distinct graphs from this spec template\n"+
+		"client-side (one per derived seed) and ship them inline instead of using the corpus")
+	maxSessions := flag.Int("max-engine-sessions", -1, "fail if the server's final engine-session count exceeds this (negative disables)")
+	direct := flag.Bool("direct", false, "drive the service in-process instead of over HTTP (requires -inline)")
+	vsSolo := flag.Bool("vs-solo", false, "with -direct: replay against solo and batched services and emit the comparison record")
+	trials := flag.Int("trials", 1, "with -vs-solo: runs per path, best throughput kept")
+	minSpeedup := flag.Float64("min-speedup", -1, "with -vs-solo: fail unless batched/solo rps reaches this (negative disables)")
+	slots := flag.Int("slots", 0, "with -direct: service compute slots (0 = service default)")
+	batch := flag.Int("batch", 0, "with -direct: max fused batch size (0 = service default, 1 = disable)")
+	batchLinger := flag.Duration("batch-linger", 0, "with -direct: batch linger window (0 = service default)")
 	flag.Parse()
 
-	names, err := corpusNames(*addr)
-	if err != nil {
-		return err
+	if *vsSolo && !*direct {
+		return fmt.Errorf("-vs-solo requires -direct")
 	}
-	if len(names) == 0 {
-		return fmt.Errorf("server has no corpus graphs; start cycleserved with -corpus name=spec")
+	if *direct && *inline == "" {
+		return fmt.Errorf("-direct needs -inline (it has no server corpus to draw from)")
 	}
-	if *distinct > 0 && *distinct < len(names) {
-		names = names[:*distinct]
+
+	// Build the request stream: corpus references, or inline graphs
+	// generated from the -inline spec template.
+	var names []string
+	var gs []*graph.Graph
+	if *inline != "" {
+		if *distinct <= 0 {
+			return fmt.Errorf("-inline needs -distinct > 0 (how many graphs to generate)")
+		}
+		names = make([]string, *distinct)
+		gs = make([]*graph.Graph, *distinct)
+		for i := range gs {
+			g, err := graph.FromSpec(*inline, *seed+uint64(i))
+			if err != nil {
+				return fmt.Errorf("-inline %q: %w", *inline, err)
+			}
+			names[i] = fmt.Sprintf("inline-%d", i)
+			gs[i] = g
+		}
+	} else {
+		var err error
+		if names, err = corpusNames(*addr); err != nil {
+			return err
+		}
+		if len(names) == 0 {
+			return fmt.Errorf("server has no corpus graphs; start cycleserved with -corpus name=spec")
+		}
+		if *distinct > 0 && *distinct < len(names) {
+			names = names[:*distinct]
+		}
+	}
+	cfg := LoadConfig{
+		Clients: *clients, Requests: *requests, Algo: *algo, K: *k,
+		Distinct: len(names), Iterations: *iterations, Seed: *seed, Inline: *inline,
 	}
 	fmt.Fprintf(os.Stderr, "load: %d requests, %d clients, %d distinct graphs, algo=%s k=%d\n",
 		*requests, *clients, len(names), *algo, *k)
-
-	samples := make([]sample, *requests)
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	client := &http.Client{Timeout: 5 * time.Minute}
-	start := time.Now()
-	for c := 0; c < *clients; c++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= *requests {
-					return
-				}
-				name := names[i%len(names)]
-				samples[i] = oneRequest(client, *addr, &service.WireRequest{
-					Algo:       *algo,
-					K:          *k,
-					Corpus:     name,
-					Seed:       *seed,
-					Iterations: *iterations,
-				}, name)
-			}
-		}()
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	rec := summarize(samples, elapsed)
-	rec.Label = *label
-	rec.Target = *addr
-	rec.Config = LoadConfig{
-		Clients: *clients, Requests: *requests, Algo: *algo, K: *k,
-		Distinct: len(names), Iterations: *iterations, Seed: *seed,
-	}
-	if *algo == "det" || *algo == "deterministic" {
-		identical := detBodiesIdentical(samples)
-		rec.Totals.DetByteIdentical = &identical
-	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -190,6 +253,85 @@ func run() error {
 		defer f.Close()
 		w = f
 	}
+
+	if *vsSolo {
+		algoP, err := service.ParseAlgo(*algo)
+		if err != nil {
+			return err
+		}
+		base := service.Config{Slots: *slots, CacheEntries: 2*len(gs) + 16,
+			BatchSize: *batch, BatchLinger: *batchLinger}
+		batchedCfg := service.New(base).Config() // resolve defaults for the record
+		soloCfg := base
+		soloCfg.BatchSize = 1
+
+		solo, batched, identical, err := compareRuns(soloCfg, base, gs, names, algoP, cfg, *trials)
+		if err != nil {
+			return err
+		}
+		rec := &MissBatchRecord{
+			Schema: "evencycle-missbatch/v1", Label: *label, Config: cfg,
+			BatchSize: batchedCfg.BatchSize, BatchLingerNs: batchedCfg.BatchLinger.Nanoseconds(),
+			Slots: batchedCfg.Slots, Trials: *trials,
+			Solo: solo, Batched: batched,
+			Speedup:            batched.RPS / solo.RPS,
+			ResponsesIdentical: identical,
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		} else {
+			renderVsSolo(w, rec)
+		}
+		if !identical {
+			return fmt.Errorf("batched responses differ from solo responses")
+		}
+		if *maxFailures >= 0 {
+			if f := solo.Totals.Failures + batched.Totals.Failures; f > *maxFailures {
+				return fmt.Errorf("%d requests failed (max %d)", f, *maxFailures)
+			}
+		}
+		if *maxSessions >= 0 && batched.ServerStats.EngineSessions > int64(*maxSessions) {
+			return fmt.Errorf("batched path ran %d engine sessions (max %d — batching did not collapse the miss path)",
+				batched.ServerStats.EngineSessions, *maxSessions)
+		}
+		if *minSpeedup >= 0 && rec.Speedup < *minSpeedup {
+			return fmt.Errorf("batched/solo speedup %.2f below required %.2f", rec.Speedup, *minSpeedup)
+		}
+		return nil
+	}
+
+	var rec *LoadRecord
+	if *direct {
+		algoP, err := service.ParseAlgo(*algo)
+		if err != nil {
+			return err
+		}
+		svcCfg := service.Config{Slots: *slots, CacheEntries: 2*len(gs) + 16,
+			BatchSize: *batch, BatchLinger: *batchLinger}
+		rec, _, err = directRun(svcCfg, gs, names, algoP, cfg)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if rec, err = httpRun(*addr, gs, names, cfg); err != nil {
+			return err
+		}
+	}
+	rec.Label = *label
+	if *algo == "det" || *algo == "deterministic" {
+		// DetByteIdentical is filled per run; surface a pointer even when
+		// no body repeated so the gate below stays meaningful.
+		if rec.Totals.DetByteIdentical == nil {
+			identical := true
+			rec.Totals.DetByteIdentical = &identical
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -206,10 +348,200 @@ func run() error {
 	if *minHitRatio >= 0 && rec.Totals.HitRatio < *minHitRatio {
 		return fmt.Errorf("hit ratio %.3f below required %.3f", rec.Totals.HitRatio, *minHitRatio)
 	}
+	if *maxSessions >= 0 {
+		if rec.ServerStats == nil {
+			return fmt.Errorf("-max-engine-sessions set but server stats were unavailable")
+		}
+		if rec.ServerStats.EngineSessions > int64(*maxSessions) {
+			return fmt.Errorf("server ran %d engine sessions (max %d — batching did not collapse the miss path)",
+				rec.ServerStats.EngineSessions, *maxSessions)
+		}
+	}
 	if rec.Totals.DetByteIdentical != nil && !*rec.Totals.DetByteIdentical {
 		return fmt.Errorf("deterministic-mode responses were not byte-identical per graph")
 	}
 	return nil
+}
+
+// replay drives the closed loop: `clients` goroutines each keep one
+// request in flight until `requests` have been issued.
+func replay(requests, clients int, do func(i int) sample) ([]sample, time.Duration) {
+	samples := make([]sample, requests)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				samples[i] = do(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return samples, time.Since(start)
+}
+
+// httpRun replays the workload over HTTP. Request bodies are marshaled
+// once per distinct graph up front — re-encoding the edge list on every
+// request would bill client CPU against the server on a shared host.
+func httpRun(addr string, gs []*graph.Graph, names []string, cfg LoadConfig) (*LoadRecord, error) {
+	bodies := make([][]byte, len(names))
+	for i := range names {
+		wire := &service.WireRequest{
+			Algo:       cfg.Algo,
+			K:          cfg.K,
+			Seed:       cfg.Seed,
+			Iterations: cfg.Iterations,
+		}
+		if gs != nil {
+			wire.Graph = &service.WireGraph{N: gs[i].NumNodes(), Edges: gs[i].Edges()}
+		} else {
+			wire.Corpus = names[i]
+		}
+		var err error
+		if bodies[i], err = json.Marshal(wire); err != nil {
+			return nil, err
+		}
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+	samples, elapsed := replay(cfg.Requests, cfg.Clients, func(i int) sample {
+		return oneRequest(client, addr, bodies[i%len(names)], names[i%len(names)])
+	})
+	rec := summarize(samples, elapsed)
+	rec.Target = addr
+	rec.Config = cfg
+	if st, err := serverStats(addr); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: GET /v1/stats failed: %v\n", err)
+	} else {
+		rec.ServerStats = st
+	}
+	if cfg.Algo == "det" || cfg.Algo == "deterministic" {
+		identical := detBodiesIdentical(samples)
+		rec.Totals.DetByteIdentical = &identical
+	}
+	return rec, nil
+}
+
+// directRun replays the workload in-process against a fresh Service,
+// returning the run record and the per-graph response bodies (for
+// cross-path equivalence checks).
+func directRun(svcCfg service.Config, gs []*graph.Graph, names []string, algo service.Algo, cfg LoadConfig) (*LoadRecord, map[string][]byte, error) {
+	svc := service.New(svcCfg)
+	samples, elapsed := replay(cfg.Requests, cfg.Clients, func(i int) sample {
+		name := names[i%len(names)]
+		req := &service.Request{
+			Graph: gs[i%len(gs)], Algo: algo, K: cfg.K,
+			Seed: cfg.Seed, Iterations: cfg.Iterations,
+		}
+		start := time.Now()
+		resp, info, err := svc.DoInfo(context.Background(), req)
+		ns := time.Since(start).Nanoseconds()
+		if err != nil {
+			return sample{ns: ns, name: name, err: err}
+		}
+		return sample{ns: ns, source: string(info.Source), batch: info.Batch, name: name, resp: resp}
+	})
+	for i := range samples {
+		s := &samples[i]
+		if s.err == nil && s.resp != nil {
+			if s.body, s.err = json.Marshal(s.resp); s.err != nil {
+				s.body = nil
+			}
+		}
+	}
+	rec := summarize(samples, elapsed)
+	rec.Target = "in-process"
+	rec.Config = cfg
+	st := svc.Stats()
+	rec.ServerStats = &st
+	if algo == service.AlgoDet {
+		identical := detBodiesIdentical(samples)
+		rec.Totals.DetByteIdentical = &identical
+	}
+	return rec, firstBodies(samples), nil
+}
+
+// compareRuns interleaves `trials` solo and batched replays (each
+// against a fresh service, so every trial exercises the pure miss path)
+// and keeps each path's best-throughput record. Interleaving means a
+// burst of host interference lands on both paths alike instead of
+// skewing whichever side it happened to hit. All trials of both paths
+// must produce byte-identical per-graph responses.
+func compareRuns(soloCfg, batchedCfg service.Config, gs []*graph.Graph, names []string, algo service.Algo, cfg LoadConfig, trials int) (solo, batched *LoadRecord, identical bool, err error) {
+	if trials < 1 {
+		trials = 1
+	}
+	var ref map[string][]byte
+	identical = true
+	for t := 0; t < trials; t++ {
+		for _, p := range []struct {
+			cfg  service.Config
+			best **LoadRecord
+		}{{soloCfg, &solo}, {batchedCfg, &batched}} {
+			rec, bodies, rerr := directRun(p.cfg, gs, names, algo, cfg)
+			if rerr != nil {
+				return nil, nil, false, rerr
+			}
+			if ref == nil {
+				ref = bodies
+			} else if !bodiesEqual(ref, bodies) {
+				identical = false
+			}
+			if *p.best == nil || rec.RPS > (*p.best).RPS {
+				*p.best = rec
+			}
+		}
+	}
+	return solo, batched, identical, nil
+}
+
+// firstBodies maps each graph name to its first successful response body.
+func firstBodies(samples []sample) map[string][]byte {
+	m := make(map[string][]byte)
+	for _, s := range samples {
+		if s.err != nil || s.body == nil {
+			continue
+		}
+		if _, ok := m[s.name]; !ok {
+			m[s.name] = s.body
+		}
+	}
+	return m
+}
+
+func bodiesEqual(a, b map[string][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for name, body := range a {
+		if !bytes.Equal(b[name], body) {
+			fmt.Fprintf(os.Stderr, "responses differ for %s:\n  %s\n  %s\n", name, body, b[name])
+			return false
+		}
+	}
+	return true
+}
+
+func serverStats(addr string) (*service.Stats, error) {
+	resp, err := http.Get(addr + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/stats: %s", resp.Status)
+	}
+	var st service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }
 
 func corpusNames(addr string) ([]string, error) {
@@ -234,11 +566,7 @@ func corpusNames(addr string) ([]string, error) {
 	return names, nil
 }
 
-func oneRequest(client *http.Client, addr string, wire *service.WireRequest, name string) sample {
-	body, err := json.Marshal(wire)
-	if err != nil {
-		return sample{err: err}
-	}
+func oneRequest(client *http.Client, addr string, body []byte, name string) sample {
 	start := time.Now()
 	resp, err := client.Post(addr+"/v1/detect", "application/json", bytes.NewReader(body))
 	if err != nil {
@@ -253,9 +581,11 @@ func oneRequest(client *http.Client, addr string, wire *service.WireRequest, nam
 	if resp.StatusCode != http.StatusOK {
 		return sample{ns: ns, name: name, err: fmt.Errorf("%s: %s", resp.Status, payload)}
 	}
+	batch, _ := strconv.Atoi(resp.Header.Get("X-Evencycle-Batch"))
 	return sample{
 		ns:     ns,
 		source: resp.Header.Get("X-Evencycle-Source"),
+		batch:  batch,
 		name:   name,
 		body:   payload,
 	}
@@ -277,6 +607,12 @@ func summarize(samples []sample, elapsed time.Duration) *LoadRecord {
 		}
 		rec.Totals.Completed++
 		rec.Totals.BySource[s.source]++
+		if s.batch > 0 {
+			if rec.Totals.BatchSizes == nil {
+				rec.Totals.BatchSizes = make(map[string]int)
+			}
+			rec.Totals.BatchSizes[strconv.Itoa(s.batch)]++
+		}
 		lats = append(lats, s.ns)
 		sum += s.ns
 	}
@@ -344,7 +680,46 @@ func renderText(w io.Writer, rec *LoadRecord) {
 	fmt.Fprintf(w, "latency: p50=%s p90=%s p99=%s max=%s\n",
 		time.Duration(rec.Latency.P50), time.Duration(rec.Latency.P90),
 		time.Duration(rec.Latency.P99), time.Duration(rec.Latency.Max))
+	if len(rec.Totals.BatchSizes) > 0 {
+		sizes := make([]int, 0, len(rec.Totals.BatchSizes))
+		for k := range rec.Totals.BatchSizes {
+			if v, err := strconv.Atoi(k); err == nil {
+				sizes = append(sizes, v)
+			}
+		}
+		slices.Sort(sizes)
+		fmt.Fprintf(w, "engine batch sizes:")
+		for _, sz := range sizes {
+			fmt.Fprintf(w, " %d×%d", sz, rec.Totals.BatchSizes[strconv.Itoa(sz)])
+		}
+		fmt.Fprintln(w)
+	}
+	if rec.ServerStats != nil {
+		fmt.Fprintf(w, "server sessions: engine=%d (fused=%d solo=%d), batches=%d mean=%.2f max=%d\n",
+			rec.ServerStats.EngineSessions, rec.ServerStats.FusedSessions, rec.ServerStats.SoloSessions,
+			rec.ServerStats.BatchesFormed, rec.ServerStats.MeanBatchSize, rec.ServerStats.MaxBatchSize)
+	}
 	if rec.Totals.DetByteIdentical != nil {
 		fmt.Fprintf(w, "det responses byte-identical per graph: %v\n", *rec.Totals.DetByteIdentical)
 	}
+}
+
+func renderVsSolo(w io.Writer, rec *MissBatchRecord) {
+	fmt.Fprintf(w, "miss-path comparison (%d×%q, %d requests, %d clients, algo=%s, best of %d):\n",
+		rec.Config.Distinct, rec.Config.Inline, rec.Config.Requests, rec.Config.Clients,
+		rec.Config.Algo, rec.Trials)
+	for _, p := range []struct {
+		name string
+		r    *LoadRecord
+	}{{"solo", rec.Solo}, {"batched", rec.Batched}} {
+		fmt.Fprintf(w, "  %-8s %9.1f req/s  p50=%-10s sessions=%d",
+			p.name, p.r.RPS, time.Duration(p.r.Latency.P50), p.r.ServerStats.EngineSessions)
+		if p.r.ServerStats.BatchesFormed > 0 {
+			fmt.Fprintf(w, " (batches=%d mean=%.2f max=%d)",
+				p.r.ServerStats.BatchesFormed, p.r.ServerStats.MeanBatchSize, p.r.ServerStats.MaxBatchSize)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  speedup %.2fx (batch %d, linger %s), responses identical: %v\n",
+		rec.Speedup, rec.BatchSize, time.Duration(rec.BatchLingerNs), rec.ResponsesIdentical)
 }

@@ -17,8 +17,10 @@
 //	                    → the verdict JSON (found, witness, rounds, bits, ...).
 //	                    Serve-path metadata travels in headers
 //	                    (X-Evencycle-Source: cache|coalesced|amplified|computed,
-//	                    X-Evencycle-Elapsed-Ns), keeping deterministic-mode
-//	                    response bodies byte-identical across serves.
+//	                    X-Evencycle-Elapsed-Ns, and for computed requests
+//	                    X-Evencycle-Batch: the engine batch size the request
+//	                    was fused into), keeping deterministic-mode response
+//	                    bodies byte-identical across serves.
 //	POST /v1/jobs       same body → {"id":"job-N"} immediately (async).
 //	GET  /v1/jobs/{id}  → job status, including the verdict once done.
 //	GET  /v1/jobs/{id}/witness → just the witness cycle of a done job.
@@ -73,6 +75,8 @@ func run() error {
 	parallel := flag.Int("parallel", 1, "per-request trial parallelism (0 = GOMAXPROCS)")
 	workers := flag.Int("workers", 0, "engine goroutine pool per session (0 = GOMAXPROCS)")
 	iterations := flag.Int("iterations", 32, "default trial budget for randomized requests that omit one")
+	batch := flag.Int("batch", 0, "fused miss-path batch size: compatible concurrent misses share one engine session (0 = default 8, 1 = disable)")
+	batchLinger := flag.Duration("batch-linger", 0, "how long an under-full batch waits for joiners (0 = default 2ms)")
 	corpusSeed := flag.Uint64("corpus-seed", 1, "seed for randomized corpus generators")
 	var corpus corpusFlag
 	flag.Var(&corpus, "corpus", "named corpus graph as name=spec (repeatable); specs:\n"+graph.SpecHelp)
@@ -88,6 +92,8 @@ func run() error {
 		CacheEntries: *cache,
 		Parallel:     par,
 		Workers:      *workers,
+		BatchSize:    *batch,
+		BatchLinger:  *batchLinger,
 	})
 	for _, entry := range corpus {
 		name, spec, ok := strings.Cut(entry, "=")
@@ -162,7 +168,7 @@ func (srv *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	resp, src, err := srv.svc.Do(r.Context(), req)
+	resp, info, err := srv.svc.DoInfo(r.Context(), req)
 	elapsed := time.Since(start)
 	if err != nil {
 		status := http.StatusBadRequest
@@ -174,8 +180,13 @@ func (srv *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 	// Serve-path metadata rides in headers so the body — the cached
 	// verdict — is byte-identical however the request was served.
-	w.Header().Set("X-Evencycle-Source", string(src))
+	w.Header().Set("X-Evencycle-Source", string(info.Source))
 	w.Header().Set("X-Evencycle-Elapsed-Ns", fmt.Sprintf("%d", elapsed.Nanoseconds()))
+	if info.Batch > 0 {
+		// Computed requests only: the size of the engine batch that served
+		// this request (1 = solo session, > 1 = fused with other misses).
+		w.Header().Set("X-Evencycle-Batch", fmt.Sprintf("%d", info.Batch))
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

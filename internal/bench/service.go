@@ -41,11 +41,12 @@ func s1Corpus(distinct int, n int, seed uint64) ([]*graph.Graph, error) {
 	return gs, nil
 }
 
-// s1Point replays `requests` det-mode requests over the corpus from
-// `clients` closed-loop goroutines against a fresh service with `slots`
-// workers, returning the stats and the per-graph response bodies.
-func s1Point(gs []*graph.Graph, requests, clients, slots int) (service.Stats, map[int][]byte, int, error) {
-	svc := service.New(service.Config{Slots: slots, CacheEntries: 4 * len(gs)})
+// s1Point replays `requests` requests over the corpus from `clients`
+// closed-loop goroutines against a fresh service with the given config,
+// returning the stats and the per-graph response bodies. mkReq maps a
+// corpus index to its request.
+func s1Point(gs []*graph.Graph, requests, clients int, svcCfg service.Config, mkReq func(gi int) *service.Request) (service.Stats, map[int][]byte, int, error) {
+	svc := service.New(svcCfg)
 	bodies := make(map[int][]byte, len(gs))
 	found := 0
 	var mu sync.Mutex
@@ -65,9 +66,7 @@ func s1Point(gs []*graph.Graph, requests, clients, slots int) (service.Stats, ma
 					return
 				}
 				gi := i % len(gs)
-				resp, _, err := svc.Do(context.Background(), &service.Request{
-					Graph: gs[gi], Algo: service.AlgoDet, K: 2,
-				})
+				resp, _, err := svc.Do(context.Background(), mkReq(gi))
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = err
@@ -122,7 +121,15 @@ func S1(cfg Config) (*Table, error) {
 		// point but across worker counts too.
 		var ref map[int][]byte
 		for _, slots := range workerSweep {
-			st, bodies, found, err := s1Point(gs, requests, clients, slots)
+			// BatchSize 1 pins the solo miss path: the at-most-once column is
+			// the exact session count, which fused batching would (correctly)
+			// shrink by a timing-dependent amount; S2 certifies the batched
+			// path through its timing-independent invariants instead.
+			st, bodies, found, err := s1Point(gs, requests, clients,
+				service.Config{Slots: slots, CacheEntries: 4 * len(gs), BatchSize: 1},
+				func(gi int) *service.Request {
+					return &service.Request{Graph: gs[gi], Algo: service.AlgoDet, K: 2}
+				})
 			if err != nil {
 				return nil, fmt.Errorf("S1 slots=%d distinct=%d: %w", slots, distinct, err)
 			}
@@ -158,5 +165,92 @@ func S1(cfg Config) (*Table, error) {
 	tab.AddNote("at-most-once: engine sessions == distinct graphs — the single-flight + fingerprint-cache contract under concurrency")
 	tab.AddNote("wall-clock throughput/latency for this family is measured by cmd/cycleload against cycleserved " +
 		"and recorded as BENCH_5.json (see the CI service-smoke job); this table pins only host-independent counters")
+	return tab, nil
+}
+
+// S2 certifies the batched miss path: the same replay as S1 but with
+// fused batching on, against a batching-disabled reference. How misses
+// group into batches is timing-dependent, so the table reports only the
+// invariants that hold for EVERY grouping — per-key at-most-once
+// computation (computed == distinct), sessions never exceeding the solo
+// count (fusion only merges work), and responses byte-identical to the
+// solo service (the per-component transcript-equivalence contract of
+// core.DetectEvenCycleFused / deterministic.DetectMulti).
+func S2(cfg Config) (*Table, error) {
+	n, requests, clients := 1200, 240, 8
+	mixSweep := []int{4, 12}
+	if cfg.Quick {
+		n, requests, clients = 300, 60, 4
+		mixSweep = []int{2, 6}
+	}
+	tab := &Table{
+		ID:    "S2",
+		Title: "batched miss path: fused sessions vs solo reference (timing-independent invariants)",
+		Header: []string{"algo", "distinct", "requests", "computed", "sessions ≤ distinct",
+			"equal to solo", "hit ratio"},
+	}
+	algos := []struct {
+		name  string
+		mkReq func(gs []*graph.Graph) func(gi int) *service.Request
+	}{
+		{"det", func(gs []*graph.Graph) func(gi int) *service.Request {
+			return func(gi int) *service.Request {
+				return &service.Request{Graph: gs[gi], Algo: service.AlgoDet, K: 2}
+			}
+		}},
+		{"even", func(gs []*graph.Graph) func(gi int) *service.Request {
+			return func(gi int) *service.Request {
+				return &service.Request{Graph: gs[gi], Algo: service.AlgoEven, K: 2,
+					Seed: cfg.Seed, Iterations: 4}
+			}
+		}},
+	}
+	for _, distinct := range mixSweep {
+		gs, err := s1Corpus(distinct, n, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range algos {
+			batchedCfg := service.Config{Slots: 4, CacheEntries: 4 * len(gs), BatchSize: 8}
+			soloCfg := service.Config{Slots: 4, CacheEntries: 4 * len(gs), BatchSize: 1}
+			bst, bBodies, _, err := s1Point(gs, requests, clients, batchedCfg, a.mkReq(gs))
+			if err != nil {
+				return nil, fmt.Errorf("S2 %s distinct=%d (batched): %w", a.name, distinct, err)
+			}
+			_, sBodies, _, err := s1Point(gs, requests, clients, soloCfg, a.mkReq(gs))
+			if err != nil {
+				return nil, fmt.Errorf("S2 %s distinct=%d (solo): %w", a.name, distinct, err)
+			}
+			atMostOnce := bst.Computed == int64(distinct)
+			bounded := bst.EngineSessions <= int64(distinct)
+			identical := len(bBodies) == len(sBodies)
+			for gi, body := range bBodies {
+				if string(sBodies[gi]) != string(body) {
+					identical = false
+				}
+			}
+			saved := bst.Hits + bst.Coalesced
+			tab.AddRow(a.name, itoa(distinct), itoa(requests), itoa(int(bst.Computed)),
+				fmt.Sprintf("%v", bounded), fmt.Sprintf("%v", identical),
+				f(float64(saved)/float64(bst.Requests)))
+			if !atMostOnce {
+				return nil, fmt.Errorf("S2 %s distinct=%d: %d computed for %d keys",
+					a.name, distinct, bst.Computed, distinct)
+			}
+			if !bounded {
+				return nil, fmt.Errorf("S2 %s distinct=%d: %d engine sessions exceed the %d-session solo bound",
+					a.name, distinct, bst.EngineSessions, distinct)
+			}
+			if !identical {
+				return nil, fmt.Errorf("S2 %s distinct=%d: batched responses differ from the solo service",
+					a.name, distinct)
+			}
+		}
+	}
+	tab.AddNote("batched service: BatchSize 8, default linger; solo reference: BatchSize 1. " +
+		"Randomized responses match across paths because the service derives each request's run seed " +
+		"from (seed, fingerprint) identically on both, and the fused engine reproduces each component's solo transcript")
+	tab.AddNote("how many sessions fuse is scheduling-dependent and deliberately not tabled; " +
+		"the wall-clock win is recorded out of band as BENCH_6.json (the cycleload -direct -vs-solo many-small-graphs comparison)")
 	return tab, nil
 }

@@ -113,6 +113,24 @@ type Report struct {
 	Halted bool
 	// Timeline holds per-round statistics when Engine.Timeline is set.
 	Timeline []RoundStat
+	// PerComp splits Rounds and Messages by component when the engine has a
+	// component map (Engine.SetComponents); nil otherwise. Per-component
+	// Bits are deliberately not tracked here: the model charges
+	// MessageBits(n) for the component's own n, which only the caller
+	// knows (Report.Bits charges the fused network's n and is therefore
+	// NOT the sum of the per-component costs).
+	PerComp []CompStats
+}
+
+// CompStats is the per-component slice of a fused session's cost: the
+// component's own CONGEST time (the last round in which one of its nodes
+// was active, plus one — idle gaps elapse exactly as in Report.Rounds)
+// and the messages its nodes sent. Components of a disjoint union never
+// exchange messages, so these equal the counts a solo run of the
+// component would report.
+type CompStats struct {
+	Rounds   int
+	Messages int64
 }
 
 // MessageBits returns the model-level size of one message on an n-node
@@ -129,7 +147,7 @@ func MessageBits(n int) int64 {
 }
 
 // Accumulate adds r's counters into t (for sequential protocol
-// composition).
+// composition). Per-component stats accumulate elementwise.
 func (t *Report) Accumulate(r *Report) {
 	t.Rounds += r.Rounds
 	t.Messages += r.Messages
@@ -139,6 +157,15 @@ func (t *Report) Accumulate(r *Report) {
 	}
 	t.Rejections = append(t.Rejections, r.Rejections...)
 	t.Halted = t.Halted || r.Halted
+	if r.PerComp != nil {
+		if t.PerComp == nil {
+			t.PerComp = make([]CompStats, len(r.PerComp))
+		}
+		for c := range r.PerComp {
+			t.PerComp[c].Rounds += r.PerComp[c].Rounds
+			t.PerComp[c].Messages += r.PerComp[c].Messages
+		}
+	}
 }
 
 // Network is the immutable execution substrate: topology plus model
@@ -146,6 +173,11 @@ func (t *Report) Accumulate(r *Report) {
 type Network struct {
 	g    *graph.Graph
 	seed uint64
+	// seedBase, when non-nil, overrides the per-node half of the seed
+	// derivation: node u's streams derive from seedBase[u] instead of
+	// SeedBase(seed, u). Fused networks use it to give every component the
+	// node streams of its own solo network (see NewNetworkSeedBases).
+	seedBase []uint64
 }
 
 // NewNetwork wraps a graph as a CONGEST network with the given master seed
@@ -169,6 +201,30 @@ func (n *Network) NumNodes() int { return n.g.NumNodes() }
 // Seed returns the master seed.
 func (n *Network) Seed() uint64 { return n.seed }
 
+// NewNetworkSeedBases wraps a graph as a CONGEST network whose node
+// randomness streams derive from an explicit per-node seed base instead
+// of a single master seed: node u's stream for session sess seeds from
+// bases[u] combined with the session tag, exactly as a NewNetwork(seed)
+// node whose SeedBase(seed, u) equals bases[u]. Fused disjoint-union
+// networks use this to make every component's node streams byte-identical
+// to the component's own solo network.
+func NewNetworkSeedBases(g *graph.Graph, bases []uint64) *Network {
+	if len(bases) != g.NumNodes() {
+		panic(fmt.Sprintf("congest: %d seed bases for %d nodes", len(bases), g.NumNodes()))
+	}
+	n := NewNetwork(g, 0)
+	n.seedBase = bases
+	return n
+}
+
+// SeedBase returns the per-node half of the seed derivation: the value
+// nodeSeed folds with the session tag for node u on a network with the
+// given master seed. It is exported so fused networks can reproduce a
+// solo network's node streams via NewNetworkSeedBases.
+func SeedBase(seed uint64, u NodeID) uint64 {
+	return seed ^ (uint64(u)+1)*0x9e3779b97f4a7c15
+}
+
 // nodeSeedXor derives the second PCG word from the first in every node
 // stream (see nodeSeed).
 const nodeSeedXor = 0x94d049bb133111eb
@@ -176,9 +232,15 @@ const nodeSeedXor = 0x94d049bb133111eb
 // nodeSeed derives the first PCG seed word of node u's deterministic
 // random stream for session sess. It is the single source of truth for
 // the derivation: Session.Rand reseeds its pooled per-node generators
-// from it.
+// from it. (The engine's fault-injection stream uses u = -1, which is
+// outside any seed-base override and always derives from the master
+// seed.)
 func (n *Network) nodeSeed(u NodeID, sess uint64) uint64 {
-	return n.seed ^ (uint64(u)+1)*0x9e3779b97f4a7c15 ^ (sess+1)*0xbf58476d1ce4e5b9
+	base := SeedBase(n.seed, u)
+	if n.seedBase != nil && u >= 0 {
+		base = n.seedBase[u]
+	}
+	return base ^ (sess+1)*0xbf58476d1ce4e5b9
 }
 
 // nodeRand derives the deterministic random stream of node u for session

@@ -52,6 +52,12 @@ type Engine struct {
 	// adjOff[n] is the total directed-edge count.
 	adjOff []int32
 
+	// comp/numComp split cost accounting by component when set
+	// (SetComponents): Report.PerComp then records each component's own
+	// rounds and sent-message count.
+	comp    []int32
+	numComp int
+
 	session  atomic.Uint64
 	sessions sync.Pool // of *Session
 }
@@ -77,6 +83,20 @@ func NewEngine(net *Network) *Engine {
 
 // Network returns the engine's network.
 func (e *Engine) Network() *Network { return e.net }
+
+// SetComponents installs a component map (comp[u] in [0, count) for every
+// node) and turns on per-component cost accounting: every Report gains a
+// PerComp slice with each component's own rounds and sent-message count.
+// Intended for disjoint-union networks, where components never exchange
+// messages and the split is exact. Call before the first Run and leave it
+// fixed. Incompatible with DropProb (per-component message counts are
+// taken sender-side, before the delivery drop draw).
+func (e *Engine) SetComponents(comp []int32, count int) {
+	if len(comp) != e.net.NumNodes() {
+		panic(fmt.Sprintf("congest: component map covers %d of %d nodes", len(comp), e.net.NumNodes()))
+	}
+	e.comp, e.numComp = comp, count
+}
 
 const defaultMaxRounds = 50_000_000
 
@@ -233,6 +253,13 @@ type Session struct {
 	pcgs   []rand.PCG
 	rands  []rand.Rand
 	rngGen []uint64
+
+	// Per-component accounting (Engine.SetComponents): compLast[c] is the
+	// last round in which a node of component c ran (-1 = never);
+	// compMsgs[c] counts the messages component c's nodes staged. Reset at
+	// the start of every run — O(components), not O(n).
+	compLast []int32
+	compMsgs []int64
 
 	halt atomic.Bool
 
@@ -555,7 +582,20 @@ func (s *Session) run(h Handler, sess uint64) (*Report, error) {
 	msgBits := MessageBits(n)
 	var dropRng *rand.Rand
 	if e.DropProb > 0 {
+		if e.numComp > 0 {
+			return nil, fmt.Errorf("congest: per-component accounting is incompatible with DropProb (sender-side counts)")
+		}
 		dropRng = s.net.nodeRand(-1, sess)
+	}
+	if e.numComp > 0 {
+		if len(s.compLast) != e.numComp {
+			s.compLast = make([]int32, e.numComp)
+			s.compMsgs = make([]int64, e.numComp)
+		}
+		for c := range s.compLast {
+			s.compLast[c] = -1
+			s.compMsgs[c] = 0
+		}
 	}
 	s.ensureShards(e.deliveryShards(workers, n))
 	exec := 0
@@ -615,6 +655,11 @@ func (s *Session) run(h Handler, sess uint64) (*Report, error) {
 		s.round = round
 		rep.Rounds = round + 1
 		exec++
+		if e.numComp > 0 {
+			for _, u := range s.due {
+				s.compLast[e.comp[u]] = int32(round)
+			}
+		}
 
 		// Execute handlers (possibly in parallel).
 		serialHandlers := e.runHandlers(s, h, round, workers)
@@ -640,6 +685,12 @@ func (s *Session) run(h Handler, sess uint64) (*Report, error) {
 		}
 	}
 	s.lastExec = exec
+	if e.numComp > 0 {
+		rep.PerComp = make([]CompStats, e.numComp)
+		for c := range rep.PerComp {
+			rep.PerComp[c] = CompStats{Rounds: int(s.compLast[c]) + 1, Messages: s.compMsgs[c]}
+		}
+	}
 	if len(s.rejections) > 0 {
 		rep.Rejections = canonicalRejections(s.rejections)
 		// The sorted buffer is handed off to the escaping Report (callers
@@ -795,6 +846,13 @@ func (s *Session) deliver(workers int, dropRng *rand.Rand, serialHandlers bool) 
 		}
 	} else {
 		delivered = s.deliverSerial(senders, dropRng)
+	}
+	if s.eng.numComp > 0 {
+		// Sender-side per-component counts: exact because components are
+		// forbidden together with DropProb, so staged == delivered.
+		for _, u := range senders {
+			s.compMsgs[s.eng.comp[u]] += int64(len(s.outTo[u]))
+		}
 	}
 	for _, u := range senders {
 		if len(s.outTo[u]) > 0 {

@@ -1,0 +1,37 @@
+package congest
+
+// Fused sessions: a disjoint union of graphs is itself a valid CONGEST
+// network whose components can never exchange messages (there are no
+// edges between them, and Send enforces locality). One session on the
+// union therefore executes every component's protocol simultaneously,
+// amortizing per-session setup and per-round scheduling across the batch,
+// while each component's transcript stays node-for-node identical to a
+// solo run — provided the component's node randomness streams and the
+// protocol's n-dependent parameters are reproduced per component. This
+// file supplies the network half of that contract; SetComponents supplies
+// the cost-accounting split.
+
+import "repro/internal/graph"
+
+// NewFusedEngine builds the disjoint-union network of the given graphs
+// and returns an engine with per-component accounting installed, plus the
+// component map for demultiplexing. seeds[i] is the master seed component
+// i's node streams derive from: node u of graph i (global ID
+// parts.Base[i]+u) draws exactly the stream it would on
+// NewNetwork(gs[i], seeds[i]) under the same session tag.
+func NewFusedEngine(gs []*graph.Graph, seeds []uint64) (*Engine, *graph.UnionParts) {
+	if len(seeds) != len(gs) {
+		panic("congest: NewFusedEngine needs one seed per graph")
+	}
+	u, parts := graph.UnionTagged(gs)
+	bases := make([]uint64, u.NumNodes())
+	for i := range gs {
+		lo, hi := parts.Component(i)
+		for v := lo; v < hi; v++ {
+			bases[v] = SeedBase(seeds[i], v-lo)
+		}
+	}
+	eng := NewEngine(NewNetworkSeedBases(u, bases))
+	eng.SetComponents(parts.Comp, len(gs))
+	return eng, parts
+}

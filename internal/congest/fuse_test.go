@@ -1,0 +1,149 @@
+package congest
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// drawFlood is a toy protocol exercising randomness, wake-ups and
+// message traffic: every node draws once at round 0, broadcasts the draw,
+// and keeps relaying its running minimum for a draw-dependent number of
+// extra rounds. Draws[u] records node u's round-0 draw so tests can pin
+// stream identity across fused and solo executions.
+type drawFlood struct {
+	Draws []uint64
+	mins  []uint64
+	until []int32
+}
+
+func (p *drawFlood) Init(rt *Runtime) {
+	n := rt.N()
+	p.Draws = make([]uint64, n)
+	p.mins = make([]uint64, n)
+	p.until = make([]int32, n)
+	for u := 0; u < n; u++ {
+		rt.WakeAt(NodeID(u), 0)
+	}
+}
+
+func (p *drawFlood) HandleRound(rt *Runtime, u NodeID, r int, inbox []Message) {
+	if r == 0 {
+		d := rt.Rand(u).Uint64()
+		p.Draws[u] = d
+		p.mins[u] = d
+		p.until[u] = int32(1 + d%4)
+	}
+	changed := r == 0
+	for _, m := range inbox {
+		if v := m.A(); v < p.mins[u] {
+			p.mins[u] = v
+			changed = true
+		}
+	}
+	if changed && int32(r) < p.until[u] {
+		rt.Broadcast(u, 1, p.mins[u], 0)
+		rt.WakeAt(u, r+1)
+	}
+}
+
+func fuseTestGraphs(seed uint64) ([]*graph.Graph, []uint64) {
+	rng := graph.NewRand(seed)
+	gs := make([]*graph.Graph, 5)
+	seeds := make([]uint64, len(gs))
+	for i := range gs {
+		n := 6 + rng.IntN(30)
+		gs[i] = graph.Gnm(n, 2*n, rng)
+		seeds[i] = rng.Uint64()
+	}
+	return gs, seeds
+}
+
+// TestFusedEngineMatchesSoloRuns pins the fusion invariant at the engine
+// level: on a disjoint union with per-component seed bases, every
+// component's node draws, rounds and message counts equal a solo run of
+// that component under its own seed.
+func TestFusedEngineMatchesSoloRuns(t *testing.T) {
+	gs, seeds := fuseTestGraphs(42)
+	eng, parts := NewFusedEngine(gs, seeds)
+	fused := &drawFlood{}
+	frep, err := eng.Run(fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frep.PerComp) != len(gs) {
+		t.Fatalf("PerComp has %d entries for %d graphs", len(frep.PerComp), len(gs))
+	}
+	var sumRounds int
+	var sumMsgs int64
+	for i, g := range gs {
+		solo := &drawFlood{}
+		srep, err := NewEngine(NewNetwork(g, seeds[i])).Run(solo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, _ := parts.Component(i)
+		for u := 0; u < g.NumNodes(); u++ {
+			if fused.Draws[int(lo)+u] != solo.Draws[u] {
+				t.Fatalf("component %d node %d: fused draw %x, solo draw %x",
+					i, u, fused.Draws[int(lo)+u], solo.Draws[u])
+			}
+		}
+		if frep.PerComp[i].Rounds != srep.Rounds {
+			t.Errorf("component %d: fused rounds %d, solo %d", i, frep.PerComp[i].Rounds, srep.Rounds)
+		}
+		if frep.PerComp[i].Messages != srep.Messages {
+			t.Errorf("component %d: fused messages %d, solo %d", i, frep.PerComp[i].Messages, srep.Messages)
+		}
+		if sumRounds < srep.Rounds {
+			sumRounds = srep.Rounds
+		}
+		sumMsgs += srep.Messages
+	}
+	if frep.Rounds != sumRounds {
+		t.Errorf("fused rounds %d, want max of solo rounds %d", frep.Rounds, sumRounds)
+	}
+	if frep.Messages != sumMsgs {
+		t.Errorf("fused messages %d, want sum of solo messages %d", frep.Messages, sumMsgs)
+	}
+}
+
+// TestFusedAccountingScheduleInvariant pins that the per-component split
+// is identical under serial and parallel execution (workers, shards,
+// forced-parallel thresholds).
+func TestFusedAccountingScheduleInvariant(t *testing.T) {
+	gs, seeds := fuseTestGraphs(7)
+	base, parts := NewFusedEngine(gs, seeds)
+	_ = parts
+	ref, err := base.Run(&drawFlood{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []struct{ workers, shards, thresh int }{
+		{1, 0, 0}, {4, 2, 1}, {8, 8, 1}, {2, 1, 1},
+	} {
+		eng, _ := NewFusedEngine(gs, seeds)
+		eng.Workers, eng.Shards, eng.ParallelThreshold = cfg.workers, cfg.shards, cfg.thresh
+		rep, err := eng.Run(&drawFlood{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range ref.PerComp {
+			if rep.PerComp[c] != ref.PerComp[c] {
+				t.Fatalf("workers=%d shards=%d thresh=%d: component %d stats %+v, want %+v",
+					cfg.workers, cfg.shards, cfg.thresh, c, rep.PerComp[c], ref.PerComp[c])
+			}
+		}
+	}
+}
+
+// TestFusedEngineRejectsDropProb pins that fault injection and
+// per-component accounting cannot be combined (counts are sender-side).
+func TestFusedEngineRejectsDropProb(t *testing.T) {
+	gs, seeds := fuseTestGraphs(3)
+	eng, _ := NewFusedEngine(gs, seeds)
+	eng.DropProb = 0.5
+	if _, err := eng.Run(&drawFlood{}); err == nil {
+		t.Fatal("expected error combining SetComponents with DropProb")
+	}
+}

@@ -45,6 +45,12 @@ type ColorBFSSpec struct {
 	SeedProb   float64 // activation probability of each seed (Algorithm 2)
 	DetectSkip bool    // additionally detect C_{L-1} (merged F_{2k} mode)
 	Pipelined  bool    // pipelined schedule instead of the batch schedule
+	// ThresholdAt, when non-nil, overrides Threshold per node. τ is
+	// n-dependent (Θ(n^{1-1/k})), so a fused disjoint-union session sets
+	// each component's nodes to the component's own τ — the condition for
+	// the component's transcript to match a solo run. Threshold is ignored
+	// when set (pass 1 to satisfy validation).
+	ThresholdAt []int32
 }
 
 // Detection records one identifier collision at a detector node, i.e. one
@@ -127,6 +133,16 @@ func validateSpec(n int, spec ColorBFSSpec) error {
 	}
 	if spec.DetectSkip && spec.L%2 != 0 {
 		return fmt.Errorf("core: merged C_{L-1} mode requires even L, got %d", spec.L)
+	}
+	if spec.ThresholdAt != nil {
+		if len(spec.ThresholdAt) != n {
+			return fmt.Errorf("core: per-node threshold array has length %d, want %d", len(spec.ThresholdAt), n)
+		}
+		for v, t := range spec.ThresholdAt {
+			if t < 1 {
+				return fmt.Errorf("core: per-node threshold %d < 1 at node %d", t, v)
+			}
+		}
 	}
 	return nil
 }
@@ -326,7 +342,7 @@ func (b *ColorBFS) insertAsc(v graph.NodeID, c int8, id uint64, from graph.NodeI
 	// duplicate check, the bound and the insertion in one probe.
 	capLen := int32(math.MaxInt32)
 	if b.isAscForwarder(c) {
-		capLen = int32(b.spec.Threshold)
+		capLen = b.thresholdAt(v)
 	}
 	inserted, capped := b.asc.InsertCapped(v, id, from, capLen)
 	if capped {
@@ -355,7 +371,7 @@ func (b *ColorBFS) insertDesc(v graph.NodeID, c int8, id uint64, from graph.Node
 	}
 	capLen := int32(math.MaxInt32)
 	if b.isDescForwarder(c) {
-		capLen = int32(b.spec.Threshold)
+		capLen = b.thresholdAt(v)
 	}
 	inserted, capped := b.desc.InsertCapped(v, id, from, capLen)
 	if capped {
@@ -402,8 +418,35 @@ func (b *ColorBFS) MaxCongestion() int {
 	return max(b.asc.MaxLen(), b.desc.MaxLen())
 }
 
+// thresholdAt returns node v's forwarding threshold.
+func (b *ColorBFS) thresholdAt(v graph.NodeID) int32 {
+	if b.spec.ThresholdAt != nil {
+		return b.spec.ThresholdAt[v]
+	}
+	return int32(b.spec.Threshold)
+}
+
+// MaxCongestionRange returns the congestion watermark restricted to nodes
+// in [lo, hi) — the per-component split of MaxCongestion for fused
+// sessions (identifier sets only grow within an invocation, so the final
+// per-node lengths are the watermark).
+func (b *ColorBFS) MaxCongestionRange(lo, hi graph.NodeID) int {
+	return max(b.asc.MaxLenRange(lo, hi), b.desc.MaxLenRange(lo, hi))
+}
+
 // Overflowed reports whether any forwarder discarded its set.
 func (b *ColorBFS) Overflowed() bool { return b.over.Load() }
+
+// OverflowedRange reports whether any forwarder in [lo, hi) discarded its
+// set (the per-component split of Overflowed).
+func (b *ColorBFS) OverflowedRange(lo, hi graph.NodeID) bool {
+	for v := lo; v < hi; v++ {
+		if b.ascOver[v] || b.descOver[v] {
+			return true
+		}
+	}
+	return false
+}
 
 // Run executes the invocation on the engine and returns the accumulated
 // report. Batch mode runs the paper's phase-synchronous schedule as one

@@ -134,14 +134,22 @@ func runAlgorithm1(g *graph.Graph, params Params, opt Options) (*Result, error) 
 // the families draw distinct streams.
 func IterationColors(n, L int, seed uint64, it int) []int8 {
 	colors := make([]int8, n)
+	iterationColorsInto(colors, L, seed, it)
+	return colors
+}
+
+// iterationColorsInto fills dst with iteration it's coloring. Fused
+// sessions draw each component's block of the union coloring through
+// this, from the component's own (seed, it) stream — identical draws to
+// the component's solo run.
+func iterationColorsInto(dst []int8, L int, seed uint64, it int) {
 	rng := rand.New(rand.NewPCG(
 		sched.Tag(seed, 0xc0102, uint64(it)),
 		sched.Tag(seed, 0xc0103, uint64(it)),
 	))
-	for v := range colors {
-		colors[v] = int8(rng.IntN(L))
+	for v := range dst {
+		dst[v] = int8(rng.IntN(L))
 	}
-	return colors
 }
 
 // iterOutcome is the result of one coloring iteration (one trial of the

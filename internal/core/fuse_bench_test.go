@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// benchmarkFusedVsSolo measures the fused batch path against B solo runs
+// over the same graphs (the service's miss-path comparison).
+func benchCorpus(b *testing.B, n, count int) []FusedItem {
+	b.Helper()
+	rng := graph.NewRand(7)
+	items := make([]FusedItem, count)
+	for i := range items {
+		pg, _, err := graph.PlantedLight(n, 4, 1.5, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		items[i] = FusedItem{Graph: pg, Seed: uint64(i), Iterations: 2}
+	}
+	return items
+}
+
+func BenchmarkMissPathSolo(b *testing.B) {
+	items := benchCorpus(b, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, it := range items {
+			if _, err := DetectEvenCycle(it.Graph, 2, Options{Seed: it.Seed, MaxIterations: it.Iterations}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkMissPathFused(b *testing.B) {
+	items := benchCorpus(b, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DetectEvenCycleFused(items, 2, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -22,6 +22,14 @@ type Sets struct {
 	// degree-count requirement.
 	WAllNeighbors bool
 
+	// PAt and LightMaxAt, when non-nil, override the n-dependent
+	// parameters p and n^{1/k} per node. Fused disjoint-union sessions set
+	// them so every component's membership draws use the component's own
+	// parameterization (k, and hence the k² in the W rule, is shared by a
+	// batch). Params still supplies K.
+	PAt        []float64
+	LightMaxAt []int32
+
 	InU, InS, InW []bool
 	SCount        []int32 // |N(u) ∩ S|
 
@@ -46,8 +54,12 @@ func (s *Sets) Init(rt *congest.Runtime) {
 func (s *Sets) HandleRound(rt *congest.Runtime, u graph.NodeID, r int, inbox []congest.Message) {
 	switch r {
 	case 0:
-		s.InU[u] = rt.Degree(u) <= s.Params.LightMax
-		s.InS[u] = rt.Rand(u).Float64() < s.Params.P
+		lightMax, p := s.Params.LightMax, s.Params.P
+		if s.LightMaxAt != nil {
+			lightMax, p = int(s.LightMaxAt[u]), s.PAt[u]
+		}
+		s.InU[u] = rt.Degree(u) <= lightMax
+		s.InS[u] = rt.Rand(u).Float64() < p
 		if s.InS[u] {
 			rt.Broadcast(u, kindSelect, 0, 0)
 		}

@@ -106,6 +106,12 @@ type candidate struct {
 type detProto struct {
 	k   uint64 // target walk length (half cycle length)
 	tau int32
+	// tauAt, when non-nil, overrides tau per node. Fused disjoint-union
+	// sessions set it so every component runs under its own
+	// DefaultThreshold(n_i, k) — τ is the protocol's only n-dependent
+	// parameter, and solo-identical transcripts require the component's
+	// own n, not the union's.
+	tauAt []int32
 
 	// first maps walk key → first parent (the neighbor whose relay
 	// created the entry). Terminal keys arriving again over a different
@@ -183,7 +189,11 @@ func (p *detProto) accept(u graph.NodeID, m congest.Message) {
 	}
 	h := m.B() + 1
 	key := walkKey(src, h)
-	inserted, capped := p.first.InsertCapped(u, key, int32(m.From()), p.tau)
+	tau := p.tau
+	if p.tauAt != nil {
+		tau = p.tauAt[u]
+	}
+	inserted, capped := p.first.InsertCapped(u, key, int32(m.From()), tau)
 	if capped {
 		// Instruction-19 semantics: the set is discarded — stop accepting
 		// and cancel the relays not yet sent (those already broadcast

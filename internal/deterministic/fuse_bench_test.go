@@ -1,0 +1,43 @@
+package deterministic
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func benchGraphs(b *testing.B, n, count int) []*graph.Graph {
+	b.Helper()
+	rng := graph.NewRand(7)
+	gs := make([]*graph.Graph, count)
+	for i := range gs {
+		pg, _, err := graph.PlantedLight(n, 4, 1.5, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gs[i] = pg
+	}
+	return gs
+}
+
+func BenchmarkDetMissPathSolo(b *testing.B) {
+	gs := benchGraphs(b, 64, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range gs {
+			if _, err := Detect(g, 2, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkDetMissPathFused(b *testing.B) {
+	gs := benchGraphs(b, 64, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DetectMulti(gs, 2, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

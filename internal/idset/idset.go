@@ -100,6 +100,21 @@ func (s *Store) MaxLen() int {
 	return int(uint32(m))
 }
 
+// MaxLenRange returns the largest set size among nodes in [lo, hi).
+// Unlike MaxLen it is an O(hi-lo) scan of the meta slab; fused sessions
+// use it to split the congestion watermark by component (sets only ever
+// grow within a generation, so the final per-node length IS the node's
+// historical maximum).
+func (s *Store) MaxLenRange(lo, hi NodeID) int {
+	best := int32(0)
+	for v := lo; v < hi; v++ {
+		if l := s.lenOf(v); l > best {
+			best = l
+		}
+	}
+	return int(best)
+}
+
 // Get returns the value stored for id in node v's set.
 func (s *Store) Get(v NodeID, id uint64) (int32, bool) {
 	if s.lenOf(v) == 0 {

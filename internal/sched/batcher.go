@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Batcher groups concurrent Do calls that share a compatibility key into
+// batches and hands each batch to Exec as one unit. The first caller for
+// a key opens a batch and arms the linger timer; later callers join until
+// the batch fills (MaxBatch), its weight budget is exhausted (MaxWeight),
+// or the timer fires — whichever comes first dispatches. The service's
+// miss path uses this to fuse compatible detection requests into one
+// engine session.
+//
+// Dispatch runs Exec synchronously on whichever goroutine triggered it
+// (the filling caller or the timer), mirroring the single-flight leader
+// convention: a batch that has started always runs to completion. A
+// caller whose context ends while waiting abandons its result but does
+// not retract its item — Exec still computes it (and the service still
+// caches it).
+//
+// MaxBatch ≤ 1 degenerates to the solo path: Do invokes Exec inline with
+// a single-item batch, no timer, no cross-goroutine hand-off.
+type Batcher[K comparable, T, R any] struct {
+	// MaxBatch caps the number of items per batch (≤ 1 = solo).
+	MaxBatch int
+	// Linger is how long an open batch waits for joiners before
+	// dispatching; ≤ 0 dispatches immediately (solo behavior with batch
+	// bookkeeping).
+	Linger time.Duration
+	// Weight and MaxWeight bound a batch by total item weight (e.g. fused
+	// node count): a join that would push the batch past MaxWeight
+	// dispatches the open batch and opens a new one. Zero MaxWeight or nil
+	// Weight disables the bound.
+	Weight    func(T) int
+	MaxWeight int
+	// Exec computes a batch. It must return one result per item (or an
+	// error applied to every item).
+	Exec func(key K, items []T) ([]R, error)
+
+	mu      sync.Mutex
+	pending map[K]*openBatch[T, R]
+}
+
+// openBatch accumulates joiners until dispatch. Each waiter holds its
+// item's index and blocks on done; dispatch publishes results/err and
+// then closes done, so one broadcast wakes every waiter and the batch
+// needs no per-caller channel.
+type openBatch[T, R any] struct {
+	items  []T
+	weight int
+	timer  *time.Timer
+
+	done    chan struct{}
+	results []R
+	err     error
+}
+
+// Do submits one item under the given compatibility key and blocks until
+// its batch has been computed (or ctx ends). It returns the item's
+// result and the size of the batch it was computed in.
+func (b *Batcher[K, T, R]) Do(ctx context.Context, key K, item T) (R, int, error) {
+	var zero R
+	if b.MaxBatch <= 1 {
+		results, err := b.Exec(key, []T{item})
+		if err != nil {
+			return zero, 1, err
+		}
+		if len(results) != 1 {
+			return zero, 1, fmt.Errorf("sched: batch exec returned %d results for 1 item", len(results))
+		}
+		return results[0], 1, nil
+	}
+	w := 1
+	if b.Weight != nil {
+		w = b.Weight(item)
+	}
+
+	b.mu.Lock()
+	if b.pending == nil {
+		b.pending = make(map[K]*openBatch[T, R])
+	}
+	ob := b.pending[key]
+	if ob != nil && b.MaxWeight > 0 && ob.weight+w > b.MaxWeight {
+		// This item does not fit: the open batch dispatches as-is and the
+		// item opens a fresh one.
+		delete(b.pending, key)
+		ob.timer.Stop()
+		full := ob
+		defer b.dispatch(key, full)
+		ob = nil
+	}
+	if ob == nil {
+		ob = &openBatch[T, R]{done: make(chan struct{})}
+		b.pending[key] = ob
+		cur := ob
+		ob.timer = time.AfterFunc(max(b.Linger, 0), func() {
+			b.mu.Lock()
+			if b.pending[key] != cur {
+				b.mu.Unlock()
+				return
+			}
+			delete(b.pending, key)
+			b.mu.Unlock()
+			b.dispatch(key, cur)
+		})
+	}
+	idx := len(ob.items)
+	ob.items = append(ob.items, item)
+	ob.weight += w
+	if len(ob.items) >= b.MaxBatch {
+		delete(b.pending, key)
+		ob.timer.Stop()
+		b.mu.Unlock()
+		b.dispatch(key, ob)
+	} else {
+		b.mu.Unlock()
+	}
+
+	select {
+	case <-ob.done:
+		if ob.err != nil {
+			return zero, len(ob.items), ob.err
+		}
+		return ob.results[idx], len(ob.items), nil
+	case <-ctx.Done():
+		return zero, 0, ctx.Err()
+	}
+}
+
+// dispatch computes a detached batch, publishes the results, and wakes
+// every waiter with one close. Runs on the triggering goroutine; the
+// batch is already out of pending, so items cannot grow concurrently and
+// the close is the happens-before edge for results/err.
+func (b *Batcher[K, T, R]) dispatch(key K, ob *openBatch[T, R]) {
+	results, err := b.Exec(key, ob.items)
+	if err == nil && len(results) != len(ob.items) {
+		err = fmt.Errorf("sched: batch exec returned %d results for %d items", len(results), len(ob.items))
+	}
+	ob.results, ob.err = results, err
+	close(ob.done)
+}

@@ -1,0 +1,237 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/deterministic"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// The batched miss path. Concurrent cache misses whose parameters are
+// compatible (same algo / k / threshold / ε / schedule — everything but
+// the graph, seed and budget) are collected by a sched.Batcher and run as
+// ONE fused engine session on the disjoint union of their graphs
+// (core.DetectEvenCycleFused / deterministic.DetectMulti). The fused run
+// is transcript-equivalent per component to a solo run, so each
+// component's verdict is cached under its own fingerprint exactly as if
+// it had been computed alone: a batch of B misses seeds B cache entries
+// for the price of one session.
+
+// fusable reports whether the algo has a fused execution path. The
+// bounded-length and odd detectors keep the solo path: their internal
+// structure (length pairs, repetition schedule) has no fused variant.
+func fusable(a Algo) bool { return a == AlgoEven || a == AlgoDet }
+
+// compatKey is the batch compatibility key: requests agreeing on it may
+// share one fused session. Graph, seed and trial budget are deliberately
+// absent — they are per-component inputs of the fused run.
+type compatKey struct {
+	algo      Algo
+	k         int
+	threshold int
+	eps       float64
+	pipelined bool
+}
+
+func compatFor(req *Request) compatKey {
+	ck := compatKey{
+		algo:      req.Algo,
+		k:         req.K,
+		threshold: req.Threshold,
+		eps:       req.Eps,
+		pipelined: req.Pipelined,
+	}
+	if req.Algo == AlgoDet {
+		ck.eps = 0
+		ck.pipelined = false
+	}
+	return ck
+}
+
+// fuseItem is one miss-path request travelling through the batcher.
+type fuseItem struct {
+	req   *Request
+	fp    graph.Fingerprint
+	key   cacheKey
+	prior *entry
+}
+
+// fuseOut is one item's outcome. Item-level errors ride here rather than
+// on the batch, so one pathological component cannot poison its
+// batchmates' verdicts.
+type fuseOut struct {
+	resp      *Response
+	amplified bool
+	err       error
+}
+
+// fuseSeedSalt derives the seed a randomized detector actually runs with
+// from (request seed, graph fingerprint). Mixing the fingerprint in
+// decorrelates the per-component randomness of batchmates that share a
+// request seed, and applying the same derivation on the solo path keeps
+// cached verdicts serve-path-independent: the same request computes the
+// same response whether it was fused or ran alone.
+const fuseSeedSalt = 0xf5eed
+
+// runSeed is the seed the detector runs with for this request.
+func runSeed(req *Request, fp graph.Fingerprint) uint64 {
+	if !req.Algo.randomized() {
+		return 0
+	}
+	return sched.Tag(req.Seed, fuseSeedSalt, fp[0], fp[1])
+}
+
+// execBatch computes one dispatched batch. It holds ONE admission slot
+// for the whole batch (that is the point: B requests, one session's
+// worth of pool pressure) and acquires it without a caller context — a
+// batch that formed always runs, even if every waiter has gone away,
+// because its verdicts are cached.
+func (s *Service) execBatch(ck compatKey, items []*fuseItem) ([]fuseOut, error) {
+	if err := s.gate.Acquire(context.Background()); err != nil {
+		return nil, err
+	}
+	defer s.gate.Release()
+
+	B := len(items)
+	s.batchesFormed.Add(1)
+	s.batchSizeSum.Add(int64(B))
+	storeMax(&s.maxBatchSize, int64(B))
+
+	var outs []fuseOut
+	if B == 1 {
+		// Degenerate batch: the existing solo path, one session.
+		resp, amplified, err := s.compute(items[0].req, items[0].fp, items[0].prior)
+		outs = []fuseOut{{resp: resp, amplified: amplified, err: err}}
+		s.soloSessions.Add(1)
+	} else {
+		switch ck.algo {
+		case AlgoEven:
+			outs = s.runFusedEven(ck, items)
+		case AlgoDet:
+			outs = s.runFusedDet(ck, items)
+		default:
+			outs = s.runSoloFallback(items)
+		}
+	}
+
+	// Cache every component's verdict under its own fingerprint — here,
+	// not in Do, so verdicts of waiters that gave up are kept too.
+	s.mu.Lock()
+	for i, it := range items {
+		if outs[i].err == nil {
+			s.cache.put(it.key, &entry{resp: outs[i].resp, budget: it.req.Iterations})
+		}
+	}
+	s.mu.Unlock()
+	return outs, nil
+}
+
+// runFusedEven maps a batch onto one core.DetectEvenCycleFused call.
+// Amplification composes per item: a component with a cached not-found
+// budget B runs only its missing trials, on the same continuation seed
+// the solo path would use.
+func (s *Service) runFusedEven(ck compatKey, items []*fuseItem) []fuseOut {
+	B := len(items)
+	fitems := make([]core.FusedItem, B)
+	for i, it := range items {
+		seed := runSeed(it.req, it.fp)
+		iterations := it.req.Iterations
+		if amplifies(it) {
+			iterations = it.req.Iterations - it.prior.budget
+			seed = sched.Tag(seed, amplifySalt, uint64(it.prior.budget))
+		}
+		fitems[i] = core.FusedItem{Graph: it.req.Graph, Seed: seed, Iterations: iterations}
+	}
+	results, err := core.DetectEvenCycleFused(fitems, ck.k, core.Options{
+		Eps:       ck.eps,
+		Threshold: ck.threshold,
+		Pipelined: ck.pipelined,
+		Workers:   s.cfg.Workers,
+		Shards:    s.cfg.Shards,
+	})
+	if err != nil {
+		// A component the fused path cannot represent (e.g. a graph too
+		// small to parameterize) fails the whole call before any engine
+		// work; re-running the batch solo localizes the error to its item.
+		return s.runSoloFallback(items)
+	}
+	s.fusedSessions.Add(1)
+	s.fusedRequests.Add(int64(B))
+	outs := make([]fuseOut, B)
+	for i, it := range items {
+		resp := &Response{Algo: it.req.Algo, K: it.req.K, Fingerprint: it.fp.String()}
+		fillEven(resp, it.req.K, results[i])
+		outs[i] = finishAmplify(it, resp)
+	}
+	return outs
+}
+
+// runFusedDet maps a batch onto one deterministic.DetectMulti call. The
+// detector is seedless and budget-free, so components carry only graphs.
+func (s *Service) runFusedDet(ck compatKey, items []*fuseItem) []fuseOut {
+	B := len(items)
+	gs := make([]*graph.Graph, B)
+	for i, it := range items {
+		gs[i] = it.req.Graph
+	}
+	results, err := deterministic.DetectMulti(gs, ck.k, deterministic.Options{
+		Threshold: ck.threshold,
+		Workers:   s.cfg.Workers,
+		Shards:    s.cfg.Shards,
+	})
+	if err != nil {
+		return s.runSoloFallback(items)
+	}
+	s.fusedSessions.Add(1)
+	s.fusedRequests.Add(int64(B))
+	outs := make([]fuseOut, B)
+	for i, it := range items {
+		resp := &Response{Algo: it.req.Algo, K: it.req.K, Fingerprint: it.fp.String()}
+		fillDet(resp, it.req.K, results[i])
+		outs[i] = fuseOut{resp: resp}
+	}
+	return outs
+}
+
+// runSoloFallback computes each item alone (still under the batch's one
+// admission slot), isolating per-item errors.
+func (s *Service) runSoloFallback(items []*fuseItem) []fuseOut {
+	outs := make([]fuseOut, len(items))
+	for i, it := range items {
+		resp, amplified, err := s.compute(it.req, it.fp, it.prior)
+		outs[i] = fuseOut{resp: resp, amplified: amplified, err: err}
+		if err == nil {
+			s.soloSessions.Add(1)
+		}
+	}
+	return outs
+}
+
+// amplifies reports whether the item extends a cached not-found verdict
+// instead of computing from scratch.
+func amplifies(it *fuseItem) bool {
+	return it.prior != nil && !it.prior.resp.Found && it.req.Algo.randomized()
+}
+
+// finishAmplify folds the prior entry's accumulated history into an
+// amplifying item's response (mirroring compute's accumulation).
+func finishAmplify(it *fuseItem, resp *Response) fuseOut {
+	if !amplifies(it) {
+		return fuseOut{resp: resp}
+	}
+	accumulatePrior(resp, it.prior.resp)
+	return fuseOut{resp: resp, amplified: true}
+}
+
+// storeMax raises *a to v (monotone, racy-increment-safe).
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// batchCorpus builds `count` distinct small graphs: a mix of planted
+// C_2k positives and sparse random graphs, the many-small-graphs shape
+// the batched miss path exists for.
+func batchCorpus(t *testing.T, k, count int, seed uint64) []*graph.Graph {
+	t.Helper()
+	rng := graph.NewRand(seed)
+	gs := make([]*graph.Graph, count)
+	for i := range gs {
+		n := 32 + rng.IntN(48)
+		if i%2 == 0 {
+			pg, _, err := graph.PlantedLight(n, 2*k, 2.0, rng)
+			if err != nil {
+				t.Fatalf("planted: %v", err)
+			}
+			gs[i] = pg
+		} else {
+			gs[i] = graph.Gnm(n, 2*n, rng)
+		}
+	}
+	return gs
+}
+
+// doAll fires one request per graph concurrently and returns the
+// responses and infos in graph order.
+func doAll(t *testing.T, s *Service, reqs []*Request) ([]*Response, []Info) {
+	t.Helper()
+	resps := make([]*Response, len(reqs))
+	infos := make([]Info, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req *Request) {
+			defer wg.Done()
+			resp, info, err := s.DoInfo(context.Background(), req)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			resps[i], infos[i] = resp, info
+		}(i, req)
+	}
+	wg.Wait()
+	return resps, infos
+}
+
+// TestBatchedDetFusesAndSeedsCache pins the tentpole counters on the
+// deterministic detector: B compatible concurrent misses run as ONE
+// fused engine session, every component's verdict lands in the cache
+// under its own fingerprint, and responses are byte-identical to a
+// batching-disabled service.
+func TestBatchedDetFusesAndSeedsCache(t *testing.T) {
+	const B = 6
+	gs := batchCorpus(t, 2, B, 41)
+	mkReqs := func() []*Request {
+		reqs := make([]*Request, B)
+		for i, g := range gs {
+			reqs[i] = &Request{Graph: g, Algo: AlgoDet, K: 2}
+		}
+		return reqs
+	}
+	batched := New(Config{BatchSize: B, BatchLinger: 2 * time.Second})
+	solo := New(Config{BatchSize: 1})
+
+	bresps, infos := doAll(t, batched, mkReqs())
+	sresps, _ := doAll(t, solo, mkReqs())
+
+	for i := range gs {
+		bj, _ := json.Marshal(bresps[i])
+		sj, _ := json.Marshal(sresps[i])
+		if string(bj) != string(sj) {
+			t.Errorf("graph %d: batched response differs from solo:\nbatched %s\nsolo    %s", i, bj, sj)
+		}
+		if infos[i].Source != SourceComputed {
+			t.Errorf("graph %d: source = %s, want computed", i, infos[i].Source)
+		}
+		if infos[i].Batch != B {
+			t.Errorf("graph %d: batch = %d, want %d", i, infos[i].Batch, B)
+		}
+	}
+
+	st := batched.Stats()
+	if st.FusedSessions != 1 || st.SoloSessions != 0 || st.EngineSessions != 1 {
+		t.Errorf("sessions: fused=%d solo=%d engine=%d, want 1/0/1",
+			st.FusedSessions, st.SoloSessions, st.EngineSessions)
+	}
+	if st.Computed != B || st.FusedRequests != B {
+		t.Errorf("computed=%d fusedRequests=%d, want %d/%d", st.Computed, st.FusedRequests, B, B)
+	}
+	if st.BatchesFormed != 1 || st.MaxBatchSize != B || st.MeanBatchSize != float64(B) {
+		t.Errorf("batches=%d max=%d mean=%v, want 1/%d/%d",
+			st.BatchesFormed, st.MaxBatchSize, st.MeanBatchSize, B, B)
+	}
+	if st.CacheEntries != B {
+		t.Errorf("cache entries = %d, want %d (one per fused component)", st.CacheEntries, B)
+	}
+
+	// Every fused verdict must now serve from cache.
+	for i, req := range mkReqs() {
+		resp, info, err := batched.DoInfo(context.Background(), req)
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if info.Source != SourceCache || info.Batch != 0 {
+			t.Errorf("replay %d: source=%s batch=%d, want cache/0", i, info.Source, info.Batch)
+		}
+		if !reflect.DeepEqual(resp, bresps[i]) {
+			t.Errorf("replay %d: cached response differs", i)
+		}
+	}
+}
+
+// TestBatchedEvenMatchesSoloService pins serve-path independence of the
+// randomized detector: the same requests produce identical responses —
+// verdicts, witnesses in each graph's own IDs, rounds, messages, bits,
+// congestion — whether the service fuses them or computes each alone.
+func TestBatchedEvenMatchesSoloService(t *testing.T) {
+	const B = 6
+	gs := batchCorpus(t, 2, B, 99)
+	mkReqs := func(iters int) []*Request {
+		reqs := make([]*Request, B)
+		for i, g := range gs {
+			reqs[i] = &Request{Graph: g, Algo: AlgoEven, K: 2, Seed: uint64(7 + i), Iterations: iters}
+		}
+		return reqs
+	}
+	batched := New(Config{BatchSize: B, BatchLinger: 200 * time.Millisecond})
+	solo := New(Config{BatchSize: 1})
+
+	bresps, _ := doAll(t, batched, mkReqs(3))
+	sresps, _ := doAll(t, solo, mkReqs(3))
+	for i := range gs {
+		if !reflect.DeepEqual(bresps[i], sresps[i]) {
+			t.Errorf("graph %d: batched response differs from solo:\nbatched %+v\nsolo    %+v",
+				i, bresps[i], sresps[i])
+		}
+		if bresps[i].Found {
+			if err := graph.IsSimpleCycle(gs[i], bresps[i].Witness, 4); err != nil {
+				t.Errorf("graph %d: witness invalid in original graph: %v", i, err)
+			}
+		}
+	}
+
+	// Amplification through the fused path: raise the budget; not-found
+	// entries run only the missing trials, identically on both services.
+	bresps2, binfos2 := doAll(t, batched, mkReqs(7))
+	sresps2, sinfos2 := doAll(t, solo, mkReqs(7))
+	for i := range gs {
+		if !reflect.DeepEqual(bresps2[i], sresps2[i]) {
+			t.Errorf("amplified graph %d: batched differs from solo:\nbatched %+v\nsolo    %+v",
+				i, bresps2[i], sresps2[i])
+		}
+		if binfos2[i].Source != sinfos2[i].Source {
+			t.Errorf("amplified graph %d: source %s (batched) vs %s (solo)",
+				i, binfos2[i].Source, sinfos2[i].Source)
+		}
+	}
+}
+
+// TestBatchedWaiterCancelStillCaches pins the abandoned-waiter contract:
+// a caller whose context dies while its batch lingers gets ctx.Err(),
+// but the batch still computes and caches its verdict.
+func TestBatchedWaiterCancelStillCaches(t *testing.T) {
+	g := graph.Gnm(40, 80, graph.NewRand(5))
+	s := New(Config{BatchSize: 8, BatchLinger: 20 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := &Request{Graph: g, Algo: AlgoDet, K: 2}
+	if _, _, err := s.DoInfo(ctx, req); err == nil {
+		t.Fatal("expected context error from canceled waiter")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, info, err := s.DoInfo(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Source == SourceCache {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned item's verdict never reached the cache")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestBatchIncompatibleRequestsDoNotFuse pins the compatibility key:
+// concurrent misses differing in k run in separate sessions.
+func TestBatchIncompatibleRequestsDoNotFuse(t *testing.T) {
+	gs := batchCorpus(t, 2, 2, 13)
+	s := New(Config{BatchSize: 2, BatchLinger: 20 * time.Millisecond})
+	reqs := []*Request{
+		{Graph: gs[0], Algo: AlgoDet, K: 2},
+		{Graph: gs[1], Algo: AlgoDet, K: 3},
+	}
+	doAll(t, s, reqs)
+	st := s.Stats()
+	if st.FusedSessions != 0 {
+		t.Errorf("fused sessions = %d, want 0 (incompatible k)", st.FusedSessions)
+	}
+	if st.EngineSessions != 2 {
+		t.Errorf("engine sessions = %d, want 2", st.EngineSessions)
+	}
+}
+
+// TestBatchUnfusableAlgoKeepsSoloPath pins that the bounded and odd
+// detectors bypass the batcher entirely.
+func TestBatchUnfusableAlgoKeepsSoloPath(t *testing.T) {
+	gs := batchCorpus(t, 2, 2, 21)
+	s := New(Config{BatchSize: 8, BatchLinger: time.Second})
+	reqs := []*Request{
+		{Graph: gs[0], Algo: AlgoOdd, K: 2, Seed: 1, Iterations: 2},
+		{Graph: gs[1], Algo: AlgoBounded, K: 3, Seed: 2, Iterations: 2},
+	}
+	start := time.Now()
+	doAll(t, s, reqs)
+	if elapsed := time.Since(start); elapsed > 900*time.Millisecond {
+		t.Errorf("unfusable requests appear to have waited on the linger timer (%v)", elapsed)
+	}
+	st := s.Stats()
+	if st.BatchesFormed != 0 || st.SoloSessions != 2 {
+		t.Errorf("batches=%d solo=%d, want 0/2", st.BatchesFormed, st.SoloSessions)
+	}
+}

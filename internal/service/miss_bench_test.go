@@ -1,0 +1,27 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// BenchmarkMissSolo measures the full solo miss path — fingerprint,
+// scheduling, engine session, response build — on a small graph.
+// Varying the seed makes every request a distinct cache key.
+func BenchmarkMissSolo(b *testing.B) {
+	g, _, err := graph.PlantedLight(16, 4, 1.5, graph.NewRand(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := New(Config{Slots: 1, BatchSize: 1, CacheEntries: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := svc.Do(context.Background(), &Request{
+			Graph: g, Algo: AlgoEven, K: 2, Seed: uint64(i + 1), Iterations: 2,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

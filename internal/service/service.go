@@ -7,7 +7,9 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/deterministic"
 	"repro/internal/graph"
@@ -137,6 +139,15 @@ type Config struct {
 	// congest.Engine); 0 keeps the engine defaults.
 	Workers int
 	Shards  int
+	// BatchSize caps the fused miss-path batch: up to this many
+	// compatible cache misses share one engine session on the disjoint
+	// union of their graphs. 0 means 8; ≤ 1 disables batching (every miss
+	// computes solo, the pre-batching behavior).
+	BatchSize int
+	// BatchLinger is how long an under-full batch waits for joiners
+	// before dispatching — the latency a lone miss pays to offer itself
+	// for fusion. 0 means 2ms; negative dispatches immediately.
+	BatchLinger time.Duration
 }
 
 // ErrOverloaded is returned when the admission queue is full.
@@ -158,10 +169,22 @@ type Stats struct {
 	// Errors counts failed requests, Rejected the ErrOverloaded subset.
 	Errors   int64 `json:"errors"`
 	Rejected int64 `json:"rejected"`
-	// EngineSessions counts computations that ran detector work (computed
-	// + amplified): the "work actually done" number that cache hits and
-	// coalescing save.
+	// EngineSessions counts engine sessions actually run — solo
+	// computations plus ONE per fused batch: the "work actually done"
+	// number that cache hits, coalescing and batching save. (Before the
+	// batched miss path this equaled computed + amplified; now it can be
+	// smaller, since a fused session serves a whole batch.)
 	EngineSessions int64 `json:"engine_sessions"`
+	// FusedSessions and SoloSessions split EngineSessions by path;
+	// FusedRequests counts the requests those fused sessions served.
+	FusedSessions int64 `json:"fused_sessions"`
+	SoloSessions  int64 `json:"solo_sessions"`
+	FusedRequests int64 `json:"fused_requests"`
+	// BatchesFormed counts miss-path batches dispatched (any size);
+	// MeanBatchSize and MaxBatchSize describe their size distribution.
+	BatchesFormed int64   `json:"batches_formed"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	MaxBatchSize  int64   `json:"max_batch_size"`
 	// CacheEntries is the current verdict-cache size, InFlight the
 	// computations currently holding pool slots, Queued the admission
 	// queue length.
@@ -185,8 +208,12 @@ type Service struct {
 
 	jobs jobRegistry
 
+	batcher *sched.Batcher[compatKey, *fuseItem, fuseOut]
+
 	requests, hits, coalesced, amplified, computed atomic.Int64
-	errors, rejected, engineSessions               atomic.Int64
+	errors, rejected                               atomic.Int64
+	soloSessions, fusedSessions, fusedRequests     atomic.Int64
+	batchesFormed, batchSizeSum, maxBatchSize      atomic.Int64
 
 	// computeHook, when set, replaces the detector dispatch — tests use it
 	// to block and count computations deterministically. Never set in
@@ -216,12 +243,30 @@ func New(cfg Config) *Service {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 1024
 	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.BatchLinger == 0 {
+		cfg.BatchLinger = 2 * time.Millisecond
+	}
 	s := &Service{
 		cfg:      cfg,
 		gate:     sched.NewGate(cfg.Slots),
 		cache:    newLRU(cfg.CacheEntries),
 		inflight: make(map[cacheKey]*call),
 		corpus:   make(map[string]*graph.Graph),
+	}
+	if cfg.BatchSize > 1 {
+		s.batcher = &sched.Batcher[compatKey, *fuseItem, fuseOut]{
+			MaxBatch: cfg.BatchSize,
+			Linger:   cfg.BatchLinger,
+			// Bound the fused union well below the wire format's node cap
+			// (and below sizes where one giant component would serialize the
+			// whole batch behind itself).
+			Weight:    func(it *fuseItem) int { return it.req.Graph.NumNodes() },
+			MaxWeight: congest.MaxNodes / 16,
+			Exec:      s.execBatch,
+		}
 	}
 	s.jobs.init()
 	return s
@@ -260,13 +305,31 @@ func validate(req *Request) error {
 	return nil
 }
 
+// Info describes how a request was served beyond its Source.
+type Info struct {
+	Source Source
+	// Batch is the size of the engine batch the request was computed in:
+	// 1 for a solo session, > 1 when the request was fused with
+	// concurrent compatible misses, 0 when no session ran for it (cache
+	// hits, coalesced waits, errors).
+	Batch int
+}
+
 // Do serves one detection request: cache hit, coalesce onto an identical
-// in-flight computation, amplify a cached not-found entry, or compute.
+// in-flight computation, amplify a cached not-found entry, or compute —
+// possibly fused with concurrent compatible misses (see Config.BatchSize).
 // The returned Source says which path served it. ctx cancellation is
 // honored while queued for admission or while waiting on another
 // request's computation; a computation that has started always runs to
 // completion (its result is cached for everyone).
 func (s *Service) Do(ctx context.Context, req *Request) (*Response, Source, error) {
+	resp, info, err := s.DoInfo(ctx, req)
+	return resp, info.Source, err
+}
+
+// DoInfo is Do with serve-path metadata (batch size) for callers that
+// surface it, like the HTTP server's X-Evencycle-Batch header.
+func (s *Service) DoInfo(ctx context.Context, req *Request) (*Response, Info, error) {
 	s.requests.Add(1)
 	// Work on a copy: validate normalizes the algo name, and mutating the
 	// caller's Request would make sharing one Request across goroutines a
@@ -275,7 +338,7 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, Source, erro
 	req = &local
 	if err := validate(req); err != nil {
 		s.errors.Add(1)
-		return nil, "", err
+		return nil, Info{}, err
 	}
 	fp := req.Graph.Fingerprint()
 	key := keyFor(req, fp)
@@ -286,7 +349,7 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, Source, erro
 			resp := ent.resp
 			s.mu.Unlock()
 			s.hits.Add(1)
-			return resp, SourceCache, nil
+			return resp, Info{Source: SourceCache}, nil
 		}
 		if c, ok := s.inflight[key]; ok {
 			// A follower coalesces when the in-flight computation's budget
@@ -298,11 +361,11 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, Source, erro
 			case <-c.done:
 			case <-ctx.Done():
 				s.errors.Add(1)
-				return nil, "", ctx.Err()
+				return nil, Info{}, ctx.Err()
 			}
 			if c.err == nil && (covered || c.resp.Found) {
 				s.coalesced.Add(1)
-				return c.resp, SourceCoalesced, nil
+				return c.resp, Info{Source: SourceCoalesced}, nil
 			}
 			// Leader failed, or its budget was short of ours: re-enter.
 			continue
@@ -324,22 +387,15 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, Source, erro
 			close(c.done)
 			s.rejected.Add(1)
 			s.errors.Add(1)
-			return nil, "", ErrOverloaded
+			return nil, Info{}, ErrOverloaded
 		}
 
-		if err := s.gate.Acquire(ctx); err != nil {
-			s.finish(key, c, nil, err)
-			s.errors.Add(1)
-			return nil, "", err
-		}
-		resp, amplified, err := s.compute(req, fp, prior)
-		s.gate.Release()
+		resp, amplified, batch, err := s.dispatch(ctx, req, fp, key, prior)
 		if err != nil {
 			s.finish(key, c, nil, err)
 			s.errors.Add(1)
-			return nil, "", err
+			return nil, Info{}, err
 		}
-		s.engineSessions.Add(1)
 		source := SourceComputed
 		if amplified {
 			source = SourceAmplified
@@ -351,8 +407,33 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, Source, erro
 		s.cache.put(key, &entry{resp: resp, budget: req.Iterations})
 		s.mu.Unlock()
 		s.finish(key, c, resp, nil)
-		return resp, source, nil
+		return resp, Info{Source: source, Batch: batch}, nil
 	}
+}
+
+// dispatch runs the leader's computation: through the batcher when the
+// request is fusable and batching is on, otherwise solo under its own
+// admission slot. It returns the batch size the work ran in.
+func (s *Service) dispatch(ctx context.Context, req *Request, fp graph.Fingerprint, key cacheKey, prior *entry) (*Response, bool, int, error) {
+	if s.batcher == nil || !fusable(req.Algo) || s.computeHook != nil {
+		if err := s.gate.Acquire(ctx); err != nil {
+			return nil, false, 0, err
+		}
+		resp, amplified, err := s.compute(req, fp, prior)
+		s.gate.Release()
+		if err == nil {
+			s.soloSessions.Add(1)
+		}
+		return resp, amplified, 1, err
+	}
+	item := &fuseItem{req: req, fp: fp, key: key, prior: prior}
+	out, batch, err := s.batcher.Do(ctx, compatFor(req), item)
+	if err != nil {
+		// ctx expired while waiting for the batch (the batch itself still
+		// computes and caches the item), or the batcher misbehaved.
+		return nil, false, 0, err
+	}
+	return out.resp, out.amplified, batch, out.err
 }
 
 // finish publishes the call result and clears the in-flight slot.
@@ -370,21 +451,22 @@ func (s *Service) finish(key cacheKey, c *call, resp *Response, err error) {
 // every other consumer of sched.Tag.
 const amplifySalt = 0x5e2f1ce
 
-// compute runs the detector. When prior is a not-found entry with budget
-// B < req.Iterations, only the missing req.Iterations-B trials run, with
-// a seed derived from (req.Seed, B) so the accumulated trial history
-// never repeats a coloring; costs accumulate into the returned response.
-// The reported second value is true on that amplification path.
+// compute runs the detector, with the seed derivation shared by the solo
+// and fused paths (see runSeed). When prior is a not-found entry with
+// budget B < req.Iterations, only the missing req.Iterations-B trials
+// run, with a seed derived from (run seed, B) so the accumulated trial
+// history never repeats a coloring; costs accumulate into the returned
+// response. The reported second value is true on that amplification path.
 func (s *Service) compute(req *Request, fp graph.Fingerprint, prior *entry) (*Response, bool, error) {
 	if s.computeHook != nil {
 		return s.computeHook(req, fp, prior)
 	}
 	iterations := req.Iterations
-	seed := req.Seed
+	seed := runSeed(req, fp)
 	amplify := prior != nil && !prior.resp.Found && req.Algo.randomized()
 	if amplify {
 		iterations = req.Iterations - prior.budget
-		seed = sched.Tag(req.Seed, amplifySalt, uint64(prior.budget))
+		seed = sched.Tag(seed, amplifySalt, uint64(prior.budget))
 	}
 	resp := &Response{Algo: req.Algo, K: req.K, Fingerprint: fp.String()}
 	switch req.Algo {
@@ -404,14 +486,7 @@ func (s *Service) compute(req *Request, fp graph.Fingerprint, prior *entry) (*Re
 			if err != nil {
 				return nil, false, err
 			}
-			resp.Found = res.Found
-			resp.Witness = res.Witness
-			if res.Found {
-				resp.FoundLen = 2 * req.K
-			}
-			resp.Rounds, resp.Messages, resp.Bits = res.Rounds, res.Messages, res.Bits
-			resp.MaxCongestion, resp.Overflowed = res.MaxCongestion, res.Overflowed
-			resp.Iterations = res.IterationsRun
+			fillEven(resp, req.K, res)
 		} else {
 			res, err := core.DetectBoundedCycle(req.Graph, req.K, opt)
 			if err != nil {
@@ -453,28 +528,49 @@ func (s *Service) compute(req *Request, fp graph.Fingerprint, prior *entry) (*Re
 		if err != nil {
 			return nil, false, err
 		}
-		resp.Found = res.Found
-		resp.Witness = res.Witness
-		if res.Found {
-			resp.FoundLen = 2 * req.K
-		}
-		resp.Rounds, resp.Messages, resp.Bits = res.Rounds, res.Messages, res.Bits
-		resp.MaxCongestion, resp.Overflowed = res.MaxCongestion, res.Overflowed
+		fillDet(resp, req.K, res)
 	default:
 		return nil, false, fmt.Errorf("service: unknown algo %q", req.Algo)
 	}
 	if amplify {
-		// Accumulate the entry's history so the response reports the full
-		// budget the verdict rests on.
-		p := prior.resp
-		resp.Rounds += p.Rounds
-		resp.Messages += p.Messages
-		resp.Bits += p.Bits
-		resp.MaxCongestion = max(resp.MaxCongestion, p.MaxCongestion)
-		resp.Overflowed = resp.Overflowed || p.Overflowed
-		resp.Iterations += p.Iterations
+		accumulatePrior(resp, prior.resp)
 	}
 	return resp, amplify, nil
+}
+
+// fillEven copies an Algorithm 1 result into a response (shared by the
+// solo and fused serve paths, which must produce identical responses).
+func fillEven(resp *Response, k int, res *core.Result) {
+	resp.Found = res.Found
+	resp.Witness = res.Witness
+	if res.Found {
+		resp.FoundLen = 2 * k
+	}
+	resp.Rounds, resp.Messages, resp.Bits = res.Rounds, res.Messages, res.Bits
+	resp.MaxCongestion, resp.Overflowed = res.MaxCongestion, res.Overflowed
+	resp.Iterations = res.IterationsRun
+}
+
+// fillDet copies a deterministic-detector result into a response.
+func fillDet(resp *Response, k int, res *deterministic.Result) {
+	resp.Found = res.Found
+	resp.Witness = res.Witness
+	if res.Found {
+		resp.FoundLen = 2 * k
+	}
+	resp.Rounds, resp.Messages, resp.Bits = res.Rounds, res.Messages, res.Bits
+	resp.MaxCongestion, resp.Overflowed = res.MaxCongestion, res.Overflowed
+}
+
+// accumulatePrior folds a prior entry's history into an amplified
+// response so it reports the full budget the verdict rests on.
+func accumulatePrior(resp, p *Response) {
+	resp.Rounds += p.Rounds
+	resp.Messages += p.Messages
+	resp.Bits += p.Bits
+	resp.MaxCongestion = max(resp.MaxCongestion, p.MaxCongestion)
+	resp.Overflowed = resp.Overflowed || p.Overflowed
+	resp.Iterations += p.Iterations
 }
 
 // RegisterGraph adds a named graph to the corpus registry. Registering an
@@ -512,12 +608,19 @@ func (s *Service) GraphNames() []string {
 	return names
 }
 
+// Config returns the service configuration with defaults resolved.
+func (s *Service) Config() Config {
+	return s.cfg
+}
+
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	entries := s.cache.len()
 	s.mu.Unlock()
-	return Stats{
+	solo, fused := s.soloSessions.Load(), s.fusedSessions.Load()
+	batches := s.batchesFormed.Load()
+	st := Stats{
 		Requests:       s.requests.Load(),
 		Hits:           s.hits.Load(),
 		Coalesced:      s.coalesced.Load(),
@@ -525,9 +628,18 @@ func (s *Service) Stats() Stats {
 		Computed:       s.computed.Load(),
 		Errors:         s.errors.Load(),
 		Rejected:       s.rejected.Load(),
-		EngineSessions: s.engineSessions.Load(),
+		EngineSessions: solo + fused,
+		FusedSessions:  fused,
+		SoloSessions:   solo,
+		FusedRequests:  s.fusedRequests.Load(),
+		BatchesFormed:  batches,
+		MaxBatchSize:   s.maxBatchSize.Load(),
 		CacheEntries:   entries,
 		InFlight:       s.gate.InUse(),
 		Queued:         s.gate.Waiting(),
 	}
+	if batches > 0 {
+		st.MeanBatchSize = float64(s.batchSizeSum.Load()) / float64(batches)
+	}
+	return st
 }

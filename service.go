@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"slices"
+	"time"
 
 	"repro/internal/service"
 )
@@ -64,6 +65,23 @@ func WithServiceParallel(p int) ServiceOption {
 // WithWorkers).
 func WithServiceWorkers(w int) ServiceOption {
 	return func(c *serviceConfig) { c.cfg.Workers = w }
+}
+
+// WithServiceBatch caps the fused miss-path batch: up to size compatible
+// cache misses (same algo, k and knobs — different graphs) share one
+// engine session on the disjoint union of their graphs. Per-graph
+// verdicts, witnesses and costs are identical to solo computation; only
+// the session count drops. Default 8; 1 disables batching.
+func WithServiceBatch(size int) ServiceOption {
+	return func(c *serviceConfig) { c.cfg.BatchSize = size }
+}
+
+// WithServiceBatchLinger sets how long an under-full batch waits for
+// joiners before dispatching (the extra latency a lone miss pays to
+// offer itself for fusion). Default 2ms; negative dispatches
+// immediately.
+func WithServiceBatchLinger(d time.Duration) ServiceOption {
+	return func(c *serviceConfig) { c.cfg.BatchLinger = d }
 }
 
 // WithServiceIterations sets the default trial budget for randomized
