@@ -40,12 +40,33 @@
 // across both, and emits a single comparison record with the throughput
 // ratio (BENCH_6.json); -min-speedup gates on that ratio and -trials
 // takes the best of N runs per path to damp scheduler noise.
+//
+// Failure-domain accounting: every request lands in an outcome class
+// ("2xx", "408" deadline, "429" shed, "499" cancelled, "503" contained
+// panic/drain, "client_timeout", "net"), tallied in totals.by_class.
+// -deadline-ms attaches a per-request deadline (the 408/429 domains);
+// -timeout D -timeout-frac F abandons a fraction F of requests
+// client-side after D (the 499 domain, exercising cooperative engine
+// cancellation under live load).
+//
+// The chaos mode (-chaos, requires -direct -inline) is the robustness
+// acceptance harness: it replays the workload fault-free to capture
+// reference response bodies, arms the -fault specs (or a default storm
+// of round stalls, detector panics, and batch-leader crashes), replays
+// again under a watchdog, and gates on the failure-domain invariants —
+// the chaos run finishes (no hangs), every failure carries the typed
+// taxonomy, every surviving response is byte-identical to its reference,
+// the armed faults actually fired, and the service drains to idle (no
+// leaked admission slots). BENCH_7.json is the overload-with-deadlines
+// artifact: a -deadline-ms run on a small slot count, recording the
+// 2xx/408/429 split and the shed/deadline counters server-side.
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -53,13 +74,24 @@ import (
 	"os"
 	"slices"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultpoint"
 	"repro/internal/graph"
 	"repro/internal/service"
 )
+
+// listFlag collects repeated -fault spec flags.
+type listFlag []string
+
+func (c *listFlag) String() string { return strings.Join(*c, ",") }
+func (c *listFlag) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -100,6 +132,16 @@ type LoadConfig struct {
 	// Inline is the graph-spec template of the many-small-graphs mode
 	// (empty = corpus mode).
 	Inline string `json:"inline,omitempty"`
+	// DeadlineMS is the per-request deadline attached to every request
+	// (0 = none): the knob behind the 408/429 outcome classes.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// ClientTimeoutMS/TimeoutFrac inject client-side abandonment: every
+	// 1/TimeoutFrac-th request is dropped by the client after
+	// ClientTimeoutMS (the 499 domain).
+	ClientTimeoutMS int64   `json:"client_timeout_ms,omitempty"`
+	TimeoutFrac     float64 `json:"timeout_frac,omitempty"`
+	// Faults echoes the armed fault-injection specs of a chaos run.
+	Faults []string `json:"faults,omitempty"`
 }
 
 // LoadTotals is the outcome tally.
@@ -108,6 +150,11 @@ type LoadTotals struct {
 	Failures  int `json:"failures"`
 	// BySource splits completed requests by the server's serve path.
 	BySource map[string]int `json:"by_source"`
+	// ByClass splits ALL requests (completed and failed) by outcome
+	// class: "2xx", "408" (deadline), "429" (shed), "499" (cancelled),
+	// "503" (contained panic / draining), "client_timeout" (the client
+	// gave up in flight), "net" (transport error), "err" (anything else).
+	ByClass map[string]int `json:"by_class"`
 	// HitRatio is the fraction of completed requests served without a
 	// full computation (cache + coalesced + amplified).
 	HitRatio float64 `json:"hit_ratio"`
@@ -166,6 +213,7 @@ type sample struct {
 	source string
 	batch  int // engine batch size for computed requests (X-Evencycle-Batch)
 	name   string
+	class  string // outcome class (see LoadTotals.ByClass)
 	body   []byte
 	// resp holds the unserialized response in -direct mode; the body is
 	// marshaled after the timed run so serialization isn't billed to the
@@ -198,13 +246,26 @@ func run() error {
 	slots := flag.Int("slots", 0, "with -direct: service compute slots (0 = service default)")
 	batch := flag.Int("batch", 0, "with -direct: max fused batch size (0 = service default, 1 = disable)")
 	batchLinger := flag.Duration("batch-linger", 0, "with -direct: batch linger window (0 = service default)")
+	deadlineMS := flag.Int64("deadline-ms", 0, "per-request deadline in ms (0 = none); expiry is the 408 class, shedding the 429 class")
+	clientTimeout := flag.Duration("timeout", 0, "client-side abandonment: give up on injected requests after this long (0 = never)")
+	timeoutFrac := flag.Float64("timeout-frac", 0, "fraction of requests that get the -timeout abandonment (0 = none)")
+	chaos := flag.Bool("chaos", false, "chaos acceptance mode (requires -direct -inline): fault-free reference replay, then a fault-injected replay gated on the failure-domain invariants")
+	chaosTimeout := flag.Duration("chaos-timeout", 2*time.Minute, "with -chaos: watchdog bound on the fault-injected replay (a hang fails the run)")
+	var faults listFlag
+	flag.Var(&faults, "fault", "arm a fault-injection point as point:every=N[:limit=M][:delay=D] (repeatable; -direct/-chaos only)")
 	flag.Parse()
 
 	if *vsSolo && !*direct {
 		return fmt.Errorf("-vs-solo requires -direct")
 	}
+	if *chaos && !*direct {
+		return fmt.Errorf("-chaos requires -direct (the reference/chaos replays share one process)")
+	}
 	if *direct && *inline == "" {
 		return fmt.Errorf("-direct needs -inline (it has no server corpus to draw from)")
+	}
+	if len(faults) > 0 && !*direct {
+		return fmt.Errorf("-fault only applies in -direct mode; arm server-side faults via cycleserved -fault")
 	}
 
 	// Build the request stream: corpus references, or inline graphs
@@ -240,6 +301,9 @@ func run() error {
 	cfg := LoadConfig{
 		Clients: *clients, Requests: *requests, Algo: *algo, K: *k,
 		Distinct: len(names), Iterations: *iterations, Seed: *seed, Inline: *inline,
+		DeadlineMS:      *deadlineMS,
+		ClientTimeoutMS: clientTimeout.Milliseconds(),
+		TimeoutFrac:     *timeoutFrac,
 	}
 	fmt.Fprintf(os.Stderr, "load: %d requests, %d clients, %d distinct graphs, algo=%s k=%d\n",
 		*requests, *clients, len(names), *algo, *k)
@@ -252,6 +316,22 @@ func run() error {
 		}
 		defer f.Close()
 		w = f
+	}
+
+	if *chaos {
+		algoP, err := service.ParseAlgo(*algo)
+		if err != nil {
+			return err
+		}
+		svcCfg := service.Config{Slots: *slots, CacheEntries: 2*len(gs) + 16,
+			BatchSize: *batch, BatchLinger: *batchLinger}
+		return chaosRun(w, svcCfg, gs, names, algoP, cfg, faults, *label, *jsonOut, *chaosTimeout)
+	}
+	for _, spec := range faults {
+		if err := faultpoint.Set(spec); err != nil {
+			return fmt.Errorf("-fault %q: %w", spec, err)
+		}
+		fmt.Fprintf(os.Stderr, "WARNING: fault injection armed: %s\n", spec)
 	}
 
 	if *vsSolo {
@@ -312,7 +392,7 @@ func run() error {
 		}
 		svcCfg := service.Config{Slots: *slots, CacheEntries: 2*len(gs) + 16,
 			BatchSize: *batch, BatchLinger: *batchLinger}
-		rec, _, err = directRun(svcCfg, gs, names, algoP, cfg)
+		rec, _, _, err = directRun(svcCfg, gs, names, algoP, cfg)
 		if err != nil {
 			return err
 		}
@@ -398,6 +478,7 @@ func httpRun(addr string, gs []*graph.Graph, names []string, cfg LoadConfig) (*L
 			K:          cfg.K,
 			Seed:       cfg.Seed,
 			Iterations: cfg.Iterations,
+			DeadlineMS: cfg.DeadlineMS,
 		}
 		if gs != nil {
 			wire.Graph = &service.WireGraph{N: gs[i].NumNodes(), Edges: gs[i].Edges()}
@@ -410,8 +491,15 @@ func httpRun(addr string, gs []*graph.Graph, names []string, cfg LoadConfig) (*L
 		}
 	}
 	client := &http.Client{Timeout: 5 * time.Minute}
+	stride := timeoutStride(cfg.TimeoutFrac)
 	samples, elapsed := replay(cfg.Requests, cfg.Clients, func(i int) sample {
-		return oneRequest(client, addr, bodies[i%len(names)], names[i%len(names)])
+		ctx := context.Background()
+		if stride > 0 && i%stride == 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(cfg.ClientTimeoutMS)*time.Millisecond)
+			defer cancel()
+		}
+		return oneRequest(ctx, client, addr, bodies[i%len(names)], names[i%len(names)])
 	})
 	rec := summarize(samples, elapsed)
 	rec.Target = addr
@@ -429,23 +517,32 @@ func httpRun(addr string, gs []*graph.Graph, names []string, cfg LoadConfig) (*L
 }
 
 // directRun replays the workload in-process against a fresh Service,
-// returning the run record and the per-graph response bodies (for
-// cross-path equivalence checks).
-func directRun(svcCfg service.Config, gs []*graph.Graph, names []string, algo service.Algo, cfg LoadConfig) (*LoadRecord, map[string][]byte, error) {
+// returning the run record, the per-graph response bodies (for
+// cross-path equivalence checks), and the raw samples (for per-request
+// chaos gating).
+func directRun(svcCfg service.Config, gs []*graph.Graph, names []string, algo service.Algo, cfg LoadConfig) (*LoadRecord, map[string][]byte, []sample, error) {
 	svc := service.New(svcCfg)
+	stride := timeoutStride(cfg.TimeoutFrac)
 	samples, elapsed := replay(cfg.Requests, cfg.Clients, func(i int) sample {
 		name := names[i%len(names)]
 		req := &service.Request{
 			Graph: gs[i%len(gs)], Algo: algo, K: cfg.K,
 			Seed: cfg.Seed, Iterations: cfg.Iterations,
+			Deadline: time.Duration(cfg.DeadlineMS) * time.Millisecond,
+		}
+		ctx := context.Background()
+		if stride > 0 && i%stride == 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(cfg.ClientTimeoutMS)*time.Millisecond)
+			defer cancel()
 		}
 		start := time.Now()
-		resp, info, err := svc.DoInfo(context.Background(), req)
+		resp, info, err := svc.DoInfo(ctx, req)
 		ns := time.Since(start).Nanoseconds()
 		if err != nil {
-			return sample{ns: ns, name: name, err: err}
+			return sample{ns: ns, name: name, class: classOfErr(err), err: err}
 		}
-		return sample{ns: ns, source: string(info.Source), batch: info.Batch, name: name, resp: resp}
+		return sample{ns: ns, source: string(info.Source), batch: info.Batch, name: name, class: "2xx", resp: resp}
 	})
 	for i := range samples {
 		s := &samples[i]
@@ -464,7 +561,39 @@ func directRun(svcCfg service.Config, gs []*graph.Graph, names []string, algo se
 		identical := detBodiesIdentical(samples)
 		rec.Totals.DetByteIdentical = &identical
 	}
-	return rec, firstBodies(samples), nil
+	return rec, firstBodies(samples), samples, nil
+}
+
+// classOfErr maps a direct-mode failure onto its outcome class — the
+// same domains an HTTP client would read off the status line.
+func classOfErr(err error) string {
+	switch {
+	case errors.Is(err, service.ErrDeadline):
+		return "408"
+	case errors.Is(err, service.ErrShed):
+		return "429"
+	case errors.Is(err, service.ErrCancelled):
+		return "499"
+	case errors.Is(err, service.ErrInternal):
+		return "503"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "client_timeout"
+	default:
+		return "err"
+	}
+}
+
+// timeoutStride converts -timeout-frac into "every Nth request": 0.25 →
+// every 4th. Zero disables injection.
+func timeoutStride(frac float64) int {
+	if frac <= 0 {
+		return 0
+	}
+	stride := int(1/frac + 0.5)
+	if stride < 1 {
+		stride = 1
+	}
+	return stride
 }
 
 // compareRuns interleaves `trials` solo and batched replays (each
@@ -484,7 +613,7 @@ func compareRuns(soloCfg, batchedCfg service.Config, gs []*graph.Graph, names []
 			cfg  service.Config
 			best **LoadRecord
 		}{{soloCfg, &solo}, {batchedCfg, &batched}} {
-			rec, bodies, rerr := directRun(p.cfg, gs, names, algo, cfg)
+			rec, bodies, _, rerr := directRun(p.cfg, gs, names, algo, cfg)
 			if rerr != nil {
 				return nil, nil, false, rerr
 			}
@@ -499,6 +628,154 @@ func compareRuns(soloCfg, batchedCfg service.Config, gs []*graph.Graph, names []
 		}
 	}
 	return solo, batched, identical, nil
+}
+
+// ChaosRecord is the -chaos artifact: one fault-free reference replay
+// and one fault-injected replay of the same workload, with the
+// failure-domain invariants that gate the run.
+type ChaosRecord struct {
+	Schema string     `json:"schema"`
+	Label  string     `json:"label"`
+	Config LoadConfig `json:"config"`
+	// Faults are the armed injection specs; Fired counts how often each
+	// point actually triggered during the chaos replay.
+	Faults []string         `json:"faults"`
+	Fired  map[string]int64 `json:"fired"`
+	// Reference is the fault-free replay; Chaos the injected one.
+	Reference *LoadRecord `json:"reference"`
+	Chaos     *LoadRecord `json:"chaos"`
+	// The gates: every chaos response matched its reference byte for
+	// byte, every failure carried the typed taxonomy, and the service
+	// ended idle (no leaked admission slots or queue entries).
+	UnaffectedIdentical bool `json:"unaffected_identical"`
+	ContainedFailures   bool `json:"contained_failures"`
+	DrainedClean        bool `json:"drained_clean"`
+}
+
+// defaultChaosFaults is the storm armed when -chaos is given without
+// explicit -fault specs: periodic round stalls plus a bounded number of
+// detector and batch-leader crashes.
+var defaultChaosFaults = []string{
+	"round-stall:every=11:delay=200us",
+	"detector-panic:every=2:limit=4",
+	"batch-leader-crash:every=2:limit=3",
+}
+
+// chaosRun is the robustness acceptance harness (see the package
+// comment). It exits non-zero if any failure-domain invariant breaks.
+func chaosRun(w io.Writer, svcCfg service.Config, gs []*graph.Graph, names []string, algo service.Algo, cfg LoadConfig, faults []string, label string, jsonOut bool, watchdog time.Duration) error {
+	if len(faults) == 0 {
+		faults = defaultChaosFaults
+	}
+	cfg.Faults = faults
+
+	// Reference replay: fault-free, no client abandonment — every graph's
+	// canonical response body.
+	faultpoint.Reset()
+	refCfg := cfg
+	refCfg.ClientTimeoutMS, refCfg.TimeoutFrac = 0, 0
+	refRec, refBodies, _, err := directRun(svcCfg, gs, names, algo, refCfg)
+	if err != nil {
+		return err
+	}
+	if refRec.Totals.Failures > 0 {
+		return fmt.Errorf("reference replay had %d failures — fix the workload before injecting faults", refRec.Totals.Failures)
+	}
+
+	for _, spec := range faults {
+		if err := faultpoint.Set(spec); err != nil {
+			return fmt.Errorf("-fault %q: %w", spec, err)
+		}
+		fmt.Fprintf(os.Stderr, "chaos: armed %s\n", spec)
+	}
+	defer faultpoint.Reset()
+
+	// Chaos replay under a watchdog: a fault that wedges a request (lost
+	// wakeup, leaked slot) must fail the run, not hang CI.
+	type result struct {
+		rec     *LoadRecord
+		samples []sample
+		err     error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		rec, _, samples, err := directRun(svcCfg, gs, names, algo, cfg)
+		resc <- result{rec, samples, err}
+	}()
+	var res result
+	select {
+	case res = <-resc:
+	case <-time.After(watchdog):
+		return fmt.Errorf("chaos replay hung: not finished after %v (fault left a request stuck)", watchdog)
+	}
+	if res.err != nil {
+		return res.err
+	}
+
+	fired := make(map[string]int64)
+	for p, n := range faultpoint.Fired() {
+		fired[string(p)] = n
+	}
+	rec := &ChaosRecord{
+		Schema: "evencycle-chaos/v1", Label: label, Config: cfg,
+		Faults: faults, Fired: fired,
+		Reference: refRec, Chaos: res.rec,
+		UnaffectedIdentical: true, ContainedFailures: true,
+	}
+	for _, s := range res.samples {
+		switch {
+		case s.err == nil:
+			if !bytes.Equal(refBodies[s.name], s.body) {
+				fmt.Fprintf(os.Stderr, "chaos: %s diverged from reference:\n  %s\n  %s\n", s.name, refBodies[s.name], s.body)
+				rec.UnaffectedIdentical = false
+			}
+		case s.class == "408" || s.class == "429" || s.class == "499" ||
+			s.class == "503" || s.class == "client_timeout":
+			// contained: the failure carries the typed taxonomy
+		default:
+			fmt.Fprintf(os.Stderr, "chaos: untyped failure (%s): %v\n", s.class, s.err)
+			rec.ContainedFailures = false
+		}
+	}
+	st := res.rec.ServerStats
+	rec.DrainedClean = st != nil && st.InFlight == 0 && st.Queued == 0
+
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	} else {
+		renderChaos(w, rec)
+	}
+
+	var total int64
+	for _, n := range rec.Fired {
+		total += n
+	}
+	switch {
+	case total == 0:
+		return fmt.Errorf("chaos gate: no armed faultpoint fired — the replay exercised nothing")
+	case !rec.ContainedFailures:
+		return fmt.Errorf("chaos gate: a failure escaped the typed error taxonomy")
+	case !rec.UnaffectedIdentical:
+		return fmt.Errorf("chaos gate: a response served under faults diverged from its fault-free reference")
+	case !rec.DrainedClean:
+		return fmt.Errorf("chaos gate: service not idle after the replay (leaked slot or queue entry)")
+	}
+	return nil
+}
+
+func renderChaos(w io.Writer, rec *ChaosRecord) {
+	fmt.Fprintf(w, "chaos replay: %d requests, %d clients, faults %v\n",
+		rec.Config.Requests, rec.Config.Clients, rec.Faults)
+	fmt.Fprintf(w, "  fired: %v\n", rec.Fired)
+	fmt.Fprintf(w, "  reference: %d ok; chaos: %d ok, %d failed, classes %v\n",
+		rec.Reference.Totals.Completed, rec.Chaos.Totals.Completed,
+		rec.Chaos.Totals.Failures, rec.Chaos.Totals.ByClass)
+	fmt.Fprintf(w, "  unaffected identical: %v  contained failures: %v  drained clean: %v\n",
+		rec.UnaffectedIdentical, rec.ContainedFailures, rec.DrainedClean)
 }
 
 // firstBodies maps each graph name to its first successful response body.
@@ -566,20 +843,36 @@ func corpusNames(addr string) ([]string, error) {
 	return names, nil
 }
 
-func oneRequest(client *http.Client, addr string, body []byte, name string) sample {
+func oneRequest(ctx context.Context, client *http.Client, addr string, body []byte, name string) sample {
 	start := time.Now()
-	resp, err := client.Post(addr+"/v1/detect", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/detect", bytes.NewReader(body))
 	if err != nil {
-		return sample{ns: time.Since(start).Nanoseconds(), name: name, err: err}
+		return sample{name: name, class: "err", err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		class := "net"
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The injected client timeout fired: we abandoned the request
+			// in flight (server-side this is the 499 domain).
+			class = "client_timeout"
+		}
+		return sample{ns: time.Since(start).Nanoseconds(), name: name, class: class, err: err}
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(resp.Body)
 	ns := time.Since(start).Nanoseconds()
 	if err != nil {
-		return sample{ns: ns, name: name, err: err}
+		class := "net"
+		if errors.Is(err, context.DeadlineExceeded) {
+			class = "client_timeout"
+		}
+		return sample{ns: ns, name: name, class: class, err: err}
 	}
 	if resp.StatusCode != http.StatusOK {
-		return sample{ns: ns, name: name, err: fmt.Errorf("%s: %s", resp.Status, payload)}
+		return sample{ns: ns, name: name, class: strconv.Itoa(resp.StatusCode),
+			err: fmt.Errorf("%s: %s", resp.Status, payload)}
 	}
 	batch, _ := strconv.Atoi(resp.Header.Get("X-Evencycle-Batch"))
 	return sample{
@@ -587,6 +880,7 @@ func oneRequest(client *http.Client, addr string, body []byte, name string) samp
 		source: resp.Header.Get("X-Evencycle-Source"),
 		batch:  batch,
 		name:   name,
+		class:  "2xx",
 		body:   payload,
 	}
 }
@@ -595,14 +889,26 @@ func summarize(samples []sample, elapsed time.Duration) *LoadRecord {
 	rec := &LoadRecord{
 		Schema:    "evencycle-service-load/v1",
 		ElapsedNs: elapsed.Nanoseconds(),
-		Totals:    LoadTotals{BySource: make(map[string]int)},
+		Totals:    LoadTotals{BySource: make(map[string]int), ByClass: make(map[string]int)},
 	}
 	var lats []int64
 	var sum int64
+	var failuresShown int
 	for _, s := range samples {
+		if s.class != "" {
+			rec.Totals.ByClass[s.class]++
+		}
 		if s.err != nil {
 			rec.Totals.Failures++
-			fmt.Fprintf(os.Stderr, "request failed: %v\n", s.err)
+			// An overload run fails hundreds of requests by design; cap
+			// the per-request noise and let by_class carry the tally.
+			if failuresShown < 10 {
+				fmt.Fprintf(os.Stderr, "request failed: %v\n", s.err)
+				failuresShown++
+			} else if failuresShown == 10 {
+				fmt.Fprintln(os.Stderr, "(further failures suppressed; see totals.by_class)")
+				failuresShown++
+			}
 			continue
 		}
 		rec.Totals.Completed++
@@ -677,6 +983,18 @@ func renderText(w io.Writer, rec *LoadRecord) {
 		}
 	}
 	fmt.Fprintf(w, "  hit ratio %.3f\n", rec.Totals.HitRatio)
+	if len(rec.Totals.ByClass) > 1 || rec.Totals.ByClass["2xx"] != rec.Totals.Completed {
+		classes := make([]string, 0, len(rec.Totals.ByClass))
+		for c := range rec.Totals.ByClass {
+			classes = append(classes, c)
+		}
+		slices.Sort(classes)
+		fmt.Fprintf(w, "outcome classes:")
+		for _, c := range classes {
+			fmt.Fprintf(w, " %s=%d", c, rec.Totals.ByClass[c])
+		}
+		fmt.Fprintln(w)
+	}
 	fmt.Fprintf(w, "latency: p50=%s p90=%s p99=%s max=%s\n",
 		time.Duration(rec.Latency.P50), time.Duration(rec.Latency.P90),
 		time.Duration(rec.Latency.P99), time.Duration(rec.Latency.Max))

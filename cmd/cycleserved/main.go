@@ -25,8 +25,33 @@
 //	GET  /v1/jobs/{id}  → job status, including the verdict once done.
 //	GET  /v1/jobs/{id}/witness → just the witness cycle of a done job.
 //	GET  /v1/corpus     → the registered named graphs with fingerprints.
-//	GET  /v1/stats      → request/hit/coalesce/amplify/engine-session counters.
-//	GET  /healthz       → {"ok":true} once the corpus is built.
+//	GET  /v1/stats      → request/hit/coalesce/amplify/engine-session counters,
+//	                    plus the failure-domain counters (shed, deadline_exceeded,
+//	                    cancelled, panics, batches_skipped, mean_session_ms).
+//	GET  /healthz       → {"ok":true} once the corpus is built;
+//	                    {"ok":false,"draining":true} with 503 during shutdown.
+//
+// Error taxonomy (see internal/service and docs/ARCHITECTURE.md,
+// "Failure domains & request lifecycle"):
+//
+//	400  malformed request (bad algo, bad graph, negative deadline)
+//	404  unknown corpus name or job id
+//	408  the request's deadline (deadline_ms, or -deadline default,
+//	     capped by -max-deadline) expired before or during detection
+//	429  load shed: the admission queue is full, or the estimated queue
+//	     wait already exceeds the request's remaining deadline
+//	499  the client disconnected and the detection was cancelled
+//	     cooperatively at an engine round boundary
+//	503  a detector panic was contained (response carries the error), or
+//	     the server is draining after SIGTERM (Retry-After is set)
+//
+// On SIGTERM/SIGINT the server stops admitting work (503 + Retry-After,
+// healthz flips to draining), lets in-flight and accepted async jobs
+// finish (bounded by -drain-timeout), then exits 0.
+//
+// -fault arms deterministic fault-injection points (repeatable; spec
+// point:every=N[:limit=M][:delay=D], see internal/faultpoint). Faults are
+// for chaos testing only and are loudly logged at startup.
 //
 // Cache policy: deterministic-mode (algo=det) verdicts are pure functions
 // of the graph and cache forever (the seed is not part of the key);
@@ -37,6 +62,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -44,18 +70,22 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"repro/internal/faultpoint"
 	"repro/internal/graph"
 	"repro/internal/service"
 )
 
-// corpusFlag collects repeated -corpus name=spec flags.
-type corpusFlag []string
+// listFlag collects repeated string flags (-corpus name=spec, -fault spec).
+type listFlag []string
 
-func (c *corpusFlag) String() string { return strings.Join(*c, ",") }
-func (c *corpusFlag) Set(v string) error {
+func (c *listFlag) String() string { return strings.Join(*c, ",") }
+func (c *listFlag) Set(v string) error {
 	*c = append(*c, v)
 	return nil
 }
@@ -78,22 +108,40 @@ func run() error {
 	batch := flag.Int("batch", 0, "fused miss-path batch size: compatible concurrent misses share one engine session (0 = default 8, 1 = disable)")
 	batchLinger := flag.Duration("batch-linger", 0, "how long an under-full batch waits for joiners (0 = default 2ms)")
 	corpusSeed := flag.Uint64("corpus-seed", 1, "seed for randomized corpus generators")
-	var corpus corpusFlag
+	deadline := flag.Duration("deadline", 0, "default per-request deadline for requests that omit deadline_ms (0 = none)")
+	maxDeadline := flag.Duration("max-deadline", 0, "cap on client-supplied deadlines (0 = uncapped)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight work before exiting")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+	readTimeout := flag.Duration("read-timeout", time.Minute, "http.Server ReadTimeout (whole-request read bound)")
+	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (response write bound; bounds handler time for synchronous detects)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+	maxHeaderBytes := flag.Int("max-header-bytes", 1<<20, "http.Server MaxHeaderBytes")
+	var corpus, faults listFlag
 	flag.Var(&corpus, "corpus", "named corpus graph as name=spec (repeatable); specs:\n"+graph.SpecHelp)
+	flag.Var(&faults, "fault", "arm a fault-injection point as point:every=N[:limit=M][:delay=D] (repeatable; chaos testing only)")
 	flag.Parse()
+
+	for _, spec := range faults {
+		if err := faultpoint.Set(spec); err != nil {
+			return fmt.Errorf("-fault %q: %w", spec, err)
+		}
+		log.Printf("WARNING: fault injection armed: %s", spec)
+	}
 
 	par := *parallel
 	if par == 0 {
 		par = -1
 	}
 	svc := service.New(service.Config{
-		Slots:        *slots,
-		MaxQueue:     *queue,
-		CacheEntries: *cache,
-		Parallel:     par,
-		Workers:      *workers,
-		BatchSize:    *batch,
-		BatchLinger:  *batchLinger,
+		Slots:           *slots,
+		MaxQueue:        *queue,
+		CacheEntries:    *cache,
+		Parallel:        par,
+		Workers:         *workers,
+		BatchSize:       *batch,
+		BatchLinger:     *batchLinger,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
 	})
 	for _, entry := range corpus {
 		name, spec, ok := strings.Cut(entry, "=")
@@ -120,13 +168,87 @@ func run() error {
 	mux.HandleFunc("GET /v1/jobs/{id}", srv.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/witness", srv.handleWitness)
 
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.admit(mux),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+
 	log.Printf("cycleserved listening on %s (%d corpus graphs)", *addr, len(svc.GraphNames()))
-	return http.ListenAndServe(*addr, mux)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		// Graceful drain: stop admitting (admit middleware starts
+		// returning 503, healthz flips to draining), let accepted async
+		// jobs and in-flight requests finish, then close listeners. Every
+		// step shares the one drain budget.
+		log.Printf("received %v: draining (timeout %v)", sig, *drainTimeout)
+		srv.draining.Store(true)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := svc.DrainJobs(ctx); err != nil {
+			log.Printf("drain: async jobs still running after %v: %v", *drainTimeout, err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("drain: forced close with connections open: %v", err)
+		}
+		log.Printf("cycleserved drained; exiting")
+		return nil
+	}
 }
 
 type server struct {
 	svc               *service.Service
 	defaultIterations int
+	// draining flips once on SIGTERM/SIGINT: admission stops (503 +
+	// Retry-After), healthz reports draining so load balancers pull the
+	// instance, and in-flight work runs to completion.
+	draining atomic.Bool
+}
+
+// admit is the outermost middleware: once the server is draining, every
+// endpoint except healthz (which must stay readable so orchestrators see
+// the state change) is refused up front with a retryable 503.
+func (srv *server) admit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if srv.draining.Load() && r.URL.Path != "/healthz" {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, apiError{"server is draining"})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// statusClientClosedRequest is the de-facto standard (nginx) status for
+// "the client went away before we could answer".
+const statusClientClosedRequest = 499
+
+// statusFor maps the service error taxonomy onto HTTP statuses. Anything
+// outside the taxonomy is a request the caller can fix (400).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, service.ErrDeadline):
+		return http.StatusRequestTimeout
+	case errors.Is(err, service.ErrShed):
+		return http.StatusTooManyRequests
+	case errors.Is(err, service.ErrCancelled):
+		return statusClientClosedRequest
+	case errors.Is(err, service.ErrInternal):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -167,13 +289,16 @@ func (srv *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	faultpoint.Sleep(faultpoint.HandlerSlow)
 	start := time.Now()
 	resp, info, err := srv.svc.DoInfo(r.Context(), req)
 	elapsed := time.Since(start)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, service.ErrOverloaded) {
-			status = http.StatusServiceUnavailable
+		status := statusFor(err)
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			// Both shed and contained-panic failures are transient: tell
+			// well-behaved clients when to come back.
+			w.Header().Set("Retry-After", "1")
 		}
 		writeJSON(w, status, apiError{err.Error()})
 		return
@@ -248,5 +373,9 @@ func (srv *server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (srv *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if srv.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ok": false, "draining": true})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }

@@ -1,0 +1,39 @@
+package congest
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrCanceled is returned by Engine.Run/RunSession when the engine's
+// Cancel flag trips: the session stops at the next round boundary
+// without producing a report. Callers translate it into their own
+// cancellation error (the service maps it through the request context).
+var ErrCanceled = errors.New("congest: session canceled")
+
+// CancelFlag is a cooperative cancellation signal shared by a caller and
+// any number of engine sessions. The engine polls it once per executed
+// round — a single atomic load on the round boundary — so an abandoned
+// multi-second run stops within one round of the flag tripping, and an
+// untripped flag perturbs nothing: the poll draws no randomness and
+// writes no state, so transcripts of uncancelled runs are bit-identical
+// to runs without a flag. The zero value is ready to use; methods are
+// nil-receiver safe so an unset Engine.Cancel costs one predictable
+// branch per round.
+type CancelFlag struct{ v atomic.Bool }
+
+// Cancel trips the flag. Idempotent and safe for concurrent use.
+func (c *CancelFlag) Cancel() { c.v.Store(true) }
+
+// Canceled reports whether the flag has tripped. Nil-receiver safe.
+func (c *CancelFlag) Canceled() bool { return c != nil && c.v.Load() }
+
+// WatchContext arms c when ctx is done, without spawning a goroutine
+// (context.AfterFunc registers a callback on the context's own
+// machinery). The returned stop function detaches the watch; callers
+// must invoke it when the run finishes so a long-lived context does not
+// accumulate dead callbacks.
+func WatchContext(ctx context.Context, c *CancelFlag) (stop func() bool) {
+	return context.AfterFunc(ctx, c.Cancel)
+}

@@ -8,6 +8,8 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultpoint"
 )
 
 // Engine executes handler sessions on a network. All mutable per-session
@@ -46,6 +48,14 @@ type Engine struct {
 	// rounds smaller than this are dominated by goroutine hand-off, not
 	// work. 0 means the default of 256.
 	ParallelThreshold int
+	// Cancel, when set, is polled once per executed round (one atomic
+	// load at the round boundary): tripping it makes in-flight and future
+	// runs on this engine return ErrCanceled instead of a report, so an
+	// abandoned request stops consuming CPU within one round. The poll
+	// has no effect on untripped runs — transcripts are bit-identical
+	// with or without a flag installed. Configure before the first Run,
+	// like every other engine field.
+	Cancel *CancelFlag
 
 	// adjOff[u] is the base index of u's adjacency slots in the flat
 	// per-edge arrays (CSR layout over the sorted adjacency lists);
@@ -129,9 +139,19 @@ func (e *Engine) Run(h Handler) (*Report, error) {
 // The returned Report counts rounds in CONGEST time: Rounds is the index
 // of the last round with activity, plus one; idle gaps before a scheduled
 // wake-up are not simulated but do elapse (and are therefore counted).
-func (e *Engine) RunSession(h Handler, sess uint64) (*Report, error) {
+func (e *Engine) RunSession(h Handler, sess uint64) (rep *Report, err error) {
 	s := e.sessions.Get().(*Session)
-	rep, err := s.run(h, sess)
+	// Panic containment: handler panics are recovered inside the round
+	// loop and surface as ordinary errors, but if anything escapes run
+	// (an engine bug, a panic mid-cleanup), convert it to an error and
+	// DROP the session — its invariants are unknown, and repooling it
+	// would poison a future run. The happy path repools as always.
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("congest: session panicked: %v", r)
+		}
+	}()
+	rep, err = s.run(h, sess)
 	s.cleanup()
 	e.sessions.Put(s)
 	return rep, err
@@ -557,7 +577,7 @@ func (s *Session) run(h Handler, sess uint64) (*Report, error) {
 	s.round = 0
 
 	s.inInit = true
-	h.Init(s)
+	s.guardedInit(h)
 	s.inInit = false
 	if s.violation != nil {
 		return nil, s.violation
@@ -600,7 +620,17 @@ func (s *Session) run(h Handler, sess uint64) (*Report, error) {
 	s.ensureShards(e.deliveryShards(workers, n))
 	exec := 0
 
+	cancel := e.Cancel
 	for round := 0; s.cand > 0; round++ {
+		// Cooperative cancellation checkpoint: one nil-guarded atomic
+		// load per executed round. An abandoned request's session stops
+		// here instead of running to quiescence.
+		if cancel.Canceled() {
+			return nil, ErrCanceled
+		}
+		if faultpoint.Enabled() {
+			faultpoint.Sleep(faultpoint.RoundStall)
+		}
 		if round >= maxRounds {
 			return nil, fmt.Errorf("congest: exceeded %d rounds (runaway protocol?)", maxRounds)
 		}
@@ -745,9 +775,7 @@ func (e *Engine) runHandlers(s *Session, h Handler, round int, workers int) bool
 	if workers <= 1 || len(due) < e.parallelThreshold() {
 		s.serialRound = true
 		s.senders = s.senders[:0]
-		for _, u := range due {
-			h.HandleRound(s, u, round, s.inboxOf(u))
-		}
+		s.serialHandlers(h, due, round)
 		s.serialRound = false
 		return true
 	}
@@ -767,6 +795,7 @@ func (e *Engine) runHandlers(s *Session, h Handler, round int, workers int) bool
 
 func (s *Session) handlerWorker() {
 	defer s.wg.Done()
+	defer s.recoverHandlerPanic()
 	h, round, due := s.parH, s.parRound, s.due
 	for {
 		lo := int(s.parNext.Add(handlerGrain)) - handlerGrain
@@ -776,6 +805,36 @@ func (s *Session) handlerWorker() {
 		for _, u := range due[lo:min(lo+handlerGrain, len(due))] {
 			h.HandleRound(s, u, round, s.inboxOf(u))
 		}
+	}
+}
+
+// serialHandlers runs the round's due handlers on the session goroutine,
+// under the same recover fence as parallel workers: a panicking handler
+// fails the session (the remaining due nodes are skipped — the session
+// is already doomed) instead of unwinding through RunSession and
+// dropping the pooled session.
+func (s *Session) serialHandlers(h Handler, due []NodeID, round int) {
+	defer s.recoverHandlerPanic()
+	for _, u := range due {
+		h.HandleRound(s, u, round, s.inboxOf(u))
+	}
+}
+
+// guardedInit runs h.Init under the handler recover fence, so a
+// panicking Init surfaces as a session error instead of killing the
+// process or poisoning the pool.
+func (s *Session) guardedInit(h Handler) {
+	defer s.recoverHandlerPanic()
+	h.Init(s)
+}
+
+// recoverHandlerPanic is the deferred fence shared by Init, serial
+// rounds and parallel workers. It converts a handler panic into a
+// session failure (first failure wins; halt is requested) so the
+// session unwinds through the normal violation path and stays poolable.
+func (s *Session) recoverHandlerPanic() {
+	if r := recover(); r != nil {
+		s.fail(fmt.Errorf("congest: handler panicked in round %d: %v", s.round, r))
 	}
 }
 

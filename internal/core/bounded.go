@@ -71,6 +71,7 @@ func DetectBoundedCycle(g *graph.Graph, k int, opt Options) (*BoundedResult, err
 	eng.Shards = opt.Shards
 	eng.ParallelThreshold = opt.ParallelThreshold
 	eng.MaxRounds = opt.MaxRounds
+	eng.Cancel = opt.Cancel
 
 	res := &BoundedResult{Params: params}
 	total := &congest.Report{}

@@ -63,6 +63,11 @@ type Options struct {
 	// DropProb injects adversarial message loss (see congest.Engine);
 	// detection may be missed under loss but one-sidedness is structural.
 	DropProb float64
+	// Cancel, when set, is handed to every engine session of the run:
+	// tripping it aborts the detection at the next round boundary with
+	// congest.ErrCanceled. An untripped flag leaves every transcript
+	// bit-identical (see congest.CancelFlag).
+	Cancel *congest.CancelFlag
 }
 
 // Result reports the outcome and cost of a detection run.
@@ -179,6 +184,7 @@ func runAlgorithm1Capturing(g *graph.Graph, params Params, opt Options) (*Result
 	eng.ParallelThreshold = opt.ParallelThreshold
 	eng.MaxRounds = opt.MaxRounds
 	eng.DropProb = opt.DropProb
+	eng.Cancel = opt.Cancel
 
 	res := &Result{Params: params}
 	total := &congest.Report{}

@@ -82,6 +82,7 @@ func DetectEvenCycleFused(items []FusedItem, k int, opt Options) ([]*Result, err
 	eng.Shards = opt.Shards
 	eng.ParallelThreshold = opt.ParallelThreshold
 	eng.MaxRounds = opt.MaxRounds
+	eng.Cancel = opt.Cancel
 	total := eng.Network().NumNodes()
 
 	// Instructions 1–5 for the whole batch in one session: per-node p and

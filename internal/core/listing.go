@@ -108,6 +108,7 @@ func ListEvenCycles(g *graph.Graph, k int, opt Options) (*ListResult, error) {
 	eng.Shards = opt.Shards
 	eng.ParallelThreshold = opt.ParallelThreshold
 	eng.MaxRounds = opt.MaxRounds
+	eng.Cancel = opt.Cancel
 
 	res := &ListResult{}
 	total := &congest.Report{}

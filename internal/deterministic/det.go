@@ -48,6 +48,9 @@ type Options struct {
 	ParallelThreshold int
 	// MaxRounds bounds the engine session (0 = engine default).
 	MaxRounds int
+	// Cancel aborts the broadcast session at the next round boundary when
+	// tripped (see congest.CancelFlag); untripped it changes nothing.
+	Cancel *congest.CancelFlag
 }
 
 // Result reports a deterministic detection run.
@@ -322,6 +325,7 @@ func Detect(g *graph.Graph, k int, opt Options) (*Result, error) {
 	eng.Shards = opt.Shards
 	eng.ParallelThreshold = opt.ParallelThreshold
 	eng.MaxRounds = opt.MaxRounds
+	eng.Cancel = opt.Cancel
 
 	proto := newDetProto(n, k, tau)
 	rep, err := eng.Run(proto)

@@ -35,6 +35,7 @@ func DetectMulti(gs []*graph.Graph, k int, opt Options) ([]*Result, error) {
 	eng.Shards = opt.Shards
 	eng.ParallelThreshold = opt.ParallelThreshold
 	eng.MaxRounds = opt.MaxRounds
+	eng.Cancel = opt.Cancel
 
 	total := eng.Network().NumNodes()
 	proto := newDetProto(total, k, 0)

@@ -1,0 +1,129 @@
+package faultpoint
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDisarmedCostsNothing pins the disarmed contract: no point fires,
+// Enabled is false, and Fired reports nothing.
+func TestDisarmedCostsNothing(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("Enabled() true after Reset")
+	}
+	for i := 0; i < 100; i++ {
+		if Fire(DetectorPanic) {
+			t.Fatal("disarmed point fired")
+		}
+	}
+	Crash(BatchLeaderCrash) // must not panic
+	Sleep(RoundStall)       // must not sleep meaningfully
+	if got := Fired(); got != nil {
+		t.Fatalf("Fired() = %v while disarmed", got)
+	}
+}
+
+// TestEveryNthDeterministic pins the deterministic firing schedule:
+// passes N, 2N, 3N fire, everything else does not.
+func TestEveryNthDeterministic(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Set("detector-panic:every=3"); err != nil {
+		t.Fatal(err)
+	}
+	var fires []int
+	for i := 1; i <= 10; i++ {
+		if Fire(DetectorPanic) {
+			fires = append(fires, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(fires) != len(want) {
+		t.Fatalf("fired on passes %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired on passes %v, want %v", fires, want)
+		}
+	}
+	if got := Fired()[DetectorPanic]; got != 3 {
+		t.Fatalf("Fired[detector-panic] = %d, want 3", got)
+	}
+}
+
+// TestLimitBoundsFires pins limit=M: the point stops firing after M
+// fires even though the schedule keeps matching.
+func TestLimitBoundsFires(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Set("batch-leader-crash:every=2:limit=2"); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 20; i++ {
+		if Fire(BatchLeaderCrash) {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2 (limit)", fired)
+	}
+}
+
+// TestCrashPanicsWithRecognizablePayload pins the panic payload prefix
+// the recover fences and log triage rely on.
+func TestCrashPanicsWithRecognizablePayload(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Set("detector-panic:every=1:limit=1"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Crash did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.HasPrefix(s, "faultpoint: injected ") {
+			t.Fatalf("panic payload %v lacks the faultpoint prefix", r)
+		}
+	}()
+	Crash(DetectorPanic)
+}
+
+// TestSleepSpendsConfiguredDelay checks stall points actually pause.
+func TestSleepSpendsConfiguredDelay(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Set("round-stall:every=1:delay=20ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	Sleep(RoundStall)
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("Sleep paused only %v, want ≥ ~20ms", d)
+	}
+}
+
+// TestSetValidation rejects unknown points and malformed parameters.
+func TestSetValidation(t *testing.T) {
+	Reset()
+	defer Reset()
+	for _, spec := range []string{
+		"no-such-point:every=1",
+		"round-stall:every=0",
+		"round-stall:every=x",
+		"round-stall:limit=0",
+		"round-stall:delay=-1s",
+		"round-stall:bogus=1",
+		"round-stall:every",
+	} {
+		if err := Set(spec); err == nil {
+			t.Errorf("Set(%q) accepted", spec)
+		}
+	}
+	if Enabled() {
+		t.Fatal("failed Set calls armed the registry")
+	}
+}

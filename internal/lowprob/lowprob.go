@@ -106,6 +106,9 @@ type OddOptions struct {
 	// negative GOMAXPROCS); results are deterministic regardless.
 	Parallel  int
 	KeepGoing bool
+	// Cancel aborts in-flight engine sessions at the next round boundary
+	// when tripped (see congest.CancelFlag); untripped it changes nothing.
+	Cancel *congest.CancelFlag
 }
 
 // OddResult reports a run of the odd-cycle detector.
@@ -154,6 +157,7 @@ func DetectOdd(g *graph.Graph, k int, opt OddOptions) (*OddResult, error) {
 	eng.Workers = opt.Workers
 	eng.Shards = opt.Shards
 	eng.ParallelThreshold = opt.ParallelThreshold
+	eng.Cancel = opt.Cancel
 
 	all := make([]bool, n)
 	for v := range all {

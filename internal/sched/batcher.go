@@ -4,8 +4,18 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// PanicError is the error every waiter of a batch receives when the
+// batch's Exec panicked. The panic is contained at the dispatch site —
+// dispatch may run on a timer goroutine, where an escaping panic would
+// kill the process — and surfaces as an ordinary error carrying the
+// recovered value.
+type PanicError struct{ Value any }
+
+func (e PanicError) Error() string { return fmt.Sprintf("sched: batch exec panicked: %v", e.Value) }
 
 // Batcher groups concurrent Do calls that share a compatibility key into
 // batches and hands each batch to Exec as one unit. The first caller for
@@ -43,7 +53,13 @@ type Batcher[K comparable, T, R any] struct {
 
 	mu      sync.Mutex
 	pending map[K]*openBatch[T, R]
+
+	skipped atomic.Int64
 }
+
+// Skipped reports how many batches were skipped outright because every
+// waiter had abandoned them before dispatch (their Exec never ran).
+func (b *Batcher[K, T, R]) Skipped() int64 { return b.skipped.Load() }
 
 // openBatch accumulates joiners until dispatch. Each waiter holds its
 // item's index and blocks on done; dispatch publishes results/err and
@@ -57,6 +73,13 @@ type openBatch[T, R any] struct {
 	done    chan struct{}
 	results []R
 	err     error
+
+	// abandoned counts waiters whose context ended before dispatch
+	// sealed the batch; both sides touch it under Batcher.mu. sealed
+	// marks the point past which abandoning no longer matters (dispatch
+	// has taken its snapshot).
+	abandoned int
+	sealed    bool
 }
 
 // Do submits one item under the given compatibility key and blocks until
@@ -127,6 +150,13 @@ func (b *Batcher[K, T, R]) Do(ctx context.Context, key K, item T) (R, int, error
 		}
 		return ob.results[idx], len(ob.items), nil
 	case <-ctx.Done():
+		// Record the abandonment: if every waiter of this batch leaves
+		// before dispatch seals it, the engine run is skipped entirely.
+		b.mu.Lock()
+		if !ob.sealed {
+			ob.abandoned++
+		}
+		b.mu.Unlock()
 		return zero, 0, ctx.Err()
 	}
 }
@@ -135,11 +165,37 @@ func (b *Batcher[K, T, R]) Do(ctx context.Context, key K, item T) (R, int, error
 // every waiter with one close. Runs on the triggering goroutine; the
 // batch is already out of pending, so items cannot grow concurrently and
 // the close is the happens-before edge for results/err.
+//
+// Two failure-domain rules apply. A batch whose every waiter abandoned
+// it before this point skips Exec entirely — nobody will read the
+// results, so the engine run would be pure waste (a batch with even one
+// surviving waiter still computes all items, so the service can cache
+// the abandoned ones). And a panicking Exec is contained here: the
+// waiters wake with a PanicError instead of hanging on done forever,
+// and the panic never unwinds into the timer goroutine.
 func (b *Batcher[K, T, R]) dispatch(key K, ob *openBatch[T, R]) {
+	b.mu.Lock()
+	ob.sealed = true
+	allAbandoned := ob.abandoned >= len(ob.items)
+	b.mu.Unlock()
+
+	// Registered before the recover fence (deferred functions run in
+	// reverse order), so results/err — including a PanicError — are
+	// always published before the wake-up broadcast.
+	defer close(ob.done)
+	if allAbandoned {
+		b.skipped.Add(1)
+		ob.err = context.Canceled
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			ob.results, ob.err = nil, PanicError{Value: r}
+		}
+	}()
 	results, err := b.Exec(key, ob.items)
 	if err == nil && len(results) != len(ob.items) {
 		err = fmt.Errorf("sched: batch exec returned %d results for %d items", len(results), len(ob.items))
 	}
 	ob.results, ob.err = results, err
-	close(ob.done)
 }

@@ -211,7 +211,9 @@ func TestBatcherExecError(t *testing.T) {
 }
 
 // TestBatcherCanceledWaiter pins that a caller whose context ends gets
-// ctx.Err() promptly while the batch still computes its item.
+// ctx.Err() promptly, and that a batch whose only waiter abandoned it
+// is skipped at dispatch (Exec never runs — see TestBatcherPartial-
+// AbandonStillComputesAll for the ≥1-survivor case that does compute).
 func TestBatcherCanceledWaiter(t *testing.T) {
 	computed := make(chan []int, 1)
 	b := &Batcher[string, int, int]{
@@ -227,12 +229,16 @@ func TestBatcherCanceledWaiter(t *testing.T) {
 	if _, _, err := b.Do(ctx, "k", 7); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Do err = %v, want context.Canceled", err)
 	}
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Skipped() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("fully-abandoned batch never skipped")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	select {
 	case items := <-computed:
-		if len(items) != 1 || items[0] != 7 {
-			t.Fatalf("computed %v, want [7]", items)
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("abandoned item was never computed")
+		t.Fatalf("abandoned batch computed %v, want skip", items)
+	default:
 	}
 }

@@ -3,9 +3,11 @@ package service
 import (
 	"context"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/deterministic"
+	"repro/internal/faultpoint"
 	"repro/internal/graph"
 	"repro/internal/sched"
 )
@@ -94,6 +96,21 @@ func (s *Service) execBatch(ck compatKey, items []*fuseItem) ([]fuseOut, error) 
 		return nil, err
 	}
 	defer s.gate.Release()
+	// Count a leader crash exactly once here, then let it unwind into
+	// the Batcher's dispatch fence: the deferred Release above runs
+	// first (no leaked slot), the fence wakes every waiter with a
+	// PanicError (no hang), and since this function never reached its
+	// cache-put, no poisoned entry exists.
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			panic(r)
+		}
+	}()
+	if faultpoint.Enabled() {
+		faultpoint.Crash(faultpoint.BatchLeaderCrash)
+	}
+	start := time.Now()
 
 	B := len(items)
 	s.batchesFormed.Add(1)
@@ -102,8 +119,10 @@ func (s *Service) execBatch(ck compatKey, items []*fuseItem) ([]fuseOut, error) 
 
 	var outs []fuseOut
 	if B == 1 {
-		// Degenerate batch: the existing solo path, one session.
-		resp, amplified, err := s.compute(items[0].req, items[0].fp, items[0].prior)
+		// Degenerate batch: the existing solo path, one session. The
+		// detached context keeps the batch contract — a batch that
+		// formed runs to completion and caches, even if its waiter left.
+		resp, amplified, err := s.compute(context.Background(), items[0].req, items[0].fp, items[0].prior)
 		outs = []fuseOut{{resp: resp, amplified: amplified, err: err}}
 		s.soloSessions.Add(1)
 	} else {
@@ -116,6 +135,8 @@ func (s *Service) execBatch(ck compatKey, items []*fuseItem) ([]fuseOut, error) 
 			outs = s.runSoloFallback(items)
 		}
 	}
+
+	s.noteSessionDuration(time.Since(start))
 
 	// Cache every component's verdict under its own fingerprint — here,
 	// not in Do, so verdicts of waiters that gave up are kept too.
@@ -201,7 +222,7 @@ func (s *Service) runFusedDet(ck compatKey, items []*fuseItem) []fuseOut {
 func (s *Service) runSoloFallback(items []*fuseItem) []fuseOut {
 	outs := make([]fuseOut, len(items))
 	for i, it := range items {
-		resp, amplified, err := s.compute(it.req, it.fp, it.prior)
+		resp, amplified, err := s.compute(context.Background(), it.req, it.fp, it.prior)
 		outs[i] = fuseOut{resp: resp, amplified: amplified, err: err}
 		if err == nil {
 			s.soloSessions.Add(1)

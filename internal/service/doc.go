@@ -30,4 +30,19 @@
 // requests can reference pre-registered instances instead of shipping
 // edge lists. See docs/ARCHITECTURE.md ("Service layer") for the request
 // lifecycle and cmd/cycleload for the closed-loop load generator.
+//
+// Failure is typed: every post-validation error wraps one of four
+// sentinels — ErrDeadline (the request's deadline expired), ErrShed
+// (load shed at admission: queue overflow, or the estimated queue wait
+// exceeds the remaining deadline), ErrCancelled (the caller's context
+// was cancelled; the engine session stopped cooperatively at a round
+// boundary), ErrInternal (a detector panic was contained) — which
+// cmd/cycleserved maps onto 408/429/499/503. Deadlines compose
+// earliest-wins from Request.Deadline, Config.DefaultDeadline, and
+// Config.MaxDeadline; admission sheds against an EWMA of recent session
+// durations; panics are fenced at the dispatch, batch, and job-goroutine
+// boundaries and surface in Stats.Panics. DrainJobs supports graceful
+// shutdown, and internal/faultpoint drives the chaos tests that pin all
+// of this (see docs/ARCHITECTURE.md, "Failure domains & request
+// lifecycle").
 package service

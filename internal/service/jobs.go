@@ -46,6 +46,8 @@ type jobRegistry struct {
 	jobs map[string]*Job
 	// order tracks insertion order for pruning.
 	order []string
+	// wg tracks in-flight job goroutines for graceful drain.
+	wg sync.WaitGroup
 }
 
 func (r *jobRegistry) init() {
@@ -66,7 +68,22 @@ func (s *Service) Submit(req *Request) string {
 	r.prune()
 	r.mu.Unlock()
 
+	r.wg.Add(1)
 	go func() {
+		defer r.wg.Done()
+		// Panic fence: Do contains detector panics itself, but a crash
+		// anywhere in this goroutine would otherwise kill the whole
+		// process (no recovering caller). The job fails; the server
+		// lives.
+		defer func() {
+			if rec := recover(); rec != nil {
+				r.mu.Lock()
+				defer r.mu.Unlock()
+				job.Finished = time.Now().UTC()
+				job.State = JobFailed
+				job.Error = fmt.Sprintf("job panicked: %v", rec)
+			}
+		}()
 		r.mu.Lock()
 		job.State = JobRunning
 		r.mu.Unlock()
@@ -84,6 +101,23 @@ func (s *Service) Submit(req *Request) string {
 		job.Response = resp
 	}()
 	return id
+}
+
+// DrainJobs blocks until every submitted job goroutine has finished, or
+// ctx ends. Graceful shutdown calls this after admission has stopped so
+// accepted async work completes before the process exits.
+func (s *Service) DrainJobs(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.jobs.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Job returns a snapshot of the job's status.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/deterministic"
+	"repro/internal/faultpoint"
 	"repro/internal/graph"
 	"repro/internal/lowprob"
 	"repro/internal/sched"
@@ -81,6 +82,11 @@ type Request struct {
 	// Pipelined selects the pipelined color-BFS schedule (AlgoEven and
 	// AlgoBounded only).
 	Pipelined bool
+	// Deadline bounds this request's total time in the service (queue
+	// wait included): 0 adopts Config.DefaultDeadline, and any value is
+	// capped by Config.MaxDeadline. An expired deadline cancels the
+	// engine session cooperatively and surfaces as ErrDeadline.
+	Deadline time.Duration
 }
 
 // Response is the cached, deterministic portion of a detection answer: it
@@ -148,10 +154,18 @@ type Config struct {
 	// before dispatching — the latency a lone miss pays to offer itself
 	// for fusion. 0 means 2ms; negative dispatches immediately.
 	BatchLinger time.Duration
+	// DefaultDeadline bounds requests that state no deadline of their
+	// own; 0 leaves them unbounded. MaxDeadline caps every request's
+	// deadline (including the default); 0 means no cap. Earliest wins
+	// against any deadline already on the caller's context.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
 }
 
-// ErrOverloaded is returned when the admission queue is full.
-var ErrOverloaded = fmt.Errorf("service: admission queue full")
+// ErrOverloaded is returned when the admission queue is full. It wraps
+// ErrShed — queue overflow is one way of shedding load — so both map to
+// the same retryable HTTP status.
+var ErrOverloaded = fmt.Errorf("admission queue full: %w", ErrShed)
 
 // ErrUnknownCorpus is returned (wrapped) by Resolve when a request names
 // a corpus graph that is not registered; the HTTP server maps it to 404.
@@ -166,9 +180,23 @@ type Stats struct {
 	Coalesced int64 `json:"coalesced"`
 	Amplified int64 `json:"amplified"`
 	Computed  int64 `json:"computed"`
-	// Errors counts failed requests, Rejected the ErrOverloaded subset.
-	Errors   int64 `json:"errors"`
-	Rejected int64 `json:"rejected"`
+	// Errors counts failed requests; the five counters below attribute
+	// them to failure domains. Rejected is the queue-full (ErrOverloaded)
+	// subset and Shed the deadline-aware admission rejections; Deadline-
+	// Exceeded and Cancelled are requests that died after admission; and
+	// Panics counts contained detector/batch-leader crashes (ErrInternal).
+	Errors           int64 `json:"errors"`
+	Rejected         int64 `json:"rejected"`
+	Shed             int64 `json:"shed"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	Cancelled        int64 `json:"cancelled"`
+	Panics           int64 `json:"panics"`
+	// BatchesSkipped counts fused batches whose every waiter abandoned
+	// them before dispatch: their engine run was skipped entirely.
+	BatchesSkipped int64 `json:"batches_skipped"`
+	// MeanSessionMS is the EWMA of engine-session wall time that the
+	// deadline-aware admission check estimates queue wait from.
+	MeanSessionMS float64 `json:"mean_session_ms"`
 	// EngineSessions counts engine sessions actually run — solo
 	// computations plus ONE per fused batch: the "work actually done"
 	// number that cache hits, coalescing and batching save. (Before the
@@ -212,8 +240,13 @@ type Service struct {
 
 	requests, hits, coalesced, amplified, computed atomic.Int64
 	errors, rejected                               atomic.Int64
+	shed, deadlineExceeded, cancelled, panics      atomic.Int64
 	soloSessions, fusedSessions, fusedRequests     atomic.Int64
 	batchesFormed, batchSizeSum, maxBatchSize      atomic.Int64
+
+	// meanSessionNs is an EWMA (α = 1/8) of engine-session wall time,
+	// feeding the admission check's queue-wait estimate.
+	meanSessionNs atomic.Int64
 
 	// computeHook, when set, replaces the detector dispatch — tests use it
 	// to block and count computations deterministically. Never set in
@@ -302,7 +335,76 @@ func validate(req *Request) error {
 	if req.Eps != 0 && (req.Eps <= 0 || req.Eps >= 1) {
 		return fmt.Errorf("service: ε = %v outside (0,1)", req.Eps)
 	}
+	if req.Deadline < 0 {
+		return fmt.Errorf("service: negative deadline %v", req.Deadline)
+	}
 	return nil
+}
+
+// requestContext applies the request's deadline — or the server default
+// when the request states none — capped by Config.MaxDeadline.
+// context.WithTimeout keeps an earlier deadline already on ctx, so the
+// effective deadline is always the earliest of caller, request and cap.
+func (s *Service) requestContext(ctx context.Context, req *Request) (context.Context, context.CancelFunc) {
+	d := req.Deadline
+	if d <= 0 {
+		d = s.cfg.DefaultDeadline
+	}
+	if s.cfg.MaxDeadline > 0 && (d <= 0 || d > s.cfg.MaxDeadline) {
+		d = s.cfg.MaxDeadline
+	}
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// admissible is the deadline-aware admission check: a request whose
+// remaining deadline cannot cover the estimated queue wait is shed
+// immediately — failing in microseconds instead of timing out after
+// queuing — leaving the queue to requests that can still make it.
+// Called with s.mu held (the same ordering as the MaxQueue check).
+func (s *Service) admissible(ctx context.Context) error {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	remaining := time.Until(dl)
+	if remaining <= 0 {
+		return fmt.Errorf("%w: deadline expired before admission", ErrDeadline)
+	}
+	if wait := s.estimatedQueueWait(); wait > remaining {
+		return fmt.Errorf("%w: estimated queue wait %v exceeds remaining deadline %v", ErrShed, wait, remaining)
+	}
+	return nil
+}
+
+// estimatedQueueWait predicts how long a newly queued request waits for
+// an admission slot: queue-ahead-of-us divided by the slot count, times
+// the EWMA session duration. Zero until the first session completes —
+// an idle or cold service never sheds on an estimate it doesn't have.
+func (s *Service) estimatedQueueWait() time.Duration {
+	mean := s.meanSessionNs.Load()
+	if mean == 0 {
+		return 0
+	}
+	waiting := int64(s.gate.Waiting())
+	return time.Duration(waiting / int64(s.gate.Slots()) * mean)
+}
+
+// noteSessionDuration folds one engine-session wall time into the EWMA.
+func (s *Service) noteSessionDuration(d time.Duration) {
+	n := d.Nanoseconds()
+	for {
+		old := s.meanSessionNs.Load()
+		next := n
+		if old != 0 {
+			next = old + (n-old)/8
+		}
+		if s.meanSessionNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Info describes how a request was served beyond its Source.
@@ -340,6 +442,8 @@ func (s *Service) DoInfo(ctx context.Context, req *Request) (*Response, Info, er
 		s.errors.Add(1)
 		return nil, Info{}, err
 	}
+	ctx, cancelCtx := s.requestContext(ctx, req)
+	defer cancelCtx()
 	fp := req.Graph.Fingerprint()
 	key := keyFor(req, fp)
 
@@ -360,8 +464,9 @@ func (s *Service) DoInfo(ctx context.Context, req *Request) (*Response, Info, er
 			select {
 			case <-c.done:
 			case <-ctx.Done():
-				s.errors.Add(1)
-				return nil, Info{}, ctx.Err()
+				err := classifyErr(ctx, ctx.Err())
+				s.countError(err)
+				return nil, Info{}, err
 			}
 			if c.err == nil && (covered || c.resp.Found) {
 				s.coalesced.Add(1)
@@ -377,23 +482,28 @@ func (s *Service) DoInfo(ctx context.Context, req *Request) (*Response, Info, er
 		prior := s.cache.get(key)
 		c := &call{done: make(chan struct{}), targetIter: req.Iterations}
 		s.inflight[key] = c
-		overloaded := s.cfg.MaxQueue >= 0 && s.gate.Waiting() >= s.cfg.MaxQueue
-		if overloaded {
+		var admit error
+		if s.cfg.MaxQueue >= 0 && s.gate.Waiting() >= s.cfg.MaxQueue {
+			admit = ErrOverloaded
+		} else {
+			admit = s.admissible(ctx)
+		}
+		if admit != nil {
 			delete(s.inflight, key)
 		}
 		s.mu.Unlock()
-		if overloaded {
-			c.err = ErrOverloaded
+		if admit != nil {
+			c.err = admit
 			close(c.done)
-			s.rejected.Add(1)
-			s.errors.Add(1)
-			return nil, Info{}, ErrOverloaded
+			s.countError(admit)
+			return nil, Info{}, admit
 		}
 
 		resp, amplified, batch, err := s.dispatch(ctx, req, fp, key, prior)
 		if err != nil {
+			err = classifyErr(ctx, err)
 			s.finish(key, c, nil, err)
-			s.errors.Add(1)
+			s.countError(err)
 			return nil, Info{}, err
 		}
 		source := SourceComputed
@@ -419,9 +529,11 @@ func (s *Service) dispatch(ctx context.Context, req *Request, fp graph.Fingerpri
 		if err := s.gate.Acquire(ctx); err != nil {
 			return nil, false, 0, err
 		}
-		resp, amplified, err := s.compute(req, fp, prior)
-		s.gate.Release()
+		defer s.gate.Release()
+		start := time.Now()
+		resp, amplified, err := s.computeGuarded(ctx, req, fp, prior)
 		if err == nil {
+			s.noteSessionDuration(time.Since(start))
 			s.soloSessions.Add(1)
 		}
 		return resp, amplified, 1, err
@@ -451,13 +563,44 @@ func (s *Service) finish(key cacheKey, c *call, resp *Response, err error) {
 // every other consumer of sched.Tag.
 const amplifySalt = 0x5e2f1ce
 
+// computeGuarded is compute under the solo-path panic fence: a detector
+// crash (real or injected) converts to ErrInternal instead of unwinding
+// through DoInfo with the in-flight entry still registered — which
+// would hang every coalesced follower forever. The admission slot is
+// released by dispatch's defer either way, and nothing is cached.
+func (s *Service) computeGuarded(ctx context.Context, req *Request, fp graph.Fingerprint, prior *entry) (resp *Response, amplified bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			resp, amplified, err = nil, false, fmt.Errorf("%w: detector panicked: %v", ErrInternal, r)
+		}
+	}()
+	if faultpoint.Enabled() {
+		faultpoint.Crash(faultpoint.DetectorPanic)
+	}
+	return s.compute(ctx, req, fp, prior)
+}
+
 // compute runs the detector, with the seed derivation shared by the solo
 // and fused paths (see runSeed). When prior is a not-found entry with
 // budget B < req.Iterations, only the missing req.Iterations-B trials
 // run, with a seed derived from (run seed, B) so the accumulated trial
 // history never repeats a coloring; costs accumulate into the returned
 // response. The reported second value is true on that amplification path.
-func (s *Service) compute(req *Request, fp graph.Fingerprint, prior *entry) (*Response, bool, error) {
+//
+// ctx cancellation propagates into the engine as a cooperative
+// CancelFlag polled at round boundaries: an abandoned or timed-out
+// request stops mid-session with congest.ErrCanceled (classified by the
+// caller) instead of running to quiescence. Detached paths (fused
+// batches, async jobs) pass a context with a nil Done channel, which
+// arms nothing and leaves transcripts untouched.
+func (s *Service) compute(ctx context.Context, req *Request, fp graph.Fingerprint, prior *entry) (*Response, bool, error) {
+	var cancel *congest.CancelFlag
+	if ctx.Done() != nil {
+		cancel = &congest.CancelFlag{}
+		stop := congest.WatchContext(ctx, cancel)
+		defer stop()
+	}
 	if s.computeHook != nil {
 		return s.computeHook(req, fp, prior)
 	}
@@ -480,6 +623,7 @@ func (s *Service) compute(req *Request, fp graph.Fingerprint, prior *entry) (*Re
 			Shards:        s.cfg.Shards,
 			Parallel:      s.cfg.Parallel,
 			Pipelined:     req.Pipelined,
+			Cancel:        cancel,
 		}
 		if req.Algo == AlgoEven {
 			res, err := core.DetectEvenCycle(req.Graph, req.K, opt)
@@ -508,6 +652,7 @@ func (s *Service) compute(req *Request, fp graph.Fingerprint, prior *entry) (*Re
 			Shards:        s.cfg.Shards,
 			Parallel:      s.cfg.Parallel,
 			SeedProb:      1,
+			Cancel:        cancel,
 		})
 		if err != nil {
 			return nil, false, err
@@ -524,6 +669,7 @@ func (s *Service) compute(req *Request, fp graph.Fingerprint, prior *entry) (*Re
 			Threshold: req.Threshold,
 			Workers:   s.cfg.Workers,
 			Shards:    s.cfg.Shards,
+			Cancel:    cancel,
 		})
 		if err != nil {
 			return nil, false, err
@@ -621,25 +767,33 @@ func (s *Service) Stats() Stats {
 	solo, fused := s.soloSessions.Load(), s.fusedSessions.Load()
 	batches := s.batchesFormed.Load()
 	st := Stats{
-		Requests:       s.requests.Load(),
-		Hits:           s.hits.Load(),
-		Coalesced:      s.coalesced.Load(),
-		Amplified:      s.amplified.Load(),
-		Computed:       s.computed.Load(),
-		Errors:         s.errors.Load(),
-		Rejected:       s.rejected.Load(),
-		EngineSessions: solo + fused,
-		FusedSessions:  fused,
-		SoloSessions:   solo,
-		FusedRequests:  s.fusedRequests.Load(),
-		BatchesFormed:  batches,
-		MaxBatchSize:   s.maxBatchSize.Load(),
-		CacheEntries:   entries,
-		InFlight:       s.gate.InUse(),
-		Queued:         s.gate.Waiting(),
+		Requests:         s.requests.Load(),
+		Hits:             s.hits.Load(),
+		Coalesced:        s.coalesced.Load(),
+		Amplified:        s.amplified.Load(),
+		Computed:         s.computed.Load(),
+		Errors:           s.errors.Load(),
+		Rejected:         s.rejected.Load(),
+		Shed:             s.shed.Load(),
+		DeadlineExceeded: s.deadlineExceeded.Load(),
+		Cancelled:        s.cancelled.Load(),
+		Panics:           s.panics.Load(),
+		MeanSessionMS:    float64(s.meanSessionNs.Load()) / 1e6,
+		EngineSessions:   solo + fused,
+		FusedSessions:    fused,
+		SoloSessions:     solo,
+		FusedRequests:    s.fusedRequests.Load(),
+		BatchesFormed:    batches,
+		MaxBatchSize:     s.maxBatchSize.Load(),
+		CacheEntries:     entries,
+		InFlight:         s.gate.InUse(),
+		Queued:           s.gate.Waiting(),
 	}
 	if batches > 0 {
 		st.MeanBatchSize = float64(s.batchSizeSum.Load()) / float64(batches)
+	}
+	if s.batcher != nil {
+		st.BatchesSkipped = s.batcher.Skipped()
 	}
 	return st
 }

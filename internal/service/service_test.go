@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -405,8 +406,8 @@ func TestContextCancelWhileQueued(t *testing.T) {
 	}()
 	waitUntil(t, func() bool { return svc.Stats().Queued == 1 })
 	cancel()
-	if err := <-errc; err != context.Canceled {
-		t.Fatalf("canceled request returned %v", err)
+	if err := <-errc; !errors.Is(err, ErrCancelled) {
+		t.Fatalf("canceled request returned %v, want ErrCancelled", err)
 	}
 	close(release)
 	wg.Wait()

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -28,6 +29,12 @@ type WireRequest struct {
 	Threshold  int     `json:"threshold,omitempty"`
 	Eps        float64 `json:"eps,omitempty"`
 	Pipelined  bool    `json:"pipelined,omitempty"`
+	// DeadlineMS bounds the request's total service time in
+	// milliseconds (queue wait included); 0 adopts the server default,
+	// and the server's -max-deadline caps any value. Expiry returns 408;
+	// a request shed because its deadline cannot cover the estimated
+	// queue wait returns 429.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // wireIsolatedSlack is the flat number of declared-but-untouched vertices
@@ -87,6 +94,9 @@ func (s *Service) Resolve(wr *WireRequest, defaultIterations int) (*Request, err
 	if iters == 0 && algo.randomized() {
 		iters = defaultIterations
 	}
+	if wr.DeadlineMS < 0 {
+		return nil, fmt.Errorf("service: negative deadline_ms %d", wr.DeadlineMS)
+	}
 	return &Request{
 		Graph:      g,
 		Algo:       algo,
@@ -96,5 +106,6 @@ func (s *Service) Resolve(wr *WireRequest, defaultIterations int) (*Request, err
 		Threshold:  wr.Threshold,
 		Eps:        wr.Eps,
 		Pipelined:  wr.Pipelined,
+		Deadline:   time.Duration(wr.DeadlineMS) * time.Millisecond,
 	}, nil
 }
