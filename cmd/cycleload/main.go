@@ -49,6 +49,16 @@
 // client-side after D (the 499 domain, exercising cooperative engine
 // cancellation under live load).
 //
+// Retry policy (-retries N, HTTP mode only): 429 and 503 are the
+// server's explicit safe-to-retry pushback, so with N > 0 the client
+// retries them up to N times, sleeping the server's Retry-After hint
+// when one is sent and otherwise an exponential backoff (25ms doubling,
+// capped by -max-backoff), both with ±25% jitter so synchronized
+// clients don't re-arrive in lockstep. A request that failed first and
+// then succeeded counts as "2xx_retried" in totals.by_class — visibly
+// distinct from clean "2xx", so a run that leaned on retries can't
+// masquerade as one that didn't.
+//
 // The chaos mode (-chaos, requires -direct -inline) is the robustness
 // acceptance harness: it replays the workload fault-free to capture
 // reference response bodies, arms the -fault specs (or a default storm
@@ -70,6 +80,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"slices"
@@ -140,6 +151,11 @@ type LoadConfig struct {
 	// ClientTimeoutMS (the 499 domain).
 	ClientTimeoutMS int64   `json:"client_timeout_ms,omitempty"`
 	TimeoutFrac     float64 `json:"timeout_frac,omitempty"`
+	// Retries is how many times a 429/503 is retried (HTTP mode;
+	// Retry-After honored, exponential backoff otherwise, capped at
+	// MaxBackoffMS). 0 = fail immediately, the pre-retry behavior.
+	Retries      int   `json:"retries,omitempty"`
+	MaxBackoffMS int64 `json:"max_backoff_ms,omitempty"`
 	// Faults echoes the armed fault-injection specs of a chaos run.
 	Faults []string `json:"faults,omitempty"`
 }
@@ -214,7 +230,10 @@ type sample struct {
 	batch  int // engine batch size for computed requests (X-Evencycle-Batch)
 	name   string
 	class  string // outcome class (see LoadTotals.ByClass)
-	body   []byte
+	// retryAfter is the server's Retry-After hint on a 429/503, if any —
+	// the sleep the retry loop prefers over its own backoff schedule.
+	retryAfter time.Duration
+	body       []byte
 	// resp holds the unserialized response in -direct mode; the body is
 	// marshaled after the timed run so serialization isn't billed to the
 	// service.
@@ -247,6 +266,8 @@ func run() error {
 	batch := flag.Int("batch", 0, "with -direct: max fused batch size (0 = service default, 1 = disable)")
 	batchLinger := flag.Duration("batch-linger", 0, "with -direct: batch linger window (0 = service default)")
 	deadlineMS := flag.Int64("deadline-ms", 0, "per-request deadline in ms (0 = none); expiry is the 408 class, shedding the 429 class")
+	retries := flag.Int("retries", 0, "retry 429/503 responses up to this many times, honoring Retry-After (HTTP mode; 0 = never)")
+	maxBackoff := flag.Duration("max-backoff", 2*time.Second, "cap on the per-retry backoff sleep")
 	clientTimeout := flag.Duration("timeout", 0, "client-side abandonment: give up on injected requests after this long (0 = never)")
 	timeoutFrac := flag.Float64("timeout-frac", 0, "fraction of requests that get the -timeout abandonment (0 = none)")
 	chaos := flag.Bool("chaos", false, "chaos acceptance mode (requires -direct -inline): fault-free reference replay, then a fault-injected replay gated on the failure-domain invariants")
@@ -304,6 +325,11 @@ func run() error {
 		DeadlineMS:      *deadlineMS,
 		ClientTimeoutMS: clientTimeout.Milliseconds(),
 		TimeoutFrac:     *timeoutFrac,
+		Retries:         *retries,
+		MaxBackoffMS:    maxBackoff.Milliseconds(),
+	}
+	if *retries > 0 && *direct {
+		return fmt.Errorf("-retries only applies over HTTP; -direct failures carry typed errors, not statuses")
 	}
 	fmt.Fprintf(os.Stderr, "load: %d requests, %d clients, %d distinct graphs, algo=%s k=%d\n",
 		*requests, *clients, len(names), *algo, *k)
@@ -499,7 +525,8 @@ func httpRun(addr string, gs []*graph.Graph, names []string, cfg LoadConfig) (*L
 			ctx, cancel = context.WithTimeout(ctx, time.Duration(cfg.ClientTimeoutMS)*time.Millisecond)
 			defer cancel()
 		}
-		return oneRequest(ctx, client, addr, bodies[i%len(names)], names[i%len(names)])
+		return oneRequestRetry(ctx, client, addr, bodies[i%len(names)], names[i%len(names)],
+			cfg.Retries, time.Duration(cfg.MaxBackoffMS)*time.Millisecond)
 	})
 	rec := summarize(samples, elapsed)
 	rec.Target = addr
@@ -871,8 +898,12 @@ func oneRequest(ctx context.Context, client *http.Client, addr string, body []by
 		return sample{ns: ns, name: name, class: class, err: err}
 	}
 	if resp.StatusCode != http.StatusOK {
-		return sample{ns: ns, name: name, class: strconv.Itoa(resp.StatusCode),
+		s := sample{ns: ns, name: name, class: strconv.Itoa(resp.StatusCode),
 			err: fmt.Errorf("%s: %s", resp.Status, payload)}
+		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec >= 0 {
+			s.retryAfter = time.Duration(sec) * time.Second
+		}
+		return s
 	}
 	batch, _ := strconv.Atoi(resp.Header.Get("X-Evencycle-Batch"))
 	return sample{
@@ -883,6 +914,50 @@ func oneRequest(ctx context.Context, client *http.Client, addr string, body []by
 		class:  "2xx",
 		body:   payload,
 	}
+}
+
+// retryable reports whether a response class is worth re-sending: 429
+// (shed / deadline-cannot-cover-queue) and 503 (draining, store failure)
+// are explicit back-off-and-come-back signals. Everything else — 4xx
+// request defects, 408 deadline expiry, network errors mid-body — either
+// will not improve on resend or may have committed server-side work.
+func retryable(class string) bool {
+	return class == "429" || class == "503"
+}
+
+// oneRequestRetry wraps oneRequest with a bounded retry loop for
+// back-pressure responses. The sleep between attempts prefers the
+// server's Retry-After hint when one came back, otherwise an exponential
+// schedule starting at 25ms; either way it is capped at maxBackoff and
+// jittered ±25% so a fleet of shed clients does not re-converge on the
+// same instant. A request that succeeds after at least one retry is
+// classed "2xx_retried" so summaries separate clean admissions from
+// recovered ones; the reported latency covers only the final attempt
+// (queueing delay the client chose to insert is not service latency).
+func oneRequestRetry(ctx context.Context, client *http.Client, addr string, body []byte, name string, retries int, maxBackoff time.Duration) sample {
+	s := oneRequest(ctx, client, addr, body, name)
+	backoff := 25 * time.Millisecond
+	for attempt := 0; attempt < retries && retryable(s.class); attempt++ {
+		sleep := backoff
+		if s.retryAfter > 0 {
+			sleep = s.retryAfter
+		}
+		if maxBackoff > 0 && sleep > maxBackoff {
+			sleep = maxBackoff
+		}
+		sleep = time.Duration(float64(sleep) * (0.75 + 0.5*rand.Float64()))
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return s
+		}
+		backoff *= 2
+		s = oneRequest(ctx, client, addr, body, name)
+		if s.class == "2xx" {
+			s.class = "2xx_retried"
+		}
+	}
+	return s
 }
 
 func summarize(samples []sample, elapsed time.Duration) *LoadRecord {

@@ -25,17 +25,39 @@
 //	GET  /v1/jobs/{id}  → job status, including the verdict once done.
 //	GET  /v1/jobs/{id}/witness → just the witness cycle of a done job.
 //	GET  /v1/corpus     → the registered named graphs with fingerprints.
+//	POST /v1/corpus/{name}        create a corpus graph: {"graph":{"n":N,
+//	                    "edges":[[u,v],...]}} or {"spec":"planted:...","seed":S}
+//	                    → 201 with {name,n,m,fingerprint}; 409 if the name
+//	                    is taken.
+//	POST /v1/corpus/{name}/edges  append edges: {"edges":[[u,v],...]} →
+//	                    200 with the new {name,n,m,fingerprint}; the old
+//	                    graph value is untouched (copy-on-write), so
+//	                    in-flight detections and cached verdicts stay valid.
+//	DELETE /v1/corpus/{name}      remove the graph → 200; 404 if unknown.
 //	GET  /v1/stats      → request/hit/coalesce/amplify/engine-session counters,
 //	                    plus the failure-domain counters (shed, deadline_exceeded,
 //	                    cancelled, panics, batches_skipped, mean_session_ms).
+//	GET  /v1/store      → durable-store counters (graphs, last_seq, wal_bytes,
+//	                    appended, compactions, recovered, torn_tail); 404
+//	                    when the server runs without -data-dir.
 //	GET  /healthz       → {"ok":true} once the corpus is built;
 //	                    {"ok":false,"draining":true} with 503 during shutdown.
+//
+// Durability: with -data-dir every corpus mutation is journaled to a
+// checksummed WAL (fsynced before the response when -fsync=true, the
+// default) and compacted into a snapshot past -compact-threshold bytes;
+// on boot the corpus is recovered — snapshot plus journal replay, torn
+// tail truncated with a logged warning, mid-file corruption refusing to
+// start — BEFORE the listener opens, so a 200 from this server means the
+// state survives kill -9. Without -data-dir mutations are memory-only
+// and vanish on restart.
 //
 // Error taxonomy (see internal/service and docs/ARCHITECTURE.md,
 // "Failure domains & request lifecycle"):
 //
 //	400  malformed request (bad algo, bad graph, negative deadline)
 //	404  unknown corpus name or job id
+//	409  corpus create for a name that is already registered
 //	408  the request's deadline (deadline_ms, or -deadline default,
 //	     capped by -max-deadline) expired before or during detection
 //	429  load shed: the admission queue is full, or the estimated queue
@@ -79,6 +101,7 @@ import (
 	"repro/internal/faultpoint"
 	"repro/internal/graph"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // listFlag collects repeated string flags (-corpus name=spec, -fault spec).
@@ -116,6 +139,9 @@ func run() error {
 	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (response write bound; bounds handler time for synchronous detects)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	maxHeaderBytes := flag.Int("max-header-bytes", 1<<20, "http.Server MaxHeaderBytes")
+	dataDir := flag.String("data-dir", "", "durable corpus directory (WAL + snapshot); empty = memory-only corpus")
+	fsync := flag.Bool("fsync", true, "fsync the corpus journal before acknowledging a mutation (power-loss durability; -data-dir only)")
+	compactThreshold := flag.Int64("compact-threshold", 0, "journal bytes that trigger snapshot compaction (0 = default 4MiB, negative = never; -data-dir only)")
 	var corpus, faults listFlag
 	flag.Var(&corpus, "corpus", "named corpus graph as name=spec (repeatable); specs:\n"+graph.SpecHelp)
 	flag.Var(&faults, "fault", "arm a fault-injection point as point:every=N[:limit=M][:delay=D] (repeatable; chaos testing only)")
@@ -132,6 +158,27 @@ func run() error {
 	if par == 0 {
 		par = -1
 	}
+
+	// Durable boot: the corpus store is recovered BEFORE the service is
+	// built and the listener opens — a failed recovery (mid-file
+	// corruption) refuses to start rather than serve a corpus that
+	// silently disagrees with past acknowledgments.
+	var persist *store.Store
+	if *dataDir != "" {
+		var err error
+		persist, err = store.Open(*dataDir, store.Options{
+			Fsync:            *fsync,
+			CompactThreshold: *compactThreshold,
+		})
+		if err != nil {
+			return fmt.Errorf("opening corpus store %s: %w", *dataDir, err)
+		}
+		defer persist.Close()
+		s := persist.Stats()
+		log.Printf("corpus store %s: %d graphs recovered (seq %d, %d journal records replayed, torn_tail=%v, fsync=%v)",
+			*dataDir, s.Graphs, s.LastSeq, s.Recovered, s.TornTail, *fsync)
+	}
+
 	svc := service.New(service.Config{
 		Slots:           *slots,
 		MaxQueue:        *queue,
@@ -142,6 +189,7 @@ func run() error {
 		BatchLinger:     *batchLinger,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
+		Persist:         persist,
 	})
 	for _, entry := range corpus {
 		name, spec, ok := strings.Cut(entry, "=")
@@ -152,25 +200,28 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("-corpus %q: %w", entry, err)
 		}
+		if have, ok := svc.NamedGraph(name); ok {
+			// The durable store already holds this name (recovered from a
+			// previous run). Same structure: the flag is satisfied. Different
+			// structure: refusing to start beats silently serving one or the
+			// other under a name both claim.
+			if have.Fingerprint() == g.Fingerprint() {
+				log.Printf("corpus %s: already durable (fp=%s), -corpus spec skipped", name, g.Fingerprint())
+				continue
+			}
+			return fmt.Errorf("-corpus %q: durable store already holds %q with fingerprint %s, spec builds %s — rename one",
+				entry, name, have.Fingerprint(), g.Fingerprint())
+		}
 		if err := svc.RegisterGraph(name, g); err != nil {
 			return err
 		}
 		log.Printf("corpus %s: %s (n=%d m=%d fp=%s)", name, spec, g.NumNodes(), g.NumEdges(), g.Fingerprint())
 	}
 
-	srv := &server{svc: svc, defaultIterations: *iterations}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", srv.handleHealth)
-	mux.HandleFunc("GET /v1/stats", srv.handleStats)
-	mux.HandleFunc("GET /v1/corpus", srv.handleCorpus)
-	mux.HandleFunc("POST /v1/detect", srv.handleDetect)
-	mux.HandleFunc("POST /v1/jobs", srv.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", srv.handleJob)
-	mux.HandleFunc("GET /v1/jobs/{id}/witness", srv.handleWitness)
-
+	srv := &server{svc: svc, store: persist, defaultIterations: *iterations}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.admit(mux),
+		Handler:           srv.routes(),
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,
@@ -208,12 +259,35 @@ func run() error {
 }
 
 type server struct {
-	svc               *service.Service
+	svc *service.Service
+	// store is the durable corpus store behind the service, nil without
+	// -data-dir; the handler layer only reads its stats (mutations go
+	// through the service).
+	store             *store.Store
 	defaultIterations int
 	// draining flips once on SIGTERM/SIGINT: admission stops (503 +
 	// Retry-After), healthz reports draining so load balancers pull the
 	// instance, and in-flight work runs to completion.
 	draining atomic.Bool
+}
+
+// routes builds the full handler tree — every endpoint behind the admit
+// middleware. Extracted from run so the HTTP tests drive the real
+// routing table.
+func (srv *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", srv.handleHealth)
+	mux.HandleFunc("GET /v1/stats", srv.handleStats)
+	mux.HandleFunc("GET /v1/store", srv.handleStore)
+	mux.HandleFunc("GET /v1/corpus", srv.handleCorpus)
+	mux.HandleFunc("POST /v1/corpus/{name}", srv.handleCorpusCreate)
+	mux.HandleFunc("POST /v1/corpus/{name}/edges", srv.handleCorpusAddEdges)
+	mux.HandleFunc("DELETE /v1/corpus/{name}", srv.handleCorpusDelete)
+	mux.HandleFunc("POST /v1/detect", srv.handleDetect)
+	mux.HandleFunc("POST /v1/jobs", srv.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", srv.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/witness", srv.handleWitness)
+	return srv.admit(mux)
 }
 
 // admit is the outermost middleware: once the server is draining, every
@@ -246,6 +320,10 @@ func statusFor(err error) int {
 		return statusClientClosedRequest
 	case errors.Is(err, service.ErrInternal):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, service.ErrDuplicateCorpus):
+		return http.StatusConflict
+	case errors.Is(err, service.ErrUnknownCorpus):
+		return http.StatusNotFound
 	default:
 		return http.StatusBadRequest
 	}
@@ -274,11 +352,7 @@ func (srv *server) decodeRequest(w http.ResponseWriter, r *http.Request) (*servi
 	}
 	req, err := srv.svc.Resolve(&wire, srv.defaultIterations)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, service.ErrUnknownCorpus) {
-			status = http.StatusNotFound
-		}
-		writeJSON(w, status, apiError{err.Error()})
+		writeJSON(w, statusFor(err), apiError{err.Error()})
 		return nil, false
 	}
 	return req, true
@@ -370,6 +444,98 @@ func (srv *server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// corpusEntryFor renders one corpus graph for mutation responses.
+func corpusEntryFor(name string, g *graph.Graph) corpusEntry {
+	return corpusEntry{Name: name, N: g.NumNodes(), M: g.NumEdges(), Fingerprint: g.Fingerprint().String()}
+}
+
+// wireCorpusCreate is the body of POST /v1/corpus/{name}: an inline
+// edge list, or a generator spec with its seed — exactly one.
+type wireCorpusCreate struct {
+	Graph *service.WireGraph `json:"graph,omitempty"`
+	Spec  string             `json:"spec,omitempty"`
+	Seed  uint64             `json:"seed,omitempty"`
+}
+
+func (srv *server) handleCorpusCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var body wireCorpusCreate
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	var g *graph.Graph
+	var err error
+	switch {
+	case body.Graph != nil && body.Spec != "":
+		writeJSON(w, http.StatusBadRequest, apiError{"request ships both an inline graph and a spec — pick one"})
+		return
+	case body.Graph != nil:
+		g, err = body.Graph.Build()
+	case body.Spec != "":
+		g, err = graph.FromSpec(body.Spec, body.Seed)
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{"request has neither graph nor spec"})
+		return
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	if err := srv.svc.CreateCorpus(name, g); err != nil {
+		writeJSON(w, statusFor(err), apiError{err.Error()})
+		return
+	}
+	// The 201 is the durability acknowledgment: with -data-dir the
+	// mutation is journaled (and fsynced under -fsync) before this line.
+	writeJSON(w, http.StatusCreated, corpusEntryFor(name, g))
+}
+
+// wireCorpusEdges is the body of POST /v1/corpus/{name}/edges.
+type wireCorpusEdges struct {
+	Edges [][2]graph.NodeID `json:"edges"`
+}
+
+func (srv *server) handleCorpusAddEdges(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var body wireCorpusEdges
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	if len(body.Edges) == 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{"request ships no edges"})
+		return
+	}
+	ng, err := srv.svc.AddCorpusEdges(name, body.Edges)
+	if err != nil {
+		writeJSON(w, statusFor(err), apiError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, corpusEntryFor(name, ng))
+}
+
+func (srv *server) handleCorpusDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := srv.svc.DeleteCorpus(name); err != nil {
+		writeJSON(w, statusFor(err), apiError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (srv *server) handleStore(w http.ResponseWriter, r *http.Request) {
+	if srv.store == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"server runs without -data-dir: no durable store"})
+		return
+	}
+	writeJSON(w, http.StatusOK, srv.store.Stats())
 }
 
 func (srv *server) handleHealth(w http.ResponseWriter, r *http.Request) {

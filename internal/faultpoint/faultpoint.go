@@ -2,6 +2,7 @@ package faultpoint
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -32,10 +33,29 @@ const (
 	// HandlerSlow sleeps in cycleserved's detect handler before the
 	// service is invoked, simulating a slow middlebox or handler.
 	HandlerSlow Point = "handler-slow"
+	// WALAppendTorn is the store-layer torn-write crash: mid-append, only
+	// a prefix of the framed WAL record reaches the file before the
+	// process dies hard (KillProcess — no deferred functions run).
+	// Recovery must truncate the torn tail and keep every earlier record.
+	WALAppendTorn Point = "wal-append-torn"
+	// SnapshotRenameCrash kills the process during snapshot compaction,
+	// after the temporary snapshot file is durable but before the atomic
+	// rename installs it. Recovery must ignore the leftover temp file and
+	// replay the intact snapshot+journal pair.
+	SnapshotRenameCrash Point = "snapshot-rename-crash"
+	// FsyncFail makes the store's fsync return an injected error instead
+	// of crashing: the mutation must NOT be acknowledged, and the store
+	// must refuse further writes until reopened (after a failed fsync the
+	// kernel may have dropped the dirty pages, so nothing later can be
+	// trusted to be durable).
+	FsyncFail Point = "fsync-fail"
 )
 
 // Points is the injection-point catalog, in documentation order.
-var Points = []Point{DetectorPanic, BatchLeaderCrash, RoundStall, HandlerSlow}
+var Points = []Point{
+	DetectorPanic, BatchLeaderCrash, RoundStall, HandlerSlow,
+	WALAppendTorn, SnapshotRenameCrash, FsyncFail,
+}
 
 // arm is the active configuration of one point.
 type arm struct {
@@ -174,6 +194,28 @@ func Fire(p Point) bool {
 func Crash(p Point) {
 	if Fire(p) {
 		panic(fmt.Sprintf("faultpoint: injected %s", p))
+	}
+}
+
+// KillExitCode is the exit status of KillProcess: 137, the status a
+// SIGKILLed process reports, so crash harnesses can tell an injected
+// hard crash from an ordinary test failure.
+const KillExitCode = 137
+
+// KillProcess terminates the process immediately with KillExitCode. No
+// deferred functions, no buffered-writer flushes, no connection
+// teardown: the in-process equivalent of kill -9, used by store crash
+// sites after they have staged their torn on-disk state.
+func KillProcess() {
+	os.Exit(KillExitCode)
+}
+
+// Kill hard-kills the process (KillProcess) when p fires. Sites that
+// must stage partial state first (e.g. a torn write) call Fire and
+// KillProcess themselves.
+func Kill(p Point) {
+	if Fire(p) {
+		KillProcess()
 	}
 }
 

@@ -160,6 +160,34 @@ func FromEdges(n int, edges [][2]NodeID) *Graph {
 	return b.Build()
 }
 
+// WithEdges returns a new graph equal to g plus the given undirected
+// edges. Duplicates (of existing or new edges) and self-loops are
+// dropped, and endpoints beyond the current vertex count grow the vertex
+// set, exactly as Builder.AddEdge. g itself is never modified — Graph is
+// immutable, so mutation is copy-on-write: the caller installs the
+// returned value while readers holding the old pointer keep a fully
+// consistent snapshot (and fingerprint) of the pre-mutation graph.
+// Negative endpoints or endpoints beyond MaxReadNodes are rejected.
+func (g *Graph) WithEdges(edges [][2]NodeID) (*Graph, error) {
+	for i, e := range edges {
+		if e[0] < 0 || e[1] < 0 || int(e[0]) > MaxReadNodes || int(e[1]) > MaxReadNodes {
+			return nil, fmt.Errorf("graph: added edge %d has endpoint out of range: [%d,%d]", i, e[0], e[1])
+		}
+	}
+	b := NewBuilderCap(g.NumNodes(), g.NumEdges()+len(edges))
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build(), nil
+}
+
 // InducedSubgraph returns the subgraph induced by the vertices with
 // keep[v] == true, together with the mapping from new IDs to original IDs.
 func (g *Graph) InducedSubgraph(keep []bool) (*Graph, []NodeID) {

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +15,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/lowprob"
 	"repro/internal/sched"
+	"repro/internal/store"
 )
 
 // Algo names a detector family servable by the Service.
@@ -160,6 +160,13 @@ type Config struct {
 	// against any deadline already on the caller's context.
 	DefaultDeadline time.Duration
 	MaxDeadline     time.Duration
+	// Persist, when set, is the durable corpus store backing the mutation
+	// API: New preloads the recovered corpus from it, and CreateCorpus /
+	// AddCorpusEdges / DeleteCorpus journal through it before a mutation
+	// becomes visible. Nil keeps the corpus memory-only. The Service takes
+	// over mutation of the store but not its lifecycle: the owner still
+	// closes it after the service drains.
+	Persist *store.Store
 }
 
 // ErrOverloaded is returned when the admission queue is full. It wraps
@@ -288,6 +295,16 @@ func New(cfg Config) *Service {
 		cache:    newLRU(cfg.CacheEntries),
 		inflight: make(map[cacheKey]*call),
 		corpus:   make(map[string]*graph.Graph),
+	}
+	if cfg.Persist != nil {
+		// Preload the recovered durable corpus: every graph acknowledged
+		// before the last shutdown or crash is servable before the first
+		// request arrives.
+		for _, name := range cfg.Persist.Names() {
+			if g, ok := cfg.Persist.Get(name); ok {
+				s.corpus[name] = g
+			}
+		}
 	}
 	if cfg.BatchSize > 1 {
 		s.batcher = &sched.Batcher[compatKey, *fuseItem, fuseOut]{
@@ -717,41 +734,6 @@ func accumulatePrior(resp, p *Response) {
 	resp.MaxCongestion = max(resp.MaxCongestion, p.MaxCongestion)
 	resp.Overflowed = resp.Overflowed || p.Overflowed
 	resp.Iterations += p.Iterations
-}
-
-// RegisterGraph adds a named graph to the corpus registry. Registering an
-// existing name fails.
-func (s *Service) RegisterGraph(name string, g *graph.Graph) error {
-	if name == "" || g == nil {
-		return fmt.Errorf("service: corpus entries need a name and a graph")
-	}
-	s.corpusMu.Lock()
-	defer s.corpusMu.Unlock()
-	if _, dup := s.corpus[name]; dup {
-		return fmt.Errorf("service: corpus graph %q already registered", name)
-	}
-	s.corpus[name] = g
-	return nil
-}
-
-// NamedGraph resolves a corpus name.
-func (s *Service) NamedGraph(name string) (*graph.Graph, bool) {
-	s.corpusMu.RLock()
-	defer s.corpusMu.RUnlock()
-	g, ok := s.corpus[name]
-	return g, ok
-}
-
-// GraphNames returns the sorted corpus names.
-func (s *Service) GraphNames() []string {
-	s.corpusMu.RLock()
-	defer s.corpusMu.RUnlock()
-	names := make([]string, 0, len(s.corpus))
-	for name := range s.corpus {
-		names = append(names, name)
-	}
-	slices.Sort(names)
-	return names
 }
 
 // Config returns the service configuration with defaults resolved.

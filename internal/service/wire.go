@@ -64,6 +64,18 @@ func (wg *WireGraph) validate() error {
 	return nil
 }
 
+// Build validates the wire graph and builds the canonical immutable CSR
+// from it — the one constructor every inline graph on the API goes
+// through, whether for a detection request or a durable corpus create
+// (which is what keeps recovered fingerprints byte-equal to the ones
+// acknowledged at create time).
+func (wg *WireGraph) Build() (*graph.Graph, error) {
+	if err := wg.validate(); err != nil {
+		return nil, err
+	}
+	return graph.FromEdges(wg.N, wg.Edges), nil
+}
+
 // Resolve converts a wire request into a service Request: the algo name
 // is parsed, the graph is resolved against the corpus registry or built
 // from the inline edge list, and a zero trial budget takes
@@ -83,10 +95,9 @@ func (s *Service) Resolve(wr *WireRequest, defaultIterations int) (*Request, err
 			return nil, fmt.Errorf("%w: %q (see /v1/corpus)", ErrUnknownCorpus, wr.Corpus)
 		}
 	case wr.Graph != nil:
-		if err := wr.Graph.validate(); err != nil {
+		if g, err = wr.Graph.Build(); err != nil {
 			return nil, err
 		}
-		g = graph.FromEdges(wr.Graph.N, wr.Graph.Edges)
 	default:
 		return nil, fmt.Errorf("service: request has neither corpus nor graph")
 	}

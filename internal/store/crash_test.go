@@ -1,0 +1,261 @@
+package store
+
+// Crash-recovery matrix: a helper process runs a deterministic mutation
+// script against a real store with a faultpoint armed, printing "ack i"
+// after each acknowledged mutation, until the injected fault kills it
+// hard (exit 137 — no deferred functions, the in-process kill -9). The
+// parent then reopens the directory and asserts the recovered corpus is
+// fingerprint-identical to an in-memory reference replay of the
+// acknowledged prefix — allowing exactly one unacknowledged trailing
+// mutation, which is durable-but-unacked when the crash lands between
+// the journal append and the ack (e.g. inside the compaction a mutation
+// triggered).
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/faultpoint"
+	"repro/internal/graph"
+)
+
+// scriptOp is one step of the deterministic mutation script shared by
+// the helper process and the parent's reference replay.
+type scriptOp struct {
+	op    opKind
+	name  string
+	n     int
+	edges [][2]graph.NodeID
+}
+
+const scriptLen = 60
+
+// crashScript generates the deterministic script: a mix of creates,
+// edge appends and deletes over a small set of names, always valid at
+// the point it is applied.
+func crashScript() []scriptOp {
+	rng := rand.New(rand.NewSource(20240807))
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	size := map[string]int{}
+	ops := make([]scriptOp, 0, scriptLen)
+	for len(ops) < scriptLen {
+		name := names[rng.Intn(len(names))]
+		n, exists := size[name]
+		switch {
+		case !exists:
+			n = 12 + rng.Intn(30)
+			edges := randEdges(rng, n, 2*n)
+			ops = append(ops, scriptOp{op: opCreate, name: name, n: n, edges: edges})
+			size[name] = n
+		case rng.Intn(6) == 0:
+			ops = append(ops, scriptOp{op: opDelete, name: name})
+			delete(size, name)
+		default:
+			ops = append(ops, scriptOp{op: opAddEdges, name: name, edges: randEdges(rng, n, 4+rng.Intn(12))})
+		}
+	}
+	return ops
+}
+
+func randEdges(rng *rand.Rand, n, m int) [][2]graph.NodeID {
+	edges := make([][2]graph.NodeID, m)
+	for i := range edges {
+		edges[i] = [2]graph.NodeID{graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))}
+	}
+	return edges
+}
+
+// replayScript builds the reference corpus for the first count script
+// ops, through the exact same applyRecord path recovery uses.
+func replayScript(t *testing.T, count int) map[string]*graph.Graph {
+	t.Helper()
+	graphs := map[string]*graph.Graph{}
+	for i, op := range crashScript()[:count] {
+		rec := &record{seq: uint64(i + 1), op: op.op, name: op.name, n: op.n, edges: op.edges}
+		if err := applyRecord(graphs, rec); err != nil {
+			t.Fatalf("reference replay op %d: %v", i, err)
+		}
+	}
+	return graphs
+}
+
+func statesEqual(a, b map[string]*graph.Graph) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for name, ga := range a {
+		gb, ok := b[name]
+		if !ok || ga.Fingerprint() != gb.Fingerprint() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCrashHelper is the subprocess body, inert unless dispatched by
+// TestCrashRecoveryMatrix through the environment.
+func TestCrashHelper(t *testing.T) {
+	if os.Getenv("STORE_CRASH_HELPER") != "1" {
+		t.Skip("helper process for TestCrashRecoveryMatrix")
+	}
+	faultpoint.Reset()
+	if spec := os.Getenv("STORE_CRASH_FAULT"); spec != "" {
+		if err := faultpoint.Set(spec); err != nil {
+			fmt.Printf("helper: bad fault spec: %v\n", err)
+			os.Exit(3)
+		}
+	}
+	threshold := int64(-1)
+	if v := os.Getenv("STORE_CRASH_COMPACT"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			os.Exit(3)
+		}
+		threshold = n
+	}
+	st, err := Open(os.Getenv("STORE_CRASH_DIR"), Options{
+		Fsync:            true,
+		CompactThreshold: threshold,
+		Logf:             func(string, ...any) {},
+	})
+	if err != nil {
+		fmt.Printf("helper: open: %v\n", err)
+		os.Exit(3)
+	}
+	for i, op := range crashScript() {
+		var err error
+		switch op.op {
+		case opCreate:
+			err = st.Create(op.name, graph.FromEdges(op.n, op.edges))
+		case opAddEdges:
+			_, err = st.AddEdges(op.name, op.edges)
+		case opDelete:
+			err = st.Delete(op.name)
+		}
+		if err != nil {
+			fmt.Printf("helper: op %d: %v\n", i, err)
+			os.Exit(3)
+		}
+		fmt.Printf("ack %d\n", i)
+	}
+	st.Close()
+	fmt.Println("done")
+}
+
+// runCrashHelper executes the script subprocess and returns the number
+// of acknowledged ops and whether it finished the whole script.
+func runCrashHelper(t *testing.T, dir, fault string, compact int64) (acked int, done bool) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashHelper$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"STORE_CRASH_HELPER=1",
+		"STORE_CRASH_DIR="+dir,
+		"STORE_CRASH_FAULT="+fault,
+		fmt.Sprintf("STORE_CRASH_COMPACT=%d", compact),
+	)
+	out, err := cmd.Output()
+	acked = -1
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	for sc.Scan() {
+		line := sc.Text()
+		if n, ok := strings.CutPrefix(line, "ack "); ok {
+			i, perr := strconv.Atoi(n)
+			if perr != nil || i != acked+1 {
+				t.Fatalf("helper ack stream out of order at %q (after %d)", line, acked)
+			}
+			acked = i
+		}
+		if line == "done" {
+			done = true
+		}
+	}
+	acked++ // count, not index
+	if done {
+		if err != nil {
+			t.Fatalf("helper finished but exited with error: %v\n%s", err, out)
+		}
+		return acked, true
+	}
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != faultpoint.KillExitCode {
+		t.Fatalf("helper died without the injected kill (err = %v, want exit %d)\n%s",
+			err, faultpoint.KillExitCode, out)
+	}
+	return acked, false
+}
+
+func TestCrashRecoveryMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash matrix skipped in -short")
+	}
+	cases := []struct {
+		name     string
+		fault    string
+		compact  int64 // helper's compaction threshold (-1: disabled)
+		wantTorn bool
+	}{
+		// Torn journal append at several script depths: recovery must
+		// truncate the half-written frame and keep every acknowledged op.
+		{"torn-append-first", "wal-append-torn:every=1:limit=1", -1, true},
+		{"torn-append-early", "wal-append-torn:every=7:limit=1", -1, true},
+		{"torn-append-late", "wal-append-torn:every=41:limit=1", -1, true},
+		// Torn append AFTER snapshot compactions have happened: recovery
+		// stitches snapshot + short journal + truncation together.
+		{"torn-append-after-compaction", "wal-append-torn:every=50:limit=1", 2048, true},
+		// Hard kill between the durable temp snapshot and its rename:
+		// the temp file is discarded, snapshot+journal replay as if the
+		// compaction never started.
+		{"snapshot-rename-crash", "snapshot-rename-crash:every=1:limit=1", 2048, false},
+		// Same, but a LATER compaction: the first one completed and
+		// truncated the journal, so recovery also proves completed
+		// compactions survive.
+		{"snapshot-rename-crash-late", "snapshot-rename-crash:every=2:limit=1", 512, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			acked, done := runCrashHelper(t, dir, tc.fault, tc.compact)
+			if done {
+				t.Fatalf("fault %s never fired: helper completed all %d ops", tc.fault, scriptLen)
+			}
+			var logged []string
+			st, err := Open(dir, quietOpts(&logged))
+			if err != nil {
+				t.Fatalf("recovery after %s (%d acked): %v", tc.fault, acked, err)
+			}
+			defer st.Close()
+
+			recovered := map[string]*graph.Graph{}
+			for _, name := range st.Names() {
+				g, _ := st.Get(name)
+				recovered[name] = g
+			}
+			// The recovered corpus must equal the reference replay of the
+			// acknowledged prefix — or of one extra op, when the crash landed
+			// after the journal append but before the ack (compaction crashes
+			// sit exactly there).
+			switch {
+			case statesEqual(recovered, replayScript(t, acked)):
+			case acked < scriptLen && statesEqual(recovered, replayScript(t, acked+1)):
+			default:
+				t.Fatalf("%s: recovered corpus matches neither %d nor %d acknowledged ops (names: %v)",
+					tc.fault, acked, acked+1, st.Names())
+			}
+			if s := st.Stats(); s.TornTail != tc.wantTorn {
+				t.Fatalf("stats = %+v, want TornTail=%v\nlog: %s", s, tc.wantTorn, strings.Join(logged, "\n"))
+			}
+
+			// And the recovered store must accept new durable mutations.
+			if err := st.Create("post-crash", testGraph(10, 2, 5)); err != nil {
+				t.Fatalf("recovered store refuses mutations: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,38 @@
+// Package store implements the crash-safe persistent corpus: a named
+// collection of immutable graphs whose every mutation (create,
+// add-edges, delete) is made durable in a checksummed append-only
+// journal before it is acknowledged, with periodic snapshot compaction
+// and recovery that replays snapshot + journal on open.
+//
+// # On-disk layout
+//
+// A store directory holds at most three files:
+//
+//	corpus.wal       append-only journal: 8-byte magic, then CRC-framed
+//	                 mutation records
+//	corpus.snap      compacted snapshot: 8-byte magic, framed header
+//	                 (version, last covered sequence number, graph
+//	                 count), then one framed full-graph record per entry
+//	corpus.snap.tmp  an in-progress snapshot; never read, removed on Open
+//
+// Every frame is [u32 LE payload length][u32 LE CRC-32C][payload]; the
+// payloads are uvarint-packed records (see record.go).
+//
+// # Recovery policy
+//
+// Open loads the snapshot, then replays every journal record whose
+// sequence number the snapshot does not already cover. A torn journal
+// TAIL — a final frame whose bytes or checksum never fully reached the
+// disk — is the expected residue of a crash mid-append: the lost suffix
+// was never acknowledged, so it is truncated away with a logged
+// warning. Damage anywhere ELSE (a mid-file checksum mismatch, an
+// absurd length prefix with intact data after it, any snapshot decode
+// failure) sits under acknowledged state and is never silently
+// repaired: Open fails with an error wrapping ErrCorrupt.
+//
+// Because recovery rebuilds graphs with the exact canonical
+// constructors the live mutation path uses (graph.FromEdges,
+// Graph.WithEdges), a recovered corpus is bit-identical to the
+// acknowledged one — equal graph fingerprints, which is what the crash
+// tests in this package assert at every injected kill site.
+package store

@@ -1,0 +1,121 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"slices"
+
+	"repro/internal/graph"
+)
+
+// snapshotVersion is the header version of the snapshot payload layout.
+const snapshotVersion = 1
+
+// writeSnapshotFile writes the full corpus state to path (the temporary
+// snapshot file): the snapshot magic, a framed header payload
+// (version, lastSeq, graph count — all uvarint), then one framed graph
+// record per corpus entry in sorted name order. The file is fsynced via
+// sync before close; the caller performs the atomic rename. Torn writes
+// are not a concern here — the file only becomes the snapshot after the
+// rename — so recovery treats ANY snapshot decode failure as ErrCorrupt.
+func writeSnapshotFile(path string, lastSeq uint64, graphs map[string]*graph.Graph, sync func(*os.File) error) (err error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(path)
+		}
+	}()
+
+	names := make([]string, 0, len(graphs))
+	for name := range graphs {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+
+	var buf []byte
+	header := binary.AppendUvarint(nil, snapshotVersion)
+	header = binary.AppendUvarint(header, lastSeq)
+	header = binary.AppendUvarint(header, uint64(len(names)))
+	buf = append(buf, snapMagic[:]...)
+	buf = appendFrame(buf, header)
+	if _, err := f.Write(buf); err != nil {
+		return err
+	}
+	for _, name := range names {
+		g := graphs[name]
+		rec := record{op: opCreate, name: name, n: g.NumNodes(), edges: g.Edges()}
+		buf = appendFrame(buf[:0], rec.encode(nil))
+		if _, err := f.Write(buf); err != nil {
+			return err
+		}
+	}
+	return sync(f)
+}
+
+// loadSnapshotFile reads the snapshot at path back into a corpus map and
+// the sequence number it covers. A missing file is an empty corpus at
+// seq 0 (first boot). Anything short of a perfectly formed snapshot —
+// bad magic, torn frame, CRC mismatch, wrong graph count, trailing
+// bytes — is ErrCorrupt: the atomic-rename protocol guarantees a
+// snapshot is either absent or complete, so a broken one means the disk
+// lied and replaying the journal on top of it would build a corpus that
+// silently disagrees with every acknowledgment we ever sent.
+func loadSnapshotFile(path string) (map[string]*graph.Graph, uint64, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return map[string]*graph.Graph{}, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) < magicLen || [magicLen]byte(data[:magicLen]) != snapMagic {
+		return nil, 0, fmt.Errorf("%w: snapshot %s: bad magic", ErrCorrupt, path)
+	}
+	payloads, _, torn, err := scanFrames(data[magicLen:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	if torn {
+		return nil, 0, fmt.Errorf("%w: snapshot %s: truncated frame (snapshots are atomic; a torn one is corruption)", ErrCorrupt, path)
+	}
+	if len(payloads) == 0 {
+		return nil, 0, fmt.Errorf("%w: snapshot %s: missing header frame", ErrCorrupt, path)
+	}
+	d := recDecoder{p: payloads[0]}
+	version := d.uvarint("snapshot version")
+	lastSeq := d.uvarint("snapshot last seq")
+	count := d.uvarint("snapshot graph count")
+	if d.err != nil {
+		return nil, 0, fmt.Errorf("%w: snapshot %s: header: %v", ErrCorrupt, path, d.err)
+	}
+	if version != snapshotVersion {
+		return nil, 0, fmt.Errorf("%w: snapshot %s: unknown version %d", ErrCorrupt, path, version)
+	}
+	if uint64(len(payloads)-1) != count {
+		return nil, 0, fmt.Errorf("%w: snapshot %s: header declares %d graphs, file holds %d",
+			ErrCorrupt, path, count, len(payloads)-1)
+	}
+	graphs := make(map[string]*graph.Graph, count)
+	for _, p := range payloads[1:] {
+		rec, err := decodeRecord(p)
+		if err != nil {
+			return nil, 0, fmt.Errorf("snapshot %s: %w", path, err)
+		}
+		if rec.op != opCreate {
+			return nil, 0, fmt.Errorf("%w: snapshot %s: unexpected op %d in graph record", ErrCorrupt, path, rec.op)
+		}
+		if _, dup := graphs[rec.name]; dup {
+			return nil, 0, fmt.Errorf("%w: snapshot %s: duplicate graph %q", ErrCorrupt, path, rec.name)
+		}
+		graphs[rec.name] = graph.FromEdges(rec.n, rec.edges)
+	}
+	return graphs, lastSeq, nil
+}
