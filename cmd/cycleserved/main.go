@@ -28,7 +28,10 @@
 //	POST /v1/corpus/{name}        create a corpus graph: {"graph":{"n":N,
 //	                    "edges":[[u,v],...]}} or {"spec":"planted:...","seed":S}
 //	                    → 201 with {name,n,m,fingerprint}; 409 if the name
-//	                    is taken.
+//	                    is taken. Remote specs are restricted to pure
+//	                    generator kinds (file: is refused — it reads
+//	                    server-side paths) and size-bounded; the -corpus
+//	                    flag keeps the full spec language.
 //	POST /v1/corpus/{name}/edges  append edges: {"edges":[[u,v],...]} →
 //	                    200 with the new {name,n,m,fingerprint}; the old
 //	                    graph value is untouched (copy-on-write), so
@@ -49,8 +52,12 @@
 // on boot the corpus is recovered — snapshot plus journal replay, torn
 // tail truncated with a logged warning, mid-file corruption refusing to
 // start — BEFORE the listener opens, so a 200 from this server means the
-// state survives kill -9. Without -data-dir mutations are memory-only
-// and vanish on restart.
+// state survives kill -9. -corpus flag graphs are persisted into the
+// store at first boot (so they are mutable and deletable over the API
+// like any other graph); on later boots the durable value wins over the
+// spec. Mutations whose graph would not fit a single durable record
+// (~64 MiB encoded) are refused with 400 before anything is written.
+// Without -data-dir mutations are memory-only and vanish on restart.
 //
 // Error taxonomy (see internal/service and docs/ARCHITECTURE.md,
 // "Failure domains & request lifecycle"):
@@ -191,31 +198,8 @@ func run() error {
 		MaxDeadline:     *maxDeadline,
 		Persist:         persist,
 	})
-	for _, entry := range corpus {
-		name, spec, ok := strings.Cut(entry, "=")
-		if !ok {
-			return fmt.Errorf("-corpus %q: want name=spec", entry)
-		}
-		g, err := graph.FromSpec(spec, *corpusSeed)
-		if err != nil {
-			return fmt.Errorf("-corpus %q: %w", entry, err)
-		}
-		if have, ok := svc.NamedGraph(name); ok {
-			// The durable store already holds this name (recovered from a
-			// previous run). Same structure: the flag is satisfied. Different
-			// structure: refusing to start beats silently serving one or the
-			// other under a name both claim.
-			if have.Fingerprint() == g.Fingerprint() {
-				log.Printf("corpus %s: already durable (fp=%s), -corpus spec skipped", name, g.Fingerprint())
-				continue
-			}
-			return fmt.Errorf("-corpus %q: durable store already holds %q with fingerprint %s, spec builds %s — rename one",
-				entry, name, have.Fingerprint(), g.Fingerprint())
-		}
-		if err := svc.RegisterGraph(name, g); err != nil {
-			return err
-		}
-		log.Printf("corpus %s: %s (n=%d m=%d fp=%s)", name, spec, g.NumNodes(), g.NumEdges(), g.Fingerprint())
+	if err := seedCorpus(svc, persist != nil, corpus, *corpusSeed); err != nil {
+		return err
 	}
 
 	srv := &server{svc: svc, store: persist, defaultIterations: *iterations}
@@ -256,6 +240,51 @@ func run() error {
 		log.Printf("cycleserved drained; exiting")
 		return nil
 	}
+}
+
+// seedCorpus realizes the -corpus name=spec flags into the service. With
+// a durable store behind the service (durable = true) the seeded graphs
+// are PERSISTED — created through the WAL exactly like API mutations —
+// so they can be edge-appended and deleted over the API like any other
+// corpus graph. A name the store already holds is left alone: durable
+// state (which may have been mutated over the API since the graph was
+// first seeded) wins over the spec, with a warning when the structures
+// differ. Memory-only servers register the graphs in the in-memory map.
+func seedCorpus(svc *service.Service, durable bool, corpus []string, seed uint64) error {
+	for _, entry := range corpus {
+		name, spec, ok := strings.Cut(entry, "=")
+		if !ok {
+			return fmt.Errorf("-corpus %q: want name=spec", entry)
+		}
+		g, err := graph.FromSpec(spec, seed)
+		if err != nil {
+			return fmt.Errorf("-corpus %q: %w", entry, err)
+		}
+		if have, ok := svc.NamedGraph(name); ok {
+			// The durable store already holds this name from a previous run.
+			// Same structure: the flag is satisfied. Different structure: the
+			// store's value is (or descends from) acknowledged state — API
+			// mutations since the first boot — and re-applying the spec would
+			// silently undo it, so the durable value wins, loudly.
+			if have.Fingerprint() == g.Fingerprint() {
+				log.Printf("corpus %s: already durable (fp=%s), -corpus spec skipped", name, g.Fingerprint())
+			} else {
+				log.Printf("WARNING: corpus %s: durable store holds fingerprint %s, -corpus spec builds %s; durable state wins, spec skipped",
+					name, have.Fingerprint(), g.Fingerprint())
+			}
+			continue
+		}
+		if durable {
+			err = svc.CreateCorpus(name, g)
+		} else {
+			err = svc.RegisterGraph(name, g)
+		}
+		if err != nil {
+			return fmt.Errorf("-corpus %q: %w", entry, err)
+		}
+		log.Printf("corpus %s: %s (n=%d m=%d fp=%s)", name, spec, g.NumNodes(), g.NumEdges(), g.Fingerprint())
+	}
+	return nil
 }
 
 type server struct {
@@ -459,6 +488,36 @@ type wireCorpusCreate struct {
 	Seed  uint64             `json:"seed,omitempty"`
 }
 
+// Remote generation bounds: a client-supplied spec runs a generator ON
+// THE SERVER, so the create handler bounds the declared output size
+// before any generation work starts. Independent of (and tighter than)
+// the durable store's per-record frame cap, which still applies to the
+// built graph.
+const (
+	maxRemoteSpecNodes = 4 << 20
+	maxRemoteSpecEdges = 8 << 20
+)
+
+// checkRemoteSpec admits a generator spec supplied by an HTTP client:
+// pure-generator kinds only — file: would make the server read an
+// arbitrary server-side path as an edge list — and declared sizes inside
+// the remote-generation bounds. Operators keep the full spec language
+// (file: included, no size bound) through the -corpus flag.
+func checkRemoteSpec(spec string) error {
+	kind, n, m, err := graph.SpecCost(spec)
+	if err != nil {
+		return err
+	}
+	if kind == "file" {
+		return errors.New("file: specs are not accepted over the API (they read server-side paths); send the graph inline or use the -corpus flag")
+	}
+	if n < 0 || m < 0 || n > maxRemoteSpecNodes || m > maxRemoteSpecEdges {
+		return fmt.Errorf("spec %q declares n=%d m=%d, outside the remote-generation bounds (0 ≤ n ≤ %d, 0 ≤ m ≤ %d); use the -corpus flag for larger graphs",
+			spec, n, m, maxRemoteSpecNodes, maxRemoteSpecEdges)
+	}
+	return nil
+}
+
 func (srv *server) handleCorpusCreate(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var body wireCorpusCreate
@@ -477,6 +536,10 @@ func (srv *server) handleCorpusCreate(w http.ResponseWriter, r *http.Request) {
 	case body.Graph != nil:
 		g, err = body.Graph.Build()
 	case body.Spec != "":
+		if err := checkRemoteSpec(body.Spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+			return
+		}
 		g, err = graph.FromSpec(body.Spec, body.Seed)
 	default:
 		writeJSON(w, http.StatusBadRequest, apiError{"request has neither graph nor spec"})

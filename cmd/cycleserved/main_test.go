@@ -53,6 +53,11 @@ func TestCorpusMutationEndpoints(t *testing.T) {
 		{"create-unknown-field", "POST", "/v1/corpus/junk", `{"grap":{"n":2}}`, 400},
 		{"create-malformed-json", "POST", "/v1/corpus/junk", `{"graph":`, 400},
 		{"create-absurd-n", "POST", "/v1/corpus/huge", `{"graph":{"n":134000000,"edges":[[0,1]]}}`, 400},
+		{"create-file-spec", "POST", "/v1/corpus/lfi", `{"spec":"file:/etc/hostname"}`, 400},
+		{"create-oversize-spec", "POST", "/v1/corpus/big", `{"spec":"gnm:20000000:60000000"}`, 400},
+		{"create-overflow-spec", "POST", "/v1/corpus/wrap", `{"spec":"pg:4000000000"}`, 400},
+		{"create-negative-spec", "POST", "/v1/corpus/neg", `{"spec":"gnm:-5:-10"}`, 400},
+		{"create-long-name", "POST", "/v1/corpus/" + strings.Repeat("n", 513), `{"graph":{"n":2,"edges":[[0,1]]}}`, 400},
 		{"add-edges", "POST", "/v1/corpus/ring/edges", `{"edges":[[0,3],[1,4]]}`, 200},
 		{"add-edges-unknown", "POST", "/v1/corpus/ghost/edges", `{"edges":[[0,1]]}`, 404},
 		{"add-edges-empty", "POST", "/v1/corpus/ring/edges", `{"edges":[]}`, 400},
@@ -161,5 +166,53 @@ func TestDurableMutationsSurviveReopen(t *testing.T) {
 	// And the recovered graph serves detections.
 	if rr := do(t, h2, "POST", "/v1/detect", `{"algo":"det","k":2,"corpus":"ring"}`); rr.Code != 200 {
 		t.Fatalf("detect on recovered corpus → %d: %s", rr.Code, rr.Body)
+	}
+}
+
+// TestFlagSeededCorpusIsDurablyMutable proves -corpus seeding composes
+// with -data-dir: seeded graphs are persisted at boot, so the API can
+// append edges to and delete them (they are real store entries, not
+// memory-only registrations that 404 on mutation), and after a restart
+// the durable — possibly mutated — value wins over the spec.
+func TestFlagSeededCorpusIsDurablyMutable(t *testing.T) {
+	dir := t.TempDir()
+	srv, persist := newTestServer(t, dir)
+	entries := []string{"seeded=planted:64:3:1.5", "doomed=gnm:32:40"}
+	if err := seedCorpus(srv.svc, true, entries, 7); err != nil {
+		t.Fatal(err)
+	}
+	h := srv.routes()
+
+	rr := do(t, h, "POST", "/v1/corpus/seeded/edges", `{"edges":[[0,9],[1,8]]}`)
+	if rr.Code != 200 {
+		t.Fatalf("add-edges on flag-seeded graph → %d: %s", rr.Code, rr.Body)
+	}
+	var mutated corpusEntry
+	if err := json.Unmarshal(rr.Body.Bytes(), &mutated); err != nil {
+		t.Fatal(err)
+	}
+	if rr := do(t, h, "DELETE", "/v1/corpus/doomed", ""); rr.Code != 200 {
+		t.Fatalf("delete of flag-seeded graph → %d: %s", rr.Code, rr.Body)
+	}
+	persist.Close()
+
+	// Restart with the same flags. "seeded" keeps its mutated durable
+	// value (the spec is skipped with a warning); "doomed" is gone from
+	// the store, so the flag re-seeds it — the flag means "ensure this
+	// name exists", and durable state wins only where it exists.
+	srv2, _ := newTestServer(t, dir)
+	if err := seedCorpus(srv2.svc, true, entries, 7); err != nil {
+		t.Fatalf("re-seeding after restart: %v", err)
+	}
+	g, ok := srv2.svc.NamedGraph("seeded")
+	if !ok {
+		t.Fatal("seeded graph lost across restart")
+	}
+	if g.Fingerprint().String() != mutated.Fingerprint {
+		t.Fatalf("recovered seeded graph fp = %s, want mutated %s (durable state must win over the spec)",
+			g.Fingerprint(), mutated.Fingerprint)
+	}
+	if _, ok := srv2.svc.NamedGraph("doomed"); !ok {
+		t.Fatal("deleted flag graph was not re-seeded on the next boot")
 	}
 }

@@ -1,0 +1,58 @@
+package graph
+
+import "testing"
+
+// TestSpecCost pins the admission-control estimates: kind parsing, the
+// n/m upper bounds against what the generator actually builds, and the
+// error paths a server relies on to reject garbage before generating.
+func TestSpecCost(t *testing.T) {
+	good := []struct {
+		spec string
+		kind string
+		n, m int
+	}{
+		{"gnm:100:300", "gnm", 100, 300},
+		{"highgirth:200:260:6", "highgirth", 200, 260},
+		{"pg:3", "pg", 26, 52}, // p = 13 points, 13 lines of 4 points each
+		{"file:/tmp/edges.txt", "file", 0, 0},
+		{"file:C:\\edges.txt", "file", 0, 0}, // colons in the path survive
+	}
+	for _, c := range good {
+		kind, n, m, err := SpecCost(c.spec)
+		if err != nil {
+			t.Fatalf("SpecCost(%q): %v", c.spec, err)
+		}
+		if kind != c.kind || n != c.n || m != c.m {
+			t.Fatalf("SpecCost(%q) = (%s, %d, %d), want (%s, %d, %d)", c.spec, kind, n, m, c.kind, c.n, c.m)
+		}
+	}
+
+	// For generator kinds the estimate must be an UPPER bound on what
+	// FromSpec actually builds — that is the property admission control
+	// leans on.
+	for _, spec := range []string{"gnm:100:300", "planted:100:4:1.5", "heavy:100:4:10", "highgirth:200:260:6", "pg:3"} {
+		_, n, m, err := SpecCost(spec)
+		if err != nil {
+			t.Fatalf("SpecCost(%q): %v", spec, err)
+		}
+		g, err := FromSpec(spec, 7)
+		if err != nil {
+			t.Fatalf("FromSpec(%q): %v", spec, err)
+		}
+		if g.NumNodes() > n || g.NumEdges() > m {
+			t.Fatalf("spec %q built n=%d m=%d, over the SpecCost estimate (%d, %d)",
+				spec, g.NumNodes(), g.NumEdges(), n, m)
+		}
+	}
+
+	// Saturated, not overflowed: a q big enough that q² wraps int64.
+	if _, n, m, err := SpecCost("pg:4000000000"); err != nil || n < 0 || m < 0 {
+		t.Fatalf("SpecCost(pg:4e9) = (n=%d, m=%d, err=%v), want saturated non-negative costs", n, m, err)
+	}
+
+	for _, bad := range []string{"nonsense:1:2", "gnm:100", "gnm:a:b", "planted:100:4:xyz", "file"} {
+		if _, _, _, err := SpecCost(bad); err == nil {
+			t.Fatalf("SpecCost(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -14,14 +14,31 @@ import (
 // to 409 Conflict.
 var ErrDuplicateCorpus = errors.New("service: corpus graph already registered")
 
+// checkCorpusName validates a corpus name identically with and without a
+// persistent store behind the service: empty and over-long names are a
+// client error (→ 400) in both modes, never a store-layer internal
+// failure (→ 503). The length cap is the store's on-disk record bound.
+func checkCorpusName(name string) error {
+	if name == "" {
+		return errors.New("service: corpus name must not be empty")
+	}
+	if len(name) > store.MaxNameLen {
+		return fmt.Errorf("service: corpus name is %d bytes (max %d)", len(name), store.MaxNameLen)
+	}
+	return nil
+}
+
 // RegisterGraph adds a named graph to the in-memory corpus registry
 // WITHOUT persisting it — the boot-time seeding path for graphs whose
 // durable source of truth lives elsewhere (generator specs, files).
 // Registering an existing name fails with ErrDuplicateCorpus. Use
 // CreateCorpus for mutations that must survive a crash.
 func (s *Service) RegisterGraph(name string, g *graph.Graph) error {
-	if name == "" || g == nil {
-		return fmt.Errorf("service: corpus entries need a name and a graph")
+	if err := checkCorpusName(name); err != nil {
+		return err
+	}
+	if g == nil {
+		return fmt.Errorf("service: corpus entries need a graph")
 	}
 	s.corpusMu.Lock()
 	defer s.corpusMu.Unlock()
@@ -36,8 +53,11 @@ func (s *Service) RegisterGraph(name string, g *graph.Graph) error {
 // persistent store (when Config.Persist is set) before it becomes
 // visible to requests. ErrDuplicateCorpus if the name is taken.
 func (s *Service) CreateCorpus(name string, g *graph.Graph) error {
-	if name == "" || g == nil {
-		return fmt.Errorf("service: corpus entries need a name and a graph")
+	if err := checkCorpusName(name); err != nil {
+		return err
+	}
+	if g == nil {
+		return fmt.Errorf("service: corpus entries need a graph")
 	}
 	s.corpusMu.Lock()
 	defer s.corpusMu.Unlock()
@@ -100,15 +120,19 @@ func (s *Service) DeleteCorpus(name string) error {
 }
 
 // storeErr maps persistent-store errors into the service taxonomy:
-// name-level conflicts to their corpus sentinels, everything else — I/O
-// failures, a poisoned store — to ErrInternal (→ 503, retry after the
-// operator intervenes).
+// name-level conflicts to their corpus sentinels, size-cap rejections to
+// a plain client error, everything else — I/O failures, a poisoned
+// store — to ErrInternal (→ 503, retry after the operator intervenes).
 func (s *Service) storeErr(op, name string, err error) error {
 	switch {
 	case errors.Is(err, store.ErrExists):
 		return fmt.Errorf("%w: %q", ErrDuplicateCorpus, name)
 	case errors.Is(err, store.ErrNotFound):
 		return fmt.Errorf("%w: %q", ErrUnknownCorpus, name)
+	case errors.Is(err, store.ErrTooLarge):
+		// The client asked for a graph the durable format cannot hold:
+		// their request to fix (400), not an internal failure (503).
+		return fmt.Errorf("service: corpus %s %q: %v", op, name, err)
 	default:
 		return fmt.Errorf("%w: corpus %s %q: %v", ErrInternal, op, name, err)
 	}

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// TestCorpusNameValidation holds the name rules at the service layer, so
+// a malformed name is the same client error with and without a
+// persistent store behind the service — never a store-layer 503.
+func TestCorpusNameValidation(t *testing.T) {
+	s := New(Config{Slots: 1, BatchSize: 1}) // memory-only: the strictest proof of parity
+	g := corpusTestGraph(10, 1)
+
+	long := strings.Repeat("n", store.MaxNameLen+1)
+	for _, fn := range []struct {
+		label string
+		call  func(name string) error
+	}{
+		{"CreateCorpus", func(name string) error { return s.CreateCorpus(name, g) }},
+		{"RegisterGraph", func(name string) error { return s.RegisterGraph(name, g) }},
+	} {
+		if err := fn.call(""); err == nil {
+			t.Fatalf("%s with empty name succeeded", fn.label)
+		}
+		err := fn.call(long)
+		if err == nil {
+			t.Fatalf("%s with %d-byte name succeeded", fn.label, len(long))
+		}
+		// A bad name is the client's to fix: it must NOT read as internal.
+		if errors.Is(err, ErrInternal) {
+			t.Fatalf("%s long-name error %v wraps ErrInternal (would map to 503, want 400)", fn.label, err)
+		}
+	}
+	// The boundary itself is fine.
+	if err := s.CreateCorpus(strings.Repeat("n", store.MaxNameLen), g); err != nil {
+		t.Fatalf("CreateCorpus with max-length name: %v", err)
+	}
+}
+
+// TestStoreErrTaxonomy pins the storeErr mapping: name conflicts to the
+// corpus sentinels, size-cap rejections to a plain (400-class) error,
+// and everything else to ErrInternal.
+func TestStoreErrTaxonomy(t *testing.T) {
+	s := New(Config{Slots: 1, BatchSize: 1})
+	cases := []struct {
+		in       error
+		wants    error // sentinel the mapped error must wrap, nil = none of the taxonomy
+		internal bool
+	}{
+		{store.ErrExists, ErrDuplicateCorpus, false},
+		{store.ErrNotFound, ErrUnknownCorpus, false},
+		{store.ErrTooLarge, nil, false},
+		{store.ErrFailed, nil, true},
+		{errors.New("disk on fire"), nil, true},
+	}
+	for _, c := range cases {
+		got := s.storeErr("create", "g", c.in)
+		if c.wants != nil && !errors.Is(got, c.wants) {
+			t.Fatalf("storeErr(%v) = %v, want wrapping %v", c.in, got, c.wants)
+		}
+		if errors.Is(got, ErrInternal) != c.internal {
+			t.Fatalf("storeErr(%v) = %v, internal = %v, want %v", c.in, got, errors.Is(got, ErrInternal), c.internal)
+		}
+	}
+}

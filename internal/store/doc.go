@@ -16,7 +16,12 @@
 //	corpus.snap.tmp  an in-progress snapshot; never read, removed on Open
 //
 // Every frame is [u32 LE payload length][u32 LE CRC-32C][payload]; the
-// payloads are uvarint-packed records (see record.go).
+// payloads are uvarint-packed records (see record.go). The frame cap
+// recovery enforces on length prefixes is also enforced at write time:
+// a mutation whose record — or whose merged graph's future snapshot
+// record — would exceed it is refused with ErrTooLarge before anything
+// is written, so the store never acknowledges state that recovery would
+// later have to reject.
 //
 // # Recovery policy
 //

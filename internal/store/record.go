@@ -22,10 +22,11 @@ const (
 	opDelete opKind = 3
 )
 
-// maxNameLen bounds corpus names in records — long enough for any
+// MaxNameLen bounds corpus names in records — long enough for any
 // operational naming scheme, small enough that a corrupted length can
-// never drive a giant allocation.
-const maxNameLen = 512
+// never drive a giant allocation. Exported so the service layer can
+// reject over-long names as a client error before they reach the store.
+const MaxNameLen = 512
 
 // record is one decoded corpus mutation. The payload layout (all values
 // uvarint unless noted) is:
@@ -63,6 +64,39 @@ func (r *record) encode(buf []byte) []byte {
 	return buf
 }
 
+// size returns the exact encoded payload length of the record without
+// materializing it — the write-side half of the frame-cap contract
+// (see maxRecordPayload). It walks the edge list but allocates nothing,
+// so mutation paths can price a record before committing to encode it.
+func (r *record) size() int {
+	n := uvarintLen(r.seq) + 1 + uvarintLen(uint64(len(r.name))) + len(r.name)
+	switch r.op {
+	case opCreate:
+		n += uvarintLen(uint64(r.n)) + edgesSize(r.edges)
+	case opAddEdges:
+		n += edgesSize(r.edges)
+	}
+	return n
+}
+
+func edgesSize(edges [][2]graph.NodeID) int {
+	n := uvarintLen(uint64(len(edges)))
+	for _, e := range edges {
+		n += uvarintLen(uint64(uint32(e[0]))) + uvarintLen(uint64(uint32(e[1])))
+	}
+	return n
+}
+
+// uvarintLen is the byte length binary.AppendUvarint would use for v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
 func appendEdges(buf []byte, edges [][2]graph.NodeID) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(edges)))
 	for _, e := range edges {
@@ -81,8 +115,8 @@ func decodeRecord(p []byte) (*record, error) {
 	r.seq = d.uvarint("seq")
 	r.op = opKind(d.byte("op"))
 	nameLen := d.uvarint("name length")
-	if d.err == nil && nameLen > maxNameLen {
-		d.fail(fmt.Errorf("name length %d exceeds %d", nameLen, maxNameLen))
+	if d.err == nil && nameLen > MaxNameLen {
+		d.fail(fmt.Errorf("name length %d exceeds %d", nameLen, MaxNameLen))
 	}
 	r.name = string(d.bytes(int(nameLen), "name"))
 	switch r.op {

@@ -52,7 +52,16 @@ func writeSnapshotFile(path string, lastSeq uint64, graphs map[string]*graph.Gra
 	for _, name := range names {
 		g := graphs[name]
 		rec := record{op: opCreate, name: name, n: g.NumNodes(), edges: g.Edges()}
-		buf = appendFrame(buf[:0], rec.encode(nil))
+		payload := rec.encode(nil)
+		if len(payload) > maxRecordPayload {
+			// The mutation paths enforce this cap before acknowledging, so
+			// reaching it here means a bug upstream; failing the compaction
+			// (journal stays authoritative) beats writing a snapshot that
+			// loadSnapshotFile would refuse as corrupt.
+			return fmt.Errorf("%w: graph %q snapshot record encodes to %d bytes (cap %d)",
+				ErrTooLarge, name, len(payload), maxRecordPayload)
+		}
+		buf = appendFrame(buf[:0], payload)
 		if _, err := f.Write(buf); err != nil {
 			return err
 		}

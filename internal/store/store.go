@@ -27,6 +27,12 @@ var (
 	ErrExists = errors.New("store: graph already exists")
 	// ErrNotFound is returned by AddEdges/Delete for an unknown name.
 	ErrNotFound = errors.New("store: unknown graph")
+	// ErrTooLarge rejects a mutation whose journal record — or whose
+	// resulting graph's compaction-time snapshot record — would exceed
+	// the on-disk frame cap. Enforced BEFORE anything is written, so the
+	// store never acknowledges state that recovery would later refuse as
+	// corrupt; the mutation simply fails and the store stays usable.
+	ErrTooLarge = errors.New("store: graph too large for durable storage")
 	// ErrFailed poisons a store whose journal write or fsync failed: the
 	// on-disk suffix is unknowable, so every later mutation is refused
 	// until the store is reopened (recovery truncates any torn tail).
@@ -296,8 +302,8 @@ func (st *Store) Names() []string {
 // Create durably installs a new named graph. ErrExists if the name is
 // taken.
 func (st *Store) Create(name string, g *graph.Graph) error {
-	if name == "" || len(name) > maxNameLen || g == nil {
-		return fmt.Errorf("store: create needs a name (≤ %d bytes) and a graph", maxNameLen)
+	if name == "" || len(name) > MaxNameLen || g == nil {
+		return fmt.Errorf("store: create needs a name (≤ %d bytes) and a graph", MaxNameLen)
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -307,7 +313,13 @@ func (st *Store) Create(name string, g *graph.Graph) error {
 	if _, dup := st.graphs[name]; dup {
 		return fmt.Errorf("%w: %q", ErrExists, name)
 	}
+	// The create record carries the full graph, and its snapshot record
+	// (same fields, seq 0) can only be smaller — one size check covers
+	// both the journal frame and every future compaction.
 	rec := record{seq: st.seq + 1, op: opCreate, name: name, n: g.NumNodes(), edges: g.Edges()}
+	if s := rec.size(); s > maxRecordPayload {
+		return fmt.Errorf("%w: %q: create record encodes to %d bytes (cap %d)", ErrTooLarge, name, s, maxRecordPayload)
+	}
 	if err := st.appendLocked(&rec); err != nil {
 		return err
 	}
@@ -334,6 +346,17 @@ func (st *Store) AddEdges(name string, edges [][2]graph.NodeID) (*graph.Graph, e
 		return nil, err
 	}
 	rec := record{seq: st.seq + 1, op: opAddEdges, name: name, edges: edges}
+	if s := rec.size(); s > maxRecordPayload {
+		return nil, fmt.Errorf("%w: %q: add-edges record encodes to %d bytes (cap %d)", ErrTooLarge, name, s, maxRecordPayload)
+	}
+	// The delta record may be tiny while the merged graph has outgrown
+	// what one snapshot record can hold — price the whole graph as
+	// compaction will have to write it, or the acknowledged state would
+	// become un-snapshottable.
+	snap := record{op: opCreate, name: name, n: ng.NumNodes(), edges: ng.Edges()}
+	if s := snap.size(); s > maxRecordPayload {
+		return nil, fmt.Errorf("%w: %q: graph would encode to a %d-byte snapshot record (cap %d)", ErrTooLarge, name, s, maxRecordPayload)
+	}
 	if err := st.appendLocked(&rec); err != nil {
 		return nil, err
 	}
@@ -378,6 +401,12 @@ func (st *Store) usable() error {
 // store — the journal's on-disk suffix is unknowable after one.
 func (st *Store) appendLocked(rec *record) error {
 	st.payload = rec.encode(st.payload[:0])
+	if len(st.payload) > maxRecordPayload {
+		// Callers size-check first; this backstop keeps any future
+		// mutation path from journaling a frame recovery must reject.
+		// Nothing has been written, so the store is NOT poisoned.
+		return fmt.Errorf("%w: record encodes to %d bytes (cap %d)", ErrTooLarge, len(st.payload), maxRecordPayload)
+	}
 	st.scratch = appendFrame(st.scratch[:0], st.payload)
 	frame := st.scratch
 	if faultpoint.Enabled() && faultpoint.Fire(faultpoint.WALAppendTorn) {

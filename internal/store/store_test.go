@@ -535,3 +535,111 @@ func TestFsyncFailurePoisonsStore(t *testing.T) {
 		t.Fatalf("reopened store refuses mutations: %v", err)
 	}
 }
+
+// TestRecordSizeCapEnforcedAtWriteTime proves the write-side half of the
+// frame-cap contract: a mutation whose journal record — or whose merged
+// graph's future snapshot record — would exceed the cap is refused with
+// ErrTooLarge BEFORE anything reaches disk. The store stays usable, no
+// over-cap frame is ever journaled, and a reopen recovers exactly the
+// acknowledged (in-cap) state. (Without this, an acknowledged oversize
+// graph would make the next Open fail ErrCorrupt — durable state lost.)
+func TestRecordSizeCapEnforcedAtWriteTime(t *testing.T) {
+	old := maxRecordPayload
+	maxRecordPayload = 256
+	defer func() { maxRecordPayload = old }()
+
+	dir := t.TempDir()
+	st, err := Open(dir, quietOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A graph whose create record blows the lowered cap outright.
+	if err := st.Create("huge", testGraph(200, 4, 1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize Create: err = %v, want ErrTooLarge", err)
+	}
+	// The rejection poisoned nothing: a small create still works.
+	small := testGraph(12, 2, 2)
+	if err := st.Create("ok", small); err != nil {
+		t.Fatalf("small Create after rejection: %v", err)
+	}
+	want := map[string]*graph.Graph{"ok": small}
+
+	// Grow "ok" by small deltas: each add-edges record is tiny, but the
+	// merged graph's snapshot record must keep fitting — eventually an
+	// append is refused even though its own delta is well under the cap.
+	var rejected bool
+	for i := 0; i < 100 && !rejected; i++ {
+		edges := make([][2]graph.NodeID, 4)
+		for j := range edges {
+			edges[j] = [2]graph.NodeID{graph.NodeID(100 + 8*i + 2*j), graph.NodeID(101 + 8*i + 2*j)}
+		}
+		before, _ := st.Get("ok")
+		ng, err := st.AddEdges("ok", edges)
+		switch {
+		case err == nil:
+			want["ok"] = ng
+		case errors.Is(err, ErrTooLarge):
+			rejected = true
+			// The refused mutation must not have half-applied.
+			after, _ := st.Get("ok")
+			if after.Fingerprint() != before.Fingerprint() {
+				t.Fatal("rejected AddEdges mutated the graph")
+			}
+		default:
+			t.Fatalf("AddEdges: unexpected error %v", err)
+		}
+	}
+	if !rejected {
+		t.Fatal("growth never hit the snapshot-record cap")
+	}
+	checkState(t, st, want)
+
+	// Everything acknowledged is within the cap, so compaction and
+	// recovery both succeed and agree with the reference.
+	if err := st.Compact(); err != nil {
+		t.Fatalf("Compact over in-cap corpus: %v", err)
+	}
+	st.Close()
+	st2, err := Open(dir, quietOpts(nil))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	checkState(t, st2, want)
+}
+
+// TestSnapshotWriterRefusesOversizeRecord drives the writeSnapshotFile
+// backstop directly: if a graph somehow outgrows the cap (here: the cap
+// is lowered under an existing graph), compaction fails loudly with
+// ErrTooLarge and the journal remains authoritative — never a snapshot
+// that recovery would refuse as corrupt.
+func TestSnapshotWriterRefusesOversizeRecord(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, quietOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(50, 4, 3)
+	if err := st.Create("big", g); err != nil {
+		t.Fatal(err)
+	}
+
+	old := maxRecordPayload
+	maxRecordPayload = 16
+	defer func() { maxRecordPayload = old }()
+	if err := st.Compact(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Compact with over-cap graph: err = %v, want ErrTooLarge", err)
+	}
+	maxRecordPayload = old
+
+	// The failed compaction left no snapshot behind; the journal still
+	// recovers the full corpus.
+	st.Close()
+	st2, err := Open(dir, quietOpts(nil))
+	if err != nil {
+		t.Fatalf("reopen after failed compaction: %v", err)
+	}
+	defer st2.Close()
+	checkState(t, st2, map[string]*graph.Graph{"big": g})
+}

@@ -24,6 +24,14 @@ const (
 	magicLen = 8
 )
 
+// maxRecordPayload is the write-side twin of maxFramePayload: no journal
+// record — and no graph's compaction-time snapshot record — may encode
+// past it, enforced BEFORE anything reaches disk (ErrTooLarge), so
+// recovery can never meet a frame this store acknowledged and refuse it.
+// A variable only so tests can shrink it; it must never exceed
+// maxFramePayload, the recovery-side cap.
+var maxRecordPayload = maxFramePayload
+
 // The per-file magics. The trailing digit is the format version: bump it
 // and old files fail loudly with ErrCorrupt instead of misparsing.
 var (
