@@ -272,6 +272,8 @@ func run() error {
 	timeoutFrac := flag.Float64("timeout-frac", 0, "fraction of requests that get the -timeout abandonment (0 = none)")
 	chaos := flag.Bool("chaos", false, "chaos acceptance mode (requires -direct -inline): fault-free reference replay, then a fault-injected replay gated on the failure-domain invariants")
 	chaosTimeout := flag.Duration("chaos-timeout", 2*time.Minute, "with -chaos: watchdog bound on the fault-injected replay (a hang fails the run)")
+	mutate := flag.String("mutate", "", "mutate-then-detect mode (HTTP only): add -requests random single edges to this corpus name,\n"+
+		"detecting after each op and gating mutation lineage + served-fingerprint consistency (see mutate.go)")
 	var faults listFlag
 	flag.Var(&faults, "fault", "arm a fault-injection point as point:every=N[:limit=M][:delay=D] (repeatable; -direct/-chaos only)")
 	flag.Parse()
@@ -287,6 +289,31 @@ func run() error {
 	}
 	if len(faults) > 0 && !*direct {
 		return fmt.Errorf("-fault only applies in -direct mode; arm server-side faults via cycleserved -fault")
+	}
+	if *mutate != "" {
+		if *direct || *inline != "" {
+			return fmt.Errorf("-mutate drives a server corpus over HTTP; it composes with neither -direct nor -inline")
+		}
+		rec, err := mutateRun(*addr, *mutate, *requests, *k, *seed, *label)
+		if err != nil {
+			return err
+		}
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rec)
+		}
+		_, err = fmt.Fprintln(w, renderMutate(rec))
+		return err
 	}
 
 	// Build the request stream: corpus references, or inline graphs

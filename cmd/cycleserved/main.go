@@ -463,6 +463,17 @@ type corpusEntry struct {
 	Fingerprint string `json:"fingerprint"`
 }
 
+// mutationEntry is the mutation response: the resulting corpus entry plus
+// the parent→child lineage edge and what the warm-start path did. A Noop
+// response reports parent_fingerprint == fingerprint and nothing warmed.
+type mutationEntry struct {
+	corpusEntry
+	ParentFingerprint string `json:"parent_fingerprint"`
+	Noop              bool   `json:"noop,omitempty"`
+	WarmStarts        int    `json:"warm_starts"`
+	Fallbacks         int    `json:"fallbacks"`
+}
+
 func (srv *server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	names := srv.svc.GraphNames()
 	out := make([]corpusEntry, 0, len(names))
@@ -576,12 +587,18 @@ func (srv *server) handleCorpusAddEdges(w http.ResponseWriter, r *http.Request) 
 		writeJSON(w, http.StatusBadRequest, apiError{"request ships no edges"})
 		return
 	}
-	ng, err := srv.svc.AddCorpusEdges(name, body.Edges)
+	mut, err := srv.svc.AddCorpusEdges(name, body.Edges)
 	if err != nil {
 		writeJSON(w, statusFor(err), apiError{err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, corpusEntryFor(name, ng))
+	writeJSON(w, http.StatusOK, mutationEntry{
+		corpusEntry:       corpusEntryFor(name, mut.Graph),
+		ParentFingerprint: mut.Parent.String(),
+		Noop:              mut.Noop,
+		WarmStarts:        mut.WarmStarts,
+		Fallbacks:         mut.Fallbacks,
+	})
 }
 
 func (srv *server) handleCorpusDelete(w http.ResponseWriter, r *http.Request) {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deterministic"
 	"repro/internal/graph"
+	"repro/internal/incr"
 	"repro/internal/service"
 )
 
@@ -154,6 +155,19 @@ func measure(name string, reps int, run func() (int, int64, error)) (PerfResult,
 	return res, nil
 }
 
+// mutatePathN and mutatePathEdges pin the mutate-path instance: a simple
+// path on 3000 vertices. Girth is infinite until the chord arrives, so
+// the k=2 verdict is NotFound on both sides of the mutation.
+const mutatePathN = 3000
+
+func mutatePathEdges() [][2]graph.NodeID {
+	edges := make([][2]graph.NodeID, 0, mutatePathN-1)
+	for v := graph.NodeID(0); v < mutatePathN-1; v++ {
+		edges = append(edges, [2]graph.NodeID{v, v + 1})
+	}
+	return edges
+}
+
 func perfScenarios() ([]perfScenario, error) {
 	var scenarios []perfScenario
 	for _, sc := range DetectScenarios {
@@ -232,6 +246,52 @@ func perfScenarios() ([]perfScenario, error) {
 		// the det verdict (the measure() warm-up call), every measured op
 		// must be a pure cache hit — fingerprint + LRU lookup, no engine
 		// session. Domain cost is reported as 0: that zero IS the point.
+		// The incremental mutation path, warm vs cold, on identical work:
+		// one edge lands on a memoized n=3000 path graph (C4-free, and the
+		// {100,105} chord closes only a C6, so the k=2 verdict stays
+		// NotFound). Warm = CSR row-splice + checkpointed fingerprint
+		// resume + localized recheck of the radius-2k ball; cold = full
+		// Builder rebuild + full fingerprint pass + full deterministic
+		// detection — exactly what serving the mutation costs without the
+		// incremental machinery. The warm/cold ratio is the headline number.
+		perfScenario{"mutate-path/warm/n=3000/k=2", func() func() (int, int64, error) {
+			parent := graph.FromEdges(mutatePathN, mutatePathEdges())
+			added := [][2]graph.NodeID{{100, 105}}
+			return func() (int, int64, error) {
+				child, err := parent.WithEdges(added)
+				if err != nil {
+					return 0, 0, err
+				}
+				if child.Fingerprint().IsZero() {
+					return 0, 0, fmt.Errorf("zero fingerprint")
+				}
+				res, err := incr.Recheck(child, added, 2, incr.Options{})
+				if err != nil {
+					return 0, 0, err
+				}
+				if res.Fallback || res.Res.Found {
+					return 0, 0, fmt.Errorf("warm recheck left the fast path: %+v", res)
+				}
+				return res.Res.Rounds, res.Res.Messages, nil
+			}
+		}()},
+		perfScenario{"mutate-path/cold/n=3000/k=2", func() func() (int, int64, error) {
+			edges := append(mutatePathEdges(), [2]graph.NodeID{100, 105})
+			return func() (int, int64, error) {
+				child := graph.FromEdges(mutatePathN, edges)
+				if child.Fingerprint().IsZero() {
+					return 0, 0, fmt.Errorf("zero fingerprint")
+				}
+				res, err := deterministic.Detect(child, 2, deterministic.Options{})
+				if err != nil {
+					return 0, 0, err
+				}
+				if res.Found {
+					return 0, 0, fmt.Errorf("C4 found in a C6-girth instance")
+				}
+				return res.Rounds, res.Messages, nil
+			}
+		}()},
 		perfScenario{"service/hit-path/n=2000/k=2", func() func() (int, int64, error) {
 			svc := service.New(service.Config{Slots: 1})
 			req := &service.Request{Graph: gDet, Algo: service.AlgoDet, K: 2}

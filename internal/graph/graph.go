@@ -14,8 +14,12 @@ type NodeID = int32
 type Graph struct {
 	offsets []int32 // len n+1; row pointers into targets
 	targets []int32 // concatenated sorted adjacency lists
-	// fp memoizes Fingerprint (immutability makes the hash a constant).
-	fp atomic.Pointer[Fingerprint]
+	// fpm memoizes Fingerprint (immutability makes the hash a constant)
+	// together with its absorb-block checkpoints; fpr optionally links a
+	// spliced graph to its parent so that first computation can resume
+	// from the parent's checkpoints instead of rehashing from word zero.
+	fpm atomic.Pointer[fpMemo]
+	fpr atomic.Pointer[fpResume]
 }
 
 // NumNodes returns the number of vertices.
@@ -168,11 +172,21 @@ func FromEdges(n int, edges [][2]NodeID) *Graph {
 // returned value while readers holding the old pointer keep a fully
 // consistent snapshot (and fingerprint) of the pre-mutation graph.
 // Negative endpoints or endpoints beyond MaxReadNodes are rejected.
+//
+// When the added edges grow no vertices, the new CSR is produced by
+// splicing only the dirty rows of g's CSR (see spliceEdges) instead of
+// rebuilding through a Builder; the result is bit-identical either way
+// because the CSR is canonical. If every added edge is a duplicate or a
+// self-loop the mutation is a no-op and WithEdges returns g itself —
+// same value, same pointer, same memoized fingerprint.
 func (g *Graph) WithEdges(edges [][2]NodeID) (*Graph, error) {
 	for i, e := range edges {
 		if e[0] < 0 || e[1] < 0 || int(e[0]) > MaxReadNodes || int(e[1]) > MaxReadNodes {
 			return nil, fmt.Errorf("graph: added edge %d has endpoint out of range: [%d,%d]", i, e[0], e[1])
 		}
+	}
+	if ng, ok := g.spliceEdges(edges); ok {
+		return ng, nil
 	}
 	b := NewBuilderCap(g.NumNodes(), g.NumEdges()+len(edges))
 	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
@@ -186,6 +200,105 @@ func (g *Graph) WithEdges(edges [][2]NodeID) (*Graph, error) {
 		b.AddEdge(e[0], e[1])
 	}
 	return b.Build(), nil
+}
+
+// spliceEdges is the incremental WithEdges fast path. Precondition: every
+// added endpoint already lies in [0, n) — an edge that grows the vertex
+// set shifts every row boundary and renders no prefix reusable, so those
+// mutations take the Builder rebuild (ok == false). Otherwise the new CSR
+// equals g's except in the rows that receive insertions: offsets shift by
+// the number of directed insertions before them, and each dirty row is a
+// sorted merge of its old adjacency list with its new targets. Clean spans
+// between dirty rows are bulk-copied. The result carries a fingerprint-
+// resume link to g (see noteSpliceParent).
+func (g *Graph) spliceEdges(edges [][2]NodeID) (*Graph, bool) {
+	n := g.NumNodes()
+	// Canonicalize exactly as Builder.Build: pack u<v keys, drop
+	// self-loops, sort, dedupe — then drop edges g already has.
+	packed := make([]uint64, 0, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v {
+			continue
+		}
+		if int(u) >= n || int(v) >= n {
+			return nil, false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		packed = append(packed, uint64(uint32(u))<<32|uint64(uint32(v)))
+	}
+	slices.Sort(packed)
+	packed = slices.Compact(packed)
+	fresh := packed[:0]
+	for _, e := range packed {
+		if !g.HasEdge(int32(e>>32), int32(uint32(e))) {
+			fresh = append(fresh, e)
+		}
+	}
+	if len(fresh) == 0 {
+		// No-op mutation: the canonical CSR is unchanged, so the "new"
+		// graph IS g. Returning the same pointer lets callers (store WAL,
+		// service corpus) detect and skip the whole mutation.
+		return g, true
+	}
+	// Each undirected edge inserts into two rows; sorting the directed
+	// (row, target) pairs groups insertions by row in target order.
+	ins := make([]uint64, 0, 2*len(fresh))
+	for _, e := range fresh {
+		u, v := e>>32, uint64(uint32(e))
+		ins = append(ins, u<<32|v, v<<32|u)
+	}
+	slices.Sort(ins)
+
+	offsets := make([]int32, n+1)
+	targets := make([]int32, len(g.targets)+len(ins))
+	pos, src := 0, 0 // write / read cursors into targets / g.targets
+	row := 0         // next row whose offset is unwritten
+	for ii := 0; ii < len(ins); {
+		dirty := int(ins[ii] >> 32)
+		// Clean span [row, dirty): offsets shift uniformly, targets copy.
+		shift := int32(pos - src)
+		for ; row <= dirty; row++ {
+			offsets[row] = g.offsets[row] + shift
+		}
+		spanEnd := int(g.offsets[dirty])
+		copy(targets[pos:], g.targets[src:spanEnd])
+		pos += spanEnd - src
+		src = spanEnd
+		// Dirty row: sorted merge of the old row with its insertions.
+		start := ii
+		for ii < len(ins) && int(ins[ii]>>32) == dirty {
+			ii++
+		}
+		adds := ins[start:ii]
+		rowEnd := int(g.offsets[dirty+1])
+		ai := 0
+		for _, w := range g.targets[src:rowEnd] {
+			for ai < len(adds) && int32(uint32(adds[ai])) < w {
+				targets[pos] = int32(uint32(adds[ai]))
+				pos++
+				ai++
+			}
+			targets[pos] = w
+			pos++
+		}
+		for ; ai < len(adds); ai++ {
+			targets[pos] = int32(uint32(adds[ai]))
+			pos++
+		}
+		src = rowEnd
+	}
+	shift := int32(pos - src)
+	for ; row <= n; row++ {
+		offsets[row] = g.offsets[row] + shift
+	}
+	copy(targets[pos:], g.targets[src:])
+
+	ng := &Graph{offsets: offsets, targets: targets}
+	ng.noteSpliceParent(g, int(ins[0]>>32))
+	return ng, true
 }
 
 // InducedSubgraph returns the subgraph induced by the vertices with

@@ -1,0 +1,247 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+// withEdgesRebuild is the from-scratch reference for WithEdges: feed every
+// existing edge plus the additions through a fresh Builder, exactly as the
+// cold path did before the splice fast path existed. The metamorphic suite
+// pins the incremental path byte-equal to this at every step.
+func withEdgesRebuild(g *Graph, edges [][2]NodeID) *Graph {
+	b := NewBuilderCap(g.NumNodes(), g.NumEdges()+len(edges))
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// requireSameCSR fails unless the two graphs have byte-identical CSR
+// arrays — not just equal edge sets, the exact canonical representation.
+func requireSameCSR(t *testing.T, step int, got, want *Graph) {
+	t.Helper()
+	if !slices.Equal(got.offsets, want.offsets) {
+		t.Fatalf("step %d: offsets diverge:\n got %v\nwant %v", step, got.offsets, want.offsets)
+	}
+	if !slices.Equal(got.targets, want.targets) {
+		t.Fatalf("step %d: targets diverge:\n got %v\nwant %v", step, got.targets, want.targets)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("step %d: fingerprints diverge: got %v want %v", step, got.Fingerprint(), want.Fingerprint())
+	}
+}
+
+// randomBatch draws one mutation batch. Most batches stay inside the
+// current vertex set (the splice path); some deliberately exercise the
+// rebuild path (vertex growth), duplicates, self-loops and empty batches.
+func randomBatch(rng *rand.Rand, n int) [][2]NodeID {
+	kind := rng.IntN(10)
+	if kind == 0 {
+		return nil // empty batch: must be a pointer-identical no-op
+	}
+	size := 1 + rng.IntN(6)
+	batch := make([][2]NodeID, 0, size)
+	for i := 0; i < size; i++ {
+		u := NodeID(rng.IntN(n))
+		v := NodeID(rng.IntN(n))
+		switch {
+		case kind == 1 && i == 0:
+			v = u // self-loop: dropped by both paths
+		case kind == 2 && i == 0:
+			v = NodeID(n + rng.IntN(3)) // vertex growth: forces rebuild
+		}
+		batch = append(batch, [2]NodeID{u, v})
+		if kind == 3 {
+			batch = append(batch, [2]NodeID{v, u}) // duplicate, reversed
+		}
+	}
+	return batch
+}
+
+// TestMutateEquivalenceRandomSequences is the graph half of the metamorphic
+// mutation-equivalence suite: seeded random mutation sequences are applied
+// through the incremental WithEdges path and, at every step, compared
+// byte-for-byte (CSR arrays and fingerprint) against a from-scratch Builder
+// rebuild of the same edge set. Any divergence — in splice row arithmetic,
+// dedup handling, or checkpointed fingerprint resume — trips here with the
+// seed and step number needed to replay it.
+func TestMutateEquivalenceRandomSequences(t *testing.T) {
+	const (
+		sequences = 8
+		steps     = 160 // 8×160 = 1280 randomized mutation steps
+	)
+	for seq := 0; seq < sequences; seq++ {
+		seq := seq
+		t.Run(fmt.Sprintf("seed=%d", seq), func(t *testing.T) {
+			t.Parallel()
+			rng := NewRand(uint64(seq)*0x9e37 + 7)
+			n := 24 + rng.IntN(40)
+			inc := Gnm(n, n+rng.IntN(2*n), rng)
+			allEdges := inc.Edges()
+			scratchN := inc.NumNodes()
+			for step := 0; step < steps; step++ {
+				batch := randomBatch(rng, inc.NumNodes())
+				next, err := inc.WithEdges(batch)
+				if err != nil {
+					t.Fatalf("step %d: WithEdges: %v", step, err)
+				}
+				ref := withEdgesRebuild(inc, batch)
+				requireSameCSR(t, step, next, ref)
+
+				// Cross-check against a from-scratch build of the full
+				// accumulated edge list: catches drift that a stepwise
+				// reference (itself derived from inc) could miss.
+				allEdges = append(allEdges, batch...)
+				for _, e := range batch {
+					hi := max(int(e[0]), int(e[1])) + 1
+					if e[0] != e[1] && hi > scratchN {
+						scratchN = hi
+					}
+				}
+				scratch := FromEdges(scratchN, allEdges)
+				requireSameCSR(t, step, next, scratch)
+
+				if step%20 == 0 {
+					if err := next.Validate(); err != nil {
+						t.Fatalf("step %d: Validate: %v", step, err)
+					}
+				}
+				inc = next
+			}
+		})
+	}
+}
+
+// TestMutateEquivalenceLargeResume drives mutation chains on a graph big
+// enough that the fingerprint absorber records many checkpoints, so the
+// resumed hash genuinely skips blocks (small graphs silently fall back to a
+// full pass and would not exercise the resume arithmetic at all). Parent
+// fingerprints are computed at varying points relative to the child's so
+// both resume orders (parent memoized first, parent memoized lazily on
+// demand) are covered, including grandchild chains.
+func TestMutateEquivalenceLargeResume(t *testing.T) {
+	t.Parallel()
+	rng := NewRand(42)
+	n := 4000
+	g := Gnm(n, 4*n, rng) // word stream ≈ 1 + n/2 + 4n words ≫ fpBlockWords
+	if wantCks := (1 + (n+1+1)/2 + 4*n) / fpBlockWords; wantCks < 3 {
+		t.Fatalf("test graph too small to checkpoint: ~%d blocks", wantCks)
+	}
+	allEdges := g.Edges()
+	for step := 0; step < 40; step++ {
+		if step%3 == 0 {
+			g.Fingerprint() // memoize eagerly on some parents, lazily on others
+		}
+		var batch [][2]NodeID
+		for i := 0; i < 1+rng.IntN(3); i++ {
+			batch = append(batch, [2]NodeID{NodeID(rng.IntN(n)), NodeID(rng.IntN(n))})
+		}
+		next, err := g.WithEdges(batch)
+		if err != nil {
+			t.Fatalf("step %d: WithEdges: %v", step, err)
+		}
+		allEdges = append(allEdges, batch...)
+		scratch := FromEdges(n, allEdges)
+		if next != g { // no-op batches keep the old memo; nothing to compare
+			if got, want := next.Fingerprint(), scratch.Fingerprint(); got != want {
+				t.Fatalf("step %d: resumed fingerprint %v != scratch %v", step, got, want)
+			}
+			if !slices.Equal(next.targets, scratch.targets) || !slices.Equal(next.offsets, scratch.offsets) {
+				t.Fatalf("step %d: spliced CSR diverges from scratch build", step)
+			}
+			// The resumed memo must also reproduce the full pass's
+			// checkpoints — a grandchild resumes from THESE.
+			full := next.fullFingerprint()
+			if !slices.Equal(next.memo().cks, full.cks) {
+				t.Fatalf("step %d: resumed checkpoints diverge from full pass", step)
+			}
+		}
+		g = next
+	}
+}
+
+// TestWithEdgesNoopIdentity pins the no-op contract: a batch whose every
+// edge is already present (or a self-loop, or empty) returns g itself —
+// the identical pointer, not an equal copy — so the store can skip the WAL
+// append and the service can skip the cache work for no-op mutations.
+func TestWithEdgesNoopIdentity(t *testing.T) {
+	t.Parallel()
+	g := FromEdges(6, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 5}})
+	for _, tc := range []struct {
+		name  string
+		batch [][2]NodeID
+	}{
+		{"empty", nil},
+		{"duplicates", [][2]NodeID{{0, 1}, {1, 0}, {3, 2}}},
+		{"self-loops", [][2]NodeID{{2, 2}, {5, 5}}},
+		{"mixed", [][2]NodeID{{0, 1}, {4, 4}, {5, 4}}},
+	} {
+		ng, err := g.WithEdges(tc.batch)
+		if err != nil {
+			t.Fatalf("%s: WithEdges: %v", tc.name, err)
+		}
+		if ng != g {
+			t.Errorf("%s: no-op mutation returned a new graph pointer", tc.name)
+		}
+	}
+	// Sanity: a batch with one genuinely new edge must NOT be a no-op.
+	ng, err := g.WithEdges([][2]NodeID{{0, 1}, {0, 2}})
+	if err != nil {
+		t.Fatalf("WithEdges: %v", err)
+	}
+	if ng == g {
+		t.Fatal("mutation with a fresh edge returned the parent pointer")
+	}
+}
+
+// TestSpliceBoundaryCases pins the splice row arithmetic on handcrafted
+// shapes: insertions into row 0, into the last row, at the head/middle/tail
+// of an existing row, into empty rows, consecutive dirty rows, and a batch
+// touching every row at once.
+func TestSpliceBoundaryCases(t *testing.T) {
+	t.Parallel()
+	base := FromEdges(8, [][2]NodeID{{1, 3}, {1, 5}, {3, 5}, {6, 7}})
+	cases := map[string][][2]NodeID{
+		"row0-head":         {{0, 1}},
+		"last-row":          {{0, 7}},
+		"head-of-row":       {{1, 0}},
+		"tail-of-row":       {{1, 7}},
+		"middle-of-row":     {{1, 4}},
+		"empty-rows":        {{2, 4}},
+		"consecutive-dirty": {{2, 3}, {3, 4}, {4, 5}},
+		"every-row":         {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 0}, {7, 0}},
+		"one-row-many":      {{3, 0}, {3, 2}, {3, 4}, {3, 6}, {3, 7}},
+	}
+	for name, batch := range cases {
+		got, err := base.WithEdges(batch)
+		if err != nil {
+			t.Fatalf("%s: WithEdges: %v", name, err)
+		}
+		requireSameCSR(t, 0, got, withEdgesRebuild(base, batch))
+		if err := got.Validate(); err != nil {
+			t.Fatalf("%s: Validate: %v", name, err)
+		}
+	}
+}
+
+// TestWithEdgesRejectsOutOfRange pins the documented error cases: negative
+// endpoints and endpoints beyond MaxReadNodes fail loudly on both paths.
+func TestWithEdgesRejectsOutOfRange(t *testing.T) {
+	t.Parallel()
+	g := FromEdges(4, [][2]NodeID{{0, 1}})
+	for _, bad := range [][2]NodeID{{-1, 2}, {2, -7}, {0, NodeID(MaxReadNodes + 1)}} {
+		if _, err := g.WithEdges([][2]NodeID{bad}); err == nil {
+			t.Errorf("WithEdges(%v): want error, got nil", bad)
+		}
+	}
+}

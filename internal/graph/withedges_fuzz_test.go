@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"encoding/binary"
+	"slices"
+	"testing"
+)
+
+// fuzzEdges decodes a byte stream into an edge list: pairs of little-endian
+// uint16 values, optionally biased into a small vertex range so edges
+// actually collide (duplicates, shared rows) instead of spraying a sparse
+// random bipartite-ish cloud.
+func fuzzEdges(data []byte, modulo int) [][2]NodeID {
+	edges := make([][2]NodeID, 0, len(data)/4)
+	for i := 0; i+3 < len(data); i += 4 {
+		u := NodeID(binary.LittleEndian.Uint16(data[i:]))
+		v := NodeID(binary.LittleEndian.Uint16(data[i+2:]))
+		if modulo > 0 {
+			u %= NodeID(modulo)
+			v %= NodeID(modulo)
+		}
+		edges = append(edges, [2]NodeID{u, v})
+	}
+	return edges
+}
+
+// FuzzWithEdges cross-checks the splice fast path against the Builder
+// rebuild on arbitrary (base edge list, added edge list) pairs: both must
+// produce the identical canonical CSR and fingerprint, errors may occur
+// only for the documented out-of-range endpoints (which fuzzEdges cannot
+// generate — uint16 endpoints are always within [0, MaxReadNodes]), and a
+// batch adding nothing new must return the base graph pointer itself.
+func FuzzWithEdges(f *testing.F) {
+	pack := func(es ...uint16) []byte {
+		b := make([]byte, 2*len(es))
+		for i, e := range es {
+			binary.LittleEndian.PutUint16(b[2*i:], e)
+		}
+		return b
+	}
+	// Boundary seeds: row growth within existing vertices, vertex growth,
+	// duplicates of base edges, self-loops, empty batch, batch into the
+	// empty graph, insertions at row 0 and at the last row.
+	f.Add(pack(0, 1, 1, 2), pack(0, 2), uint8(8))        // row growth, no vertex growth
+	f.Add(pack(0, 1), pack(5, 9), uint8(0))              // vertex growth: rebuild path
+	f.Add(pack(0, 1, 1, 2), pack(0, 1, 1, 0), uint8(4))  // duplicates only: no-op
+	f.Add(pack(3, 3, 2, 2), pack(1, 1), uint8(4))        // self-loops everywhere
+	f.Add(pack(0, 1, 2, 3), []byte{}, uint8(4))          // empty batch
+	f.Add([]byte{}, pack(0, 1, 2, 3), uint8(0))          // mutation of the empty graph
+	f.Add(pack(1, 2, 1, 3), pack(0, 1, 3, 1), uint8(16)) // head of row 0, tail merges
+	f.Add(pack(0, 7, 6, 7), pack(7, 5, 7, 0), uint8(8))  // last row dirty twice
+	f.Fuzz(func(t *testing.T, baseBytes, addBytes []byte, mod uint8) {
+		modulo := int(mod)
+		baseEdges := fuzzEdges(baseBytes, modulo)
+		addEdges := fuzzEdges(addBytes, modulo)
+		var n int
+		for _, e := range baseEdges {
+			if e[0] != e[1] {
+				n = max(n, int(e[0])+1, int(e[1])+1)
+			}
+		}
+		base := FromEdges(n, baseEdges)
+
+		got, err := base.WithEdges(addEdges)
+		if err != nil {
+			t.Fatalf("WithEdges: unexpected error for in-range endpoints: %v", err)
+		}
+		want := withEdgesRebuild(base, addEdges)
+		if !slices.Equal(got.offsets, want.offsets) || !slices.Equal(got.targets, want.targets) {
+			t.Fatalf("CSR diverges:\nbase=%v add=%v\n got offsets=%v targets=%v\nwant offsets=%v targets=%v",
+				baseEdges, addEdges, got.offsets, got.targets, want.offsets, want.targets)
+		}
+		if got.Fingerprint() != want.Fingerprint() {
+			t.Fatalf("fingerprint diverges: got %v want %v", got.Fingerprint(), want.Fingerprint())
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+		// Pointer-identity contract: identical CSR sizes mean nothing was
+		// added, and that exact case must short-circuit to the same graph.
+		if got.NumEdges() == base.NumEdges() && got.NumNodes() == base.NumNodes() && got != base {
+			t.Fatal("no-op mutation did not return the base graph pointer")
+		}
+	})
+}

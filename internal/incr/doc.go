@@ -1,0 +1,23 @@
+// Package incr implements warm-start re-detection after corpus mutation:
+// given that a parent graph was already judged C_2k-free (a cached
+// NotFound verdict), re-checking the mutated child only requires running
+// the deterministic detector on the neighborhood the new edges can reach.
+//
+// The localization rule follows the walk-table structure of the detector
+// (arXiv:2412.11195): the parent verdict certifies every cycle candidate
+// not involving an added edge, and a 2k-cycle through an added edge
+// {u,v} lies entirely within walk-table radius 2k of u or v. Recheck
+// therefore runs the detector on the subgraph induced by the radius-2k
+// ball around the added endpoints — typically a small fraction of the
+// graph — and remaps any witness back to the child's vertex IDs,
+// verifying it against the full child graph before reporting it.
+//
+// Localization has a precondition, and Recheck falls back (reporting
+// Fallback plus the reason) instead of guessing whenever it fails: the
+// ball may cover the whole graph (nothing to localize), or the localized
+// session may overflow its identifier threshold (an overflow discards
+// walk sets, so a clean NotFound cannot be distinguished from a masked
+// collision). Callers run the ordinary full-graph detection in that case.
+// The recheck inherits the detector's one-sided contract either way:
+// Found is always backed by a verified witness; NotFound can miss.
+package incr

@@ -1,0 +1,188 @@
+package incr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/deterministic"
+	"repro/internal/graph"
+)
+
+// pathGraph returns a simple path v0-v1-…-v(len-1) over the given IDs.
+func pathEdges(ids ...graph.NodeID) [][2]graph.NodeID {
+	edges := make([][2]graph.NodeID, 0, len(ids)-1)
+	for i := 1; i < len(ids); i++ {
+		edges = append(edges, [2]graph.NodeID{ids[i-1], ids[i]})
+	}
+	return edges
+}
+
+// TestRecheckVerdictFlip drives the planted-C_2k insertion tables: the
+// parent holds an open 2k-path (C_2k-free, NotFound), and adding the
+// closing edge must flip the verdict to Found through the localized
+// recheck, with a witness verified against the full child graph. The far
+// component keeps the ball a strict subset of the graph so the recheck
+// genuinely localizes rather than falling back.
+func TestRecheckVerdictFlip(t *testing.T) {
+	cases := []struct {
+		name    string
+		k       int
+		openIDs []graph.NodeID // the 2k-path missing its closing edge
+	}{
+		{"c4/k=2", 2, []graph.NodeID{0, 1, 2, 3}},
+		{"c6/k=3", 3, []graph.NodeID{0, 1, 2, 3, 4, 5}},
+		{"c8/k=4", 4, []graph.NodeID{2, 9, 4, 11, 0, 7, 3, 8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 64
+			edges := pathEdges(tc.openIDs...)
+			// A far component (vertices 20..63 as a path) that the ball
+			// around the closing edge can never reach.
+			for v := graph.NodeID(20); v < n-1; v++ {
+				edges = append(edges, [2]graph.NodeID{v, v + 1})
+			}
+			parent := graph.FromEdges(n, edges)
+			if pres, err := deterministic.Detect(parent, tc.k, deterministic.Options{}); err != nil || pres.Found {
+				t.Fatalf("parent should be C_%d-free: res=%+v err=%v", 2*tc.k, pres, err)
+			}
+			closing := [2]graph.NodeID{tc.openIDs[len(tc.openIDs)-1], tc.openIDs[0]}
+			child, err := parent.WithEdges([][2]graph.NodeID{closing})
+			if err != nil {
+				t.Fatalf("WithEdges: %v", err)
+			}
+			res, err := Recheck(child, [][2]graph.NodeID{closing}, tc.k, Options{})
+			if err != nil {
+				t.Fatalf("Recheck: %v", err)
+			}
+			if res.Fallback {
+				t.Fatalf("unexpected fallback: %s", res.Reason)
+			}
+			if res.BallNodes >= n {
+				t.Fatalf("ball covered %d of %d vertices — nothing was localized", res.BallNodes, n)
+			}
+			if !res.Res.Found {
+				t.Fatalf("closing edge must flip NotFound→Found, got %+v", res.Res)
+			}
+			if err := graph.IsSimpleCycle(child, res.Res.Witness, 2*tc.k); err != nil {
+				t.Fatalf("warm witness invalid in child graph: %v", err)
+			}
+		})
+	}
+}
+
+// TestRecheckFarEdgeStaysNotFound is the adversarial complement: an added
+// edge far from any possible short cycle keeps the verdict NotFound, via
+// the localized path (no fallback) — the exact case the warm start exists
+// to make cheap.
+func TestRecheckFarEdgeStaysNotFound(t *testing.T) {
+	const n = 80
+	var edges [][2]graph.NodeID
+	for v := graph.NodeID(0); v < 40; v++ {
+		edges = append(edges, [2]graph.NodeID{v, v + 1})
+	}
+	g0 := graph.FromEdges(n, edges)
+	added := [2]graph.NodeID{60, 61} // isolated pair: a lone edge, no cycle near it
+	g, err := g0.WithEdges([][2]graph.NodeID{added})
+	if err != nil {
+		t.Fatalf("WithEdges: %v", err)
+	}
+	res, err := Recheck(g, [][2]graph.NodeID{added}, 2, Options{})
+	if err != nil {
+		t.Fatalf("Recheck: %v", err)
+	}
+	if res.Fallback {
+		t.Fatalf("unexpected fallback: %s", res.Reason)
+	}
+	if res.Res.Found {
+		t.Fatalf("no C4 exists, got Found with witness %v", res.Res.Witness)
+	}
+	if res.BallNodes == 0 || res.BallNodes >= n {
+		t.Fatalf("ball size %d out of expected (0,%d)", res.BallNodes, n)
+	}
+}
+
+// TestRecheckFallbackBallCoversGraph pins the first fallback reason: on a
+// small-diameter graph the radius-2k ball reaches everything and the
+// localized run would just be the full run with extra steps.
+func TestRecheckFallbackBallCoversGraph(t *testing.T) {
+	// A star: every vertex within 2 hops of everything.
+	var edges [][2]graph.NodeID
+	for v := graph.NodeID(1); v < 6; v++ {
+		edges = append(edges, [2]graph.NodeID{0, v})
+	}
+	g0 := graph.FromEdges(6, edges)
+	g, err := g0.WithEdges([][2]graph.NodeID{{1, 2}})
+	if err != nil {
+		t.Fatalf("WithEdges: %v", err)
+	}
+	res, err := Recheck(g, [][2]graph.NodeID{{1, 2}}, 2, Options{})
+	if err != nil {
+		t.Fatalf("Recheck: %v", err)
+	}
+	if !res.Fallback {
+		t.Fatalf("want fallback (ball covers graph), got %+v", res)
+	}
+	if !strings.Contains(res.Reason, "ball covers") {
+		t.Fatalf("unexpected fallback reason: %q", res.Reason)
+	}
+}
+
+// TestRecheckFallbackOnOverflow pins the second fallback reason: when the
+// localized session overflows its identifier threshold without finding a
+// cycle, the NotFound is not trustworthy and Recheck must punt rather
+// than warm the cache with it.
+func TestRecheckFallbackOnOverflow(t *testing.T) {
+	const n = 40
+	var edges [][2]graph.NodeID
+	for v := graph.NodeID(1); v < 8; v++ {
+		edges = append(edges, [2]graph.NodeID{0, v}) // a C4-free star…
+	}
+	for v := graph.NodeID(20); v < n-1; v++ {
+		edges = append(edges, [2]graph.NodeID{v, v + 1}) // …plus a far path
+	}
+	g0 := graph.FromEdges(n, edges)
+	added := [2]graph.NodeID{1, 2}
+	g, err := g0.WithEdges([][2]graph.NodeID{added}) // closes a triangle, still C4-free
+	if err != nil {
+		t.Fatalf("WithEdges: %v", err)
+	}
+	res, err := Recheck(g, [][2]graph.NodeID{added}, 2, Options{Threshold: 1})
+	if err != nil {
+		t.Fatalf("Recheck: %v", err)
+	}
+	if !res.Fallback {
+		t.Fatalf("want fallback (overflow at τ=1), got %+v", res)
+	}
+	if !strings.Contains(res.Reason, "overflowed") {
+		t.Fatalf("unexpected fallback reason: %q", res.Reason)
+	}
+}
+
+// TestRecheckEmptyAdditions: a no-op mutation needs no detection at all;
+// the parent verdict carries over and Recheck reports a zero-cost result.
+func TestRecheckEmptyAdditions(t *testing.T) {
+	g := graph.FromEdges(10, pathEdges(0, 1, 2, 3))
+	res, err := Recheck(g, nil, 2, Options{})
+	if err != nil {
+		t.Fatalf("Recheck: %v", err)
+	}
+	if res.Fallback || res.Res == nil || res.Res.Found {
+		t.Fatalf("empty additions: want clean NotFound carry-over, got %+v", res)
+	}
+}
+
+// TestRecheckInputValidation pins the error cases: k out of range and
+// added endpoints outside the child graph.
+func TestRecheckInputValidation(t *testing.T) {
+	g := graph.FromEdges(4, pathEdges(0, 1, 2, 3))
+	if _, err := Recheck(g, nil, 1, Options{}); err == nil {
+		t.Error("k=1: want error")
+	}
+	if _, err := Recheck(g, [][2]graph.NodeID{{0, 9}}, 2, Options{}); err == nil {
+		t.Error("endpoint 9 out of range: want error")
+	}
+	if _, err := Recheck(g, [][2]graph.NodeID{{-1, 2}}, 2, Options{}); err == nil {
+		t.Error("negative endpoint: want error")
+	}
+}

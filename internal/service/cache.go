@@ -50,6 +50,10 @@ type entry struct {
 	// exhausted without a detection; meaningless once resp.Found or for
 	// the deterministic detector.
 	budget int
+	// warmed marks an entry seeded by the corpus warm-start path at
+	// mutation time rather than by a request; hits on it count as
+	// warm_hits.
+	warmed bool
 }
 
 // serves reports whether the entry can answer a request for `iterations`
@@ -87,6 +91,16 @@ func (c *lru) get(key cacheKey) *entry {
 		return nil
 	}
 	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).ent
+}
+
+// peek returns the entry for key WITHOUT touching recency — the warm-start
+// path probes for existing child entries and must not promote them.
+func (c *lru) peek(key cacheKey) *entry {
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
 	return el.Value.(*lruItem).ent
 }
 

@@ -74,31 +74,54 @@ func (s *Service) CreateCorpus(name string, g *graph.Graph) error {
 }
 
 // AddCorpusEdges durably appends undirected edges to the named corpus
-// graph and returns the new graph value. The mutation is copy-on-write:
-// the old graph object is never touched, so in-flight detections and
-// cached verdicts keyed on its fingerprint stay valid — they describe
-// the graph value they were computed on, which still exists. The new
-// value gets a fresh fingerprint (and thus a fresh cache row).
-// ErrUnknownCorpus for an unknown name.
-func (s *Service) AddCorpusEdges(name string, edges [][2]graph.NodeID) (*graph.Graph, error) {
+// graph and returns the resulting Mutation. The mutation is
+// copy-on-write: the old graph object is never touched, so in-flight
+// detections and cached verdicts keyed on its fingerprint stay valid —
+// they describe the graph value they were computed on, which still
+// exists. The new value gets a fresh fingerprint, and instead of leaving
+// that fingerprint's cache row cold, the warm-start path (see warmChild)
+// carries the parent's cached deterministic verdicts over before the
+// call returns, recording the parent→child lineage edge in Stats.
+//
+// A batch whose every edge is already present is a no-op: the identical
+// graph pointer is returned, nothing is journaled, and no warm work
+// runs. ErrUnknownCorpus for an unknown name.
+func (s *Service) AddCorpusEdges(name string, edges [][2]graph.NodeID) (*Mutation, error) {
 	s.corpusMu.Lock()
-	defer s.corpusMu.Unlock()
 	g, ok := s.corpus[name]
 	if !ok {
+		s.corpusMu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownCorpus, name)
 	}
 	var ng *graph.Graph
 	var err error
 	if s.cfg.Persist != nil {
-		ng, err = s.cfg.Persist.AddEdges(name, edges)
-		if err != nil {
+		if ng, err = s.cfg.Persist.AddEdges(name, edges); err != nil {
+			s.corpusMu.Unlock()
 			return nil, s.storeErr("add-edges", name, err)
 		}
 	} else if ng, err = g.WithEdges(edges); err != nil {
+		s.corpusMu.Unlock()
 		return nil, err
 	}
+	if ng == g {
+		s.corpusMu.Unlock()
+		s.noopMutations.Add(1)
+		fp := g.Fingerprint()
+		return &Mutation{Graph: g, Parent: fp, Child: fp, Noop: true}, nil
+	}
 	s.corpus[name] = ng
-	return ng, nil
+	s.corpusMu.Unlock()
+	// Warm outside corpusMu: re-detection can take detector time, and the
+	// entries it seeds are keyed by fingerprint, so they stay correct even
+	// if another mutation has already moved the name past ng.
+	s.mutations.Add(1)
+	mut := &Mutation{Graph: ng, Parent: g.Fingerprint(), Child: ng.Fingerprint()}
+	mut.WarmStarts, mut.Fallbacks = s.warmChild(g, ng, edges)
+	s.warmStarts.Add(int64(mut.WarmStarts))
+	s.warmFallbacks.Add(int64(mut.Fallbacks))
+	s.noteLineage(mut.Parent, mut.Child)
+	return mut, nil
 }
 
 // DeleteCorpus durably removes the named corpus graph. In-flight

@@ -125,9 +125,13 @@ func TestCorpusPersistence(t *testing.T) {
 	if err := s.RegisterGraph("ephemeral", corpusTestGraph(10, 3)); err != nil {
 		t.Fatal(err)
 	}
-	ng, err := s.AddCorpusEdges("durable", [][2]graph.NodeID{{0, 39}, {1, 38}})
+	mut, err := s.AddCorpusEdges("durable", [][2]graph.NodeID{{0, 39}, {1, 38}})
 	if err != nil {
 		t.Fatal(err)
+	}
+	ng := mut.Graph
+	if mut.Noop || mut.Parent != durable.Fingerprint() || mut.Child != ng.Fingerprint() {
+		t.Fatalf("mutation lineage wrong: %+v", mut)
 	}
 	if err := s.CreateCorpus("doomed", corpusTestGraph(12, 4)); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestServiceMutateEquivalence is the service-level twin of the graph
+// metamorphic suite: seeded mutation sequences driven through
+// AddCorpusEdges must leave the corpus byte-equal (fingerprint and full
+// adjacency) to a from-scratch rebuild of the accumulated edge set, and
+// detection responses computed by two independent cold services — one
+// given the incrementally-built graph, one the scratch-built graph —
+// must be byte-identical JSON at every checkpoint.
+func TestServiceMutateEquivalence(t *testing.T) {
+	const (
+		n         = 48
+		steps     = 60
+		seqs      = 4
+		detEveryN = 6
+	)
+	for seq := 0; seq < seqs; seq++ {
+		rng := rand.New(rand.NewSource(int64(900 + seq)))
+		s := New(Config{Slots: 1, BatchSize: 1})
+		base := [][2]graph.NodeID{{0, 1}, {1, 2}}
+		if err := s.CreateCorpus("g", graph.FromEdges(n, base)); err != nil {
+			t.Fatal(err)
+		}
+		acc := append([][2]graph.NodeID(nil), base...)
+
+		for step := 0; step < steps; step++ {
+			batch := make([][2]graph.NodeID, 0, 3)
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				batch = append(batch, [2]graph.NodeID{
+					graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)),
+				})
+			}
+			mut, err := s.AddCorpusEdges("g", batch)
+			if err != nil {
+				t.Fatalf("seq %d step %d: %v", seq, step, err)
+			}
+			acc = append(acc, batch...)
+
+			scratch := graph.FromEdges(n, acc)
+			cur, _ := s.NamedGraph("g")
+			if cur != mut.Graph {
+				t.Fatalf("seq %d step %d: NamedGraph disagrees with Mutation.Graph", seq, step)
+			}
+			if cur.Fingerprint() != scratch.Fingerprint() {
+				t.Fatalf("seq %d step %d: incremental fingerprint %s != scratch %s",
+					seq, step, cur.Fingerprint(), scratch.Fingerprint())
+			}
+			if cur.NumEdges() != scratch.NumEdges() {
+				t.Fatalf("seq %d step %d: edge counts diverge %d vs %d",
+					seq, step, cur.NumEdges(), scratch.NumEdges())
+			}
+			for u := graph.NodeID(0); int(u) < n; u++ {
+				inc, ref := cur.Neighbors(u), scratch.Neighbors(u)
+				if len(inc) != len(ref) {
+					t.Fatalf("seq %d step %d: row %d length diverges", seq, step, u)
+				}
+				for i := range inc {
+					if inc[i] != ref[i] {
+						t.Fatalf("seq %d step %d: row %d diverges at %d: %d vs %d",
+							seq, step, u, i, inc[i], ref[i])
+					}
+				}
+			}
+
+			if step%detEveryN != 0 {
+				continue
+			}
+			// Cold-vs-cold transcript equality: fresh services so neither
+			// the warm path nor cache state can mask a divergence.
+			a := New(Config{Slots: 1, BatchSize: 1})
+			b := New(Config{Slots: 1, BatchSize: 1})
+			ra, _, err := a.Do(context.Background(), &Request{Graph: cur, Algo: AlgoDet, K: 2})
+			if err != nil {
+				t.Fatalf("seq %d step %d: det incremental: %v", seq, step, err)
+			}
+			rb, _, err := b.Do(context.Background(), &Request{Graph: scratch, Algo: AlgoDet, K: 2})
+			if err != nil {
+				t.Fatalf("seq %d step %d: det scratch: %v", seq, step, err)
+			}
+			ja, _ := json.Marshal(ra)
+			jb, _ := json.Marshal(rb)
+			if string(ja) != string(jb) {
+				t.Fatalf("seq %d step %d: det transcripts diverge:\n inc %s\n ref %s",
+					seq, step, ja, jb)
+			}
+			// And on the mutating service itself, any warmed verdict must
+			// stay sound: Found implies a witness that verifies against
+			// the current corpus graph.
+			warm, _, err := s.Do(context.Background(), &Request{Graph: cur, Algo: AlgoDet, K: 2})
+			if err != nil {
+				t.Fatalf("seq %d step %d: det warm: %v", seq, step, err)
+			}
+			if warm.Found {
+				if err := graph.IsSimpleCycle(cur, warm.Witness, len(warm.Witness)); err != nil {
+					t.Fatalf("seq %d step %d: warm witness invalid: %v", seq, step, err)
+				}
+			} else if ra.Found && !ra.Overflowed && !warm.Overflowed {
+				// The detector is one-sided, so NotFound may disagree with
+				// Found only via threshold overflow; with neither side
+				// overflowed the verdicts must match.
+				t.Fatalf("seq %d step %d: warm NotFound but cold Found without overflow", seq, step)
+			}
+		}
+	}
+}

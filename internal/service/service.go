@@ -201,6 +201,21 @@ type Stats struct {
 	// BatchesSkipped counts fused batches whose every waiter abandoned
 	// them before dispatch: their engine run was skipped entirely.
 	BatchesSkipped int64 `json:"batches_skipped"`
+	// Mutations counts corpus mutations that changed a graph;
+	// NoopMutations the all-duplicate batches that changed nothing (and
+	// journaled nothing). WarmStarts counts cached parent verdicts carried
+	// to child fingerprints at mutation time, Fallbacks the subset whose
+	// localization precondition failed and ran a full detection instead,
+	// and WarmHits the cache hits later served from warmed entries.
+	// LastMutationParent/Child are the fingerprints of the most recent
+	// parent→child lineage edge.
+	Mutations          int64  `json:"mutations"`
+	NoopMutations      int64  `json:"noop_mutations"`
+	WarmStarts         int64  `json:"warm_starts"`
+	WarmHits           int64  `json:"warm_hits"`
+	Fallbacks          int64  `json:"fallbacks"`
+	LastMutationParent string `json:"last_mutation_parent,omitempty"`
+	LastMutationChild  string `json:"last_mutation_child,omitempty"`
 	// MeanSessionMS is the EWMA of engine-session wall time that the
 	// deadline-aware admission check estimates queue wait from.
 	MeanSessionMS float64 `json:"mean_session_ms"`
@@ -250,6 +265,13 @@ type Service struct {
 	shed, deadlineExceeded, cancelled, panics      atomic.Int64
 	soloSessions, fusedSessions, fusedRequests     atomic.Int64
 	batchesFormed, batchSizeSum, maxBatchSize      atomic.Int64
+	mutations, noopMutations                       atomic.Int64
+	warmStarts, warmHits, warmFallbacks            atomic.Int64
+
+	// lineageMu guards the most recent parent→child fingerprint edge a
+	// corpus mutation created (surfaced in Stats).
+	lineageMu             sync.Mutex
+	lastParent, lastChild graph.Fingerprint
 
 	// meanSessionNs is an EWMA (α = 1/8) of engine-session wall time,
 	// feeding the admission check's queue-wait estimate.
@@ -468,8 +490,12 @@ func (s *Service) DoInfo(ctx context.Context, req *Request) (*Response, Info, er
 		s.mu.Lock()
 		if ent := s.cache.get(key); ent != nil && ent.serves(req.Algo, req.Iterations) {
 			resp := ent.resp
+			warmed := ent.warmed
 			s.mu.Unlock()
 			s.hits.Add(1)
+			if warmed {
+				s.warmHits.Add(1)
+			}
 			return resp, Info{Source: SourceCache}, nil
 		}
 		if c, ok := s.inflight[key]; ok {
@@ -777,5 +803,16 @@ func (s *Service) Stats() Stats {
 	if s.batcher != nil {
 		st.BatchesSkipped = s.batcher.Skipped()
 	}
+	st.Mutations = s.mutations.Load()
+	st.NoopMutations = s.noopMutations.Load()
+	st.WarmStarts = s.warmStarts.Load()
+	st.WarmHits = s.warmHits.Load()
+	st.Fallbacks = s.warmFallbacks.Load()
+	s.lineageMu.Lock()
+	if !s.lastChild.IsZero() {
+		st.LastMutationParent = s.lastParent.String()
+		st.LastMutationChild = s.lastChild.String()
+	}
+	s.lineageMu.Unlock()
 	return st
 }

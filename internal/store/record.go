@@ -17,9 +17,18 @@ const (
 	opCreate opKind = 1
 	// opAddEdges appends undirected edges to an existing graph
 	// (copy-on-write on replay, exactly as the live mutation path).
+	// Written by earlier builds; replay keeps working, new mutations
+	// journal opAddEdgesFP instead.
 	opAddEdges opKind = 2
 	// opDelete removes a named graph.
 	opDelete opKind = 3
+	// opAddEdgesFP is opAddEdges plus the 128-bit fingerprint of the
+	// pre-mutation (parent) graph. Replay verifies the recovered parent
+	// against it before applying the delta — a recovered mutation chain
+	// that diverges from the acknowledged one is corruption, not a graph
+	// to silently rebuild differently — and the parent→child lineage is
+	// what recovery-time warm state is rebuilt from.
+	opAddEdgesFP opKind = 4
 )
 
 // MaxNameLen bounds corpus names in records — long enough for any
@@ -34,9 +43,11 @@ const MaxNameLen = 512
 //	seq       uvarint   mutation sequence number (0 in snapshot records)
 //	op        1 byte    opCreate | opAddEdges | opDelete
 //	nameLen   uvarint   followed by nameLen bytes of name
-//	opCreate:   n uvarint, m uvarint, then m × (u uvarint, v uvarint)
-//	opAddEdges: m uvarint, then m × (u uvarint, v uvarint)
-//	opDelete:   nothing
+//	opCreate:     n uvarint, m uvarint, then m × (u uvarint, v uvarint)
+//	opAddEdges:   m uvarint, then m × (u uvarint, v uvarint)
+//	opDelete:     nothing
+//	opAddEdgesFP: parent fingerprint (16 bytes, two big-endian uint64,
+//	              high word first), then the opAddEdges body
 //
 // The layout is pinned: recovery of journals written by earlier builds
 // must keep working, so changes are append-only (new opKinds).
@@ -45,7 +56,9 @@ type record struct {
 	op    opKind
 	name  string
 	n     int               // opCreate: declared vertex count
-	edges [][2]graph.NodeID // opCreate, opAddEdges
+	edges [][2]graph.NodeID // opCreate, opAddEdges, opAddEdgesFP
+	// parent is the pre-mutation graph's fingerprint (opAddEdgesFP).
+	parent graph.Fingerprint
 }
 
 // encode appends the record payload (frame-less) to buf.
@@ -59,6 +72,10 @@ func (r *record) encode(buf []byte) []byte {
 		buf = binary.AppendUvarint(buf, uint64(r.n))
 		buf = appendEdges(buf, r.edges)
 	case opAddEdges:
+		buf = appendEdges(buf, r.edges)
+	case opAddEdgesFP:
+		buf = binary.BigEndian.AppendUint64(buf, r.parent[0])
+		buf = binary.BigEndian.AppendUint64(buf, r.parent[1])
 		buf = appendEdges(buf, r.edges)
 	}
 	return buf
@@ -75,6 +92,8 @@ func (r *record) size() int {
 		n += uvarintLen(uint64(r.n)) + edgesSize(r.edges)
 	case opAddEdges:
 		n += edgesSize(r.edges)
+	case opAddEdgesFP:
+		n += 16 + edgesSize(r.edges)
 	}
 	return n
 }
@@ -128,6 +147,13 @@ func decodeRecord(p []byte) (*record, error) {
 		r.n = int(n)
 		r.edges = d.edges()
 	case opAddEdges:
+		r.edges = d.edges()
+	case opAddEdgesFP:
+		fp := d.bytes(16, "parent fingerprint")
+		if d.err == nil {
+			r.parent[0] = binary.BigEndian.Uint64(fp)
+			r.parent[1] = binary.BigEndian.Uint64(fp[8:])
+		}
 		r.edges = d.edges()
 	case opDelete:
 	default:

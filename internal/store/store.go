@@ -108,6 +108,7 @@ type Store struct {
 
 	mu      sync.Mutex
 	graphs  map[string]*graph.Graph
+	parents map[string]graph.Fingerprint // last mutation's parent fp per name
 	seq     uint64
 	wal     *os.File
 	walSize int64
@@ -147,7 +148,8 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &Store{dir: dir, opts: opts, graphs: graphs, seq: seq}
+	st := &Store{dir: dir, opts: opts, graphs: graphs, seq: seq,
+		parents: make(map[string]graph.Fingerprint)}
 	if err := st.recoverWAL(); err != nil {
 		return nil, err
 	}
@@ -197,6 +199,12 @@ func (st *Store) recoverWAL() error {
 			}
 			if err := applyRecord(st.graphs, rec); err != nil {
 				return fmt.Errorf("%w: journal %s: replaying seq %d: %v", ErrCorrupt, path, rec.seq, err)
+			}
+			switch rec.op {
+			case opAddEdgesFP:
+				st.parents[rec.name] = rec.parent
+			case opDelete:
+				delete(st.parents, rec.name)
 			}
 			st.seq = rec.seq
 			st.recovered++
@@ -256,10 +264,17 @@ func applyRecord(graphs map[string]*graph.Graph, rec *record) error {
 			return fmt.Errorf("create %q: already exists", rec.name)
 		}
 		graphs[rec.name] = graph.FromEdges(rec.n, rec.edges)
-	case opAddEdges:
+	case opAddEdges, opAddEdgesFP:
 		g, ok := graphs[rec.name]
 		if !ok {
 			return fmt.Errorf("add-edges %q: unknown graph", rec.name)
+		}
+		if rec.op == opAddEdgesFP && g.Fingerprint() != rec.parent {
+			// The record acknowledges a mutation of a SPECIFIC parent
+			// graph; a recovered parent with a different fingerprint means
+			// the chain on disk diverges from the acknowledged history.
+			return fmt.Errorf("add-edges %q: parent fingerprint %s does not match recovered graph %s",
+				rec.name, rec.parent, g.Fingerprint())
 		}
 		ng, err := g.WithEdges(rec.edges)
 		if err != nil {
@@ -330,7 +345,11 @@ func (st *Store) Create(name string, g *graph.Graph) error {
 
 // AddEdges durably appends undirected edges to the named graph and
 // returns the NEW graph value (copy-on-write: the old value is untouched
-// and keeps its fingerprint). ErrNotFound for an unknown name.
+// and keeps its fingerprint). The journal record carries the parent
+// graph's fingerprint, which replay verifies before applying the delta.
+// A no-op batch (every edge already present) returns the CURRENT graph
+// pointer unchanged and journals nothing — the WAL does not grow.
+// ErrNotFound for an unknown name.
 func (st *Store) AddEdges(name string, edges [][2]graph.NodeID) (*graph.Graph, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -345,7 +364,10 @@ func (st *Store) AddEdges(name string, edges [][2]graph.NodeID) (*graph.Graph, e
 	if err != nil {
 		return nil, err
 	}
-	rec := record{seq: st.seq + 1, op: opAddEdges, name: name, edges: edges}
+	if ng == g {
+		return g, nil
+	}
+	rec := record{seq: st.seq + 1, op: opAddEdgesFP, name: name, edges: edges, parent: g.Fingerprint()}
 	if s := rec.size(); s > maxRecordPayload {
 		return nil, fmt.Errorf("%w: %q: add-edges record encodes to %d bytes (cap %d)", ErrTooLarge, name, s, maxRecordPayload)
 	}
@@ -361,6 +383,7 @@ func (st *Store) AddEdges(name string, edges [][2]graph.NodeID) (*graph.Graph, e
 		return nil, err
 	}
 	st.graphs[name] = ng
+	st.parents[name] = rec.parent
 	st.maybeCompactLocked()
 	return ng, nil
 }
@@ -381,8 +404,23 @@ func (st *Store) Delete(name string) error {
 		return err
 	}
 	delete(st.graphs, name)
+	delete(st.parents, name)
 	st.maybeCompactLocked()
 	return nil
+}
+
+// ParentFingerprint returns the fingerprint of the graph that name's most
+// recent mutation was applied to — the parent side of the newest
+// parent→child lineage edge — and whether one is known. Lineage spans the
+// journal: it is rebuilt on recovery from opAddEdgesFP records but not
+// preserved across compaction (snapshots hold values, not history), so a
+// recovered process can rebuild warm state for exactly the mutations the
+// journal still holds.
+func (st *Store) ParentFingerprint(name string) (graph.Fingerprint, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	fp, ok := st.parents[name]
+	return fp, ok
 }
 
 func (st *Store) usable() error {
