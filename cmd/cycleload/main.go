@@ -92,6 +92,7 @@ import (
 
 	"repro/internal/faultpoint"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -129,6 +130,10 @@ type LoadRecord struct {
 	// authoritative engine-session count behind the client-observed
 	// batch sizes.
 	ServerStats *service.Stats `json:"server_stats,omitempty"`
+	// ServerMetrics is the before/after delta of the server's /metrics
+	// exposition (-metrics, HTTP mode): server-side latency quantiles
+	// and the counter deltas cross-checking the client tally.
+	ServerMetrics *ServerMetricsDelta `json:"server_metrics,omitempty"`
 }
 
 // LoadConfig echoes the generator parameters.
@@ -272,6 +277,9 @@ func run() error {
 	timeoutFrac := flag.Float64("timeout-frac", 0, "fraction of requests that get the -timeout abandonment (0 = none)")
 	chaos := flag.Bool("chaos", false, "chaos acceptance mode (requires -direct -inline): fault-free reference replay, then a fault-injected replay gated on the failure-domain invariants")
 	chaosTimeout := flag.Duration("chaos-timeout", 2*time.Minute, "with -chaos: watchdog bound on the fault-injected replay (a hang fails the run)")
+	metrics := flag.Bool("metrics", false, "scrape GET /metrics before and after the replay (HTTP mode): record the server-side\n"+
+		"latency delta and fail unless the server's success count matches the client's")
+	maxServerP99 := flag.Duration("max-server-p99", 0, "with -metrics: fail if the server-side p99 over the run exceeds this (0 = no bound)")
 	mutate := flag.String("mutate", "", "mutate-then-detect mode (HTTP only): add -requests random single edges to this corpus name,\n"+
 		"detecting after each op and gating mutation lineage + served-fingerprint consistency (see mutate.go)")
 	var faults listFlag
@@ -289,6 +297,9 @@ func run() error {
 	}
 	if len(faults) > 0 && !*direct {
 		return fmt.Errorf("-fault only applies in -direct mode; arm server-side faults via cycleserved -fault")
+	}
+	if *metrics && (*direct || *mutate != "") {
+		return fmt.Errorf("-metrics scrapes a live server over HTTP; it composes with neither -direct nor -mutate")
 	}
 	if *mutate != "" {
 		if *direct || *inline != "" {
@@ -450,9 +461,24 @@ func run() error {
 			return err
 		}
 	} else {
+		var before *obs.Exposition
 		var err error
+		if *metrics {
+			if before, err = scrapeMetrics(*addr); err != nil {
+				return fmt.Errorf("pre-run scrape: %w", err)
+			}
+		}
 		if rec, err = httpRun(*addr, gs, names, cfg); err != nil {
 			return err
+		}
+		if *metrics {
+			after, err := scrapeMetrics(*addr)
+			if err != nil {
+				return fmt.Errorf("post-run scrape: %w", err)
+			}
+			if rec.ServerMetrics, err = metricsDelta(before, after); err != nil {
+				return err
+			}
 		}
 	}
 	rec.Label = *label
@@ -492,6 +518,11 @@ func run() error {
 	}
 	if rec.Totals.DetByteIdentical != nil && !*rec.Totals.DetByteIdentical {
 		return fmt.Errorf("deterministic-mode responses were not byte-identical per graph")
+	}
+	if rec.ServerMetrics != nil {
+		if err := checkServerMetrics(rec.ServerMetrics, rec, *maxServerP99); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -1118,6 +1149,11 @@ func renderText(w io.Writer, rec *LoadRecord) {
 		fmt.Fprintf(w, "server sessions: engine=%d (fused=%d solo=%d), batches=%d mean=%.2f max=%d\n",
 			rec.ServerStats.EngineSessions, rec.ServerStats.FusedSessions, rec.ServerStats.SoloSessions,
 			rec.ServerStats.BatchesFormed, rec.ServerStats.MeanBatchSize, rec.ServerStats.MaxBatchSize)
+	}
+	if rec.ServerMetrics != nil {
+		fmt.Fprintf(w, "server-side latency (from /metrics): p50=%s p99=%s over %.0f timed requests\n",
+			time.Duration(rec.ServerMetrics.P50Ns), time.Duration(rec.ServerMetrics.P99Ns),
+			rec.ServerMetrics.DurationCount)
 	}
 	if rec.Totals.DetByteIdentical != nil {
 		fmt.Fprintf(w, "det responses byte-identical per graph: %v\n", *rec.Totals.DetByteIdentical)

@@ -43,8 +43,21 @@
 //	GET  /v1/store      → durable-store counters (graphs, last_seq, wal_bytes,
 //	                    appended, compactions, recovered, torn_tail); 404
 //	                    when the server runs without -data-dir.
-//	GET  /healthz       → {"ok":true} once the corpus is built;
-//	                    {"ok":false,"draining":true} with 503 during shutdown.
+//	GET  /metrics       → Prometheus text exposition (counters, gauges,
+//	                    and with -observe the request/stage/engine/gate/
+//	                    store latency histograms); stays scrapable while
+//	                    draining.
+//	GET  /healthz       → {"ok":true,"uptime_seconds":...,"version":...}
+//	                    once the corpus is built; ok=false with
+//	                    "draining":true and 503 during shutdown.
+//
+// A request body with "trace":true opts into per-stage timing: the
+// response body gains a trace_ns object (validate, queue_wait,
+// batch_linger, engine, cache_install — nanoseconds) and matching
+// X-Evencycle-Stage-* headers. Untraced responses are byte-identical to
+// an unobserved server's. -log-requests (sampled by -log-sample N)
+// logs one key=value completion line per detection; -debug-addr opens
+// a pprof side listener.
 //
 // Durability: with -data-dir every corpus mutation is journaled to a
 // checksummed WAL (fsynced before the response when -fsync=true, the
@@ -98,8 +111,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -107,6 +122,7 @@ import (
 
 	"repro/internal/faultpoint"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -146,6 +162,10 @@ func run() error {
 	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (response write bound; bounds handler time for synchronous detects)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	maxHeaderBytes := flag.Int("max-header-bytes", 1<<20, "http.Server MaxHeaderBytes")
+	observe := flag.Bool("observe", true, "arm latency observation: request/stage/engine/gate/store histograms behind GET /metrics (counters work either way)")
+	debugAddr := flag.String("debug-addr", "", "side listener for /debug/pprof/* (empty = disabled); keep it off the public address")
+	logRequests := flag.Bool("log-requests", false, "log a structured key=value completion line per detection request")
+	logSample := flag.Int64("log-sample", 1, "with -log-requests, log every Nth completion (1 = all)")
 	dataDir := flag.String("data-dir", "", "durable corpus directory (WAL + snapshot); empty = memory-only corpus")
 	fsync := flag.Bool("fsync", true, "fsync the corpus journal before acknowledging a mutation (power-loss durability; -data-dir only)")
 	compactThreshold := flag.Int64("compact-threshold", 0, "journal bytes that trigger snapshot compaction (0 = default 4MiB, negative = never; -data-dir only)")
@@ -197,12 +217,41 @@ func run() error {
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		Persist:         persist,
+		Observe:         *observe,
 	})
 	if err := seedCorpus(svc, persist != nil, corpus, *corpusSeed); err != nil {
 		return err
 	}
 
-	srv := &server{svc: svc, store: persist, defaultIterations: *iterations}
+	srv := &server{
+		svc:               svc,
+		store:             persist,
+		defaultIterations: *iterations,
+		start:             time.Now(),
+		version:           buildVersion(),
+	}
+	if *logRequests {
+		srv.logEvery = max(1, *logSample)
+	}
+	if *debugAddr != "" {
+		// The pprof surface rides a SIDE listener with its own mux:
+		// profiles stay off the public address, and importing
+		// net/http/pprof's DefaultServeMux registration is avoided.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 5 * time.Second}
+		defer dsrv.Close()
+		go func() {
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener %s: %v", *debugAddr, err)
+			}
+		}()
+		log.Printf("debug listener on %s (/debug/pprof/)", *debugAddr)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.routes(),
@@ -298,6 +347,44 @@ type server struct {
 	// Retry-After), healthz reports draining so load balancers pull the
 	// instance, and in-flight work runs to completion.
 	draining atomic.Bool
+	// start anchors healthz's uptime_seconds; version is the toolchain-
+	// stamped build identity (see buildVersion). Zero values (direct
+	// struct construction in tests) degrade to uptime-since-epoch-zero
+	// and an empty version, never an error.
+	start   time.Time
+	version string
+	// logEvery > 0 logs every logEvery-th detection completion as a
+	// key=value line; logSeq is the sampling counter.
+	logEvery int64
+	logSeq   atomic.Int64
+}
+
+// buildVersion is the binary's identity for healthz: the main module
+// version plus the VCS revision the Go toolchain stamped into the build
+// (no ldflags ceremony needed). A pseudo-version already ends in the
+// revision, so the suffix is only added when it brings new information.
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			rev := s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if !strings.Contains(v, rev) {
+				return v + "+" + rev
+			}
+			break
+		}
+	}
+	return v
 }
 
 // routes builds the full handler tree — every endpoint behind the admit
@@ -306,6 +393,7 @@ type server struct {
 func (srv *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", srv.handleHealth)
+	mux.HandleFunc("GET /metrics", srv.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", srv.handleStats)
 	mux.HandleFunc("GET /v1/store", srv.handleStore)
 	mux.HandleFunc("GET /v1/corpus", srv.handleCorpus)
@@ -320,11 +408,12 @@ func (srv *server) routes() http.Handler {
 }
 
 // admit is the outermost middleware: once the server is draining, every
-// endpoint except healthz (which must stay readable so orchestrators see
-// the state change) is refused up front with a retryable 503.
+// endpoint except healthz and metrics (which must stay readable so
+// orchestrators see the state change and scrapers see the drain) is
+// refused up front with a retryable 503.
 func (srv *server) admit(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if srv.draining.Load() && r.URL.Path != "/healthz" {
+		if srv.draining.Load() && r.URL.Path != "/healthz" && r.URL.Path != "/metrics" {
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusServiceUnavailable, apiError{"server is draining"})
 			return
@@ -393,11 +482,19 @@ func (srv *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	faultpoint.Sleep(faultpoint.HandlerSlow)
+	// clientTraced: the client asked for stage timing in its response.
+	// When only the completion log wants stages, attach a tracer without
+	// changing what the client gets back.
+	clientTraced := req.Trace != nil
+	if srv.logEvery > 0 && req.Trace == nil {
+		req.Trace = &obs.Trace{}
+	}
 	start := time.Now()
 	resp, info, err := srv.svc.DoInfo(r.Context(), req)
 	elapsed := time.Since(start)
 	if err != nil {
 		status := statusFor(err)
+		srv.logRequest(req, info, status, elapsed, err)
 		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 			// Both shed and contained-panic failures are transient: tell
 			// well-behaved clients when to come back.
@@ -406,6 +503,7 @@ func (srv *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, apiError{err.Error()})
 		return
 	}
+	srv.logRequest(req, info, http.StatusOK, elapsed, nil)
 	// Serve-path metadata rides in headers so the body — the cached
 	// verdict — is byte-identical however the request was served.
 	w.Header().Set("X-Evencycle-Source", string(info.Source))
@@ -415,7 +513,51 @@ func (srv *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		// this request (1 = solo session, > 1 = fused with other misses).
 		w.Header().Set("X-Evencycle-Batch", fmt.Sprintf("%d", info.Batch))
 	}
+	if clientTraced {
+		// The opt-in trace: per-stage headers plus a trace_ns object
+		// wrapped AROUND the verdict. Untraced responses keep the exact
+		// cached-verdict bytes.
+		traceNS := make(map[string]int64, obs.NumStages)
+		req.Trace.Each(func(st obs.Stage, ns int64) {
+			w.Header().Set("X-Evencycle-Stage-"+strings.ReplaceAll(st.String(), "_", "-"), fmt.Sprintf("%d", ns))
+			traceNS[st.String()] = ns
+		})
+		writeJSON(w, http.StatusOK, struct {
+			*service.Response
+			TraceNS map[string]int64 `json:"trace_ns"`
+		}{resp, traceNS})
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// logRequest emits the sampled key=value completion line (-log-requests,
+// -log-sample): serve path, status, total and per-stage milliseconds.
+func (srv *server) logRequest(req *service.Request, info service.Info, status int, elapsed time.Duration, err error) {
+	if srv.logEvery <= 0 || srv.logSeq.Add(1)%srv.logEvery != 0 {
+		return
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "request path=/v1/detect algo=%s k=%d fp=%s source=%s batch=%d status=%d total_ms=%.3f",
+		req.Algo, req.K, req.Graph.Fingerprint(), info.Source, info.Batch, status,
+		float64(elapsed.Nanoseconds())/1e6)
+	req.Trace.Each(func(st obs.Stage, ns int64) {
+		fmt.Fprintf(&sb, " %s_ms=%.3f", st, float64(ns)/1e6)
+	})
+	if err != nil {
+		fmt.Fprintf(&sb, " err=%q", err)
+	}
+	log.Print(sb.String())
+}
+
+// handleMetrics serves the Prometheus text exposition of the service
+// registry (counters, gauges and — on an observed server — the latency,
+// stage, engine, gate and store histograms).
+func (srv *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := srv.svc.Metrics().WritePrometheus(w); err != nil {
+		log.Printf("write metrics: %v", err)
+	}
 }
 
 func (srv *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -619,9 +761,16 @@ func (srv *server) handleStore(w http.ResponseWriter, r *http.Request) {
 }
 
 func (srv *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{
+		"ok":             true,
+		"uptime_seconds": time.Since(srv.start).Seconds(),
+		"version":        srv.version,
+	}
 	if srv.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ok": false, "draining": true})
+		body["ok"] = false
+		body["draining"] = true
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	writeJSON(w, http.StatusOK, body)
 }

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// newObservedServer is newTestServer with observation armed and request
+// logging sampled, the production default.
+func newObservedServer(t *testing.T) *server {
+	t.Helper()
+	svc := service.New(service.Config{Slots: 2, BatchSize: 1, Observe: true})
+	return &server{
+		svc:               svc,
+		defaultIterations: 4,
+		start:             time.Now(),
+		version:           buildVersion(),
+		logEvery:          1,
+	}
+}
+
+// TestMetricsEndpoint scrapes GET /metrics after real traffic: the
+// exposition must parse strictly, validate internally (cumulative
+// buckets, _count/_sum agreement), carry the right content type, and
+// agree with the request counters — including while draining, when the
+// scrape must keep working.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newObservedServer(t)
+	h := srv.routes()
+
+	body := `{"algo":"det","k":2,"graph":{"n":6,"edges":[[0,1],[1,2],[2,3],[3,0],[3,4],[4,5]]}}`
+	for i := 0; i < 3; i++ { // 1 computed + 2 hits
+		if rr := do(t, h, "POST", "/v1/detect", body); rr.Code != http.StatusOK {
+			t.Fatalf("detect %d → %d: %s", i, rr.Code, rr.Body)
+		}
+	}
+
+	rr := do(t, h, "GET", "/metrics", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics → %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	exp, err := obs.ParseExposition(strings.NewReader(rr.Body.String()))
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v", err)
+	}
+	if err := exp.Validate(); err != nil {
+		t.Fatalf("scrape inconsistent: %v", err)
+	}
+	if got, ok := exp.CounterSum("evencycle_requests_total"); !ok || got != 3 {
+		t.Fatalf("requests_total = %v (ok=%v), want 3", got, ok)
+	}
+	dur, err := exp.MergedHistogram("evencycle_request_duration_seconds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur == nil || dur.Count != 3 {
+		t.Fatalf("request_duration count = %+v, want 3", dur)
+	}
+
+	srv.draining.Store(true)
+	if rr := do(t, h, "GET", "/metrics", ""); rr.Code != http.StatusOK {
+		t.Fatalf("draining /metrics → %d, want 200 (scrapers must see the drain)", rr.Code)
+	}
+}
+
+// TestDetectTraceOptIn checks the per-request trace: "trace":true yields
+// stage headers and a trace_ns object around the unchanged verdict, and
+// an untraced request's body carries no trace field.
+func TestDetectTraceOptIn(t *testing.T) {
+	srv := newObservedServer(t)
+	srv.logEvery = 0 // tracing must not depend on the completion log
+	h := srv.routes()
+
+	graphJSON := `"graph":{"n":6,"edges":[[0,1],[1,2],[2,3],[3,0],[3,4],[4,5]]}`
+	rr := do(t, h, "POST", "/v1/detect", `{"algo":"det","k":2,"trace":true,`+graphJSON+`}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("traced detect → %d: %s", rr.Code, rr.Body)
+	}
+	if rr.Header().Get("X-Evencycle-Stage-Engine") == "" {
+		t.Fatalf("computed traced request has no engine stage header; headers: %v", rr.Header())
+	}
+	var traced struct {
+		Found   bool             `json:"found"`
+		TraceNS map[string]int64 `json:"trace_ns"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &traced); err != nil {
+		t.Fatal(err)
+	}
+	if !traced.Found {
+		t.Fatal("verdict lost in the traced wrapper")
+	}
+	if traced.TraceNS["engine"] <= 0 {
+		t.Fatalf("trace_ns = %v, want engine > 0", traced.TraceNS)
+	}
+
+	rr = do(t, h, "POST", "/v1/detect", `{"algo":"det","k":2,`+graphJSON+`}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("untraced detect → %d", rr.Code)
+	}
+	if strings.Contains(rr.Body.String(), "trace_ns") {
+		t.Fatalf("untraced response carries trace_ns: %s", rr.Body)
+	}
+	if rr.Header().Get("X-Evencycle-Stage-Engine") != "" {
+		t.Fatal("untraced response carries stage headers")
+	}
+}
+
+// TestHealthzUptimeVersion checks the enriched health body on both sides
+// of the drain flip.
+func TestHealthzUptimeVersion(t *testing.T) {
+	srv := newObservedServer(t)
+	h := srv.routes()
+	var health struct {
+		OK            bool    `json:"ok"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Version       string  `json:"version"`
+		Draining      bool    `json:"draining"`
+	}
+	rr := do(t, h, "GET", "/healthz", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/healthz → %d", rr.Code)
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if !health.OK || health.UptimeSeconds < 0 || health.Version == "" {
+		t.Fatalf("healthz body %s", rr.Body)
+	}
+
+	srv.draining.Store(true)
+	rr = do(t, h, "GET", "/healthz", "")
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz → %d", rr.Code)
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.OK || !health.Draining || health.Version == "" {
+		t.Fatalf("draining healthz body %s", rr.Body)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/deterministic"
 	"repro/internal/graph"
 	"repro/internal/incr"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -294,6 +295,57 @@ func perfScenarios() ([]perfScenario, error) {
 		}()},
 		perfScenario{"service/hit-path/n=2000/k=2", func() func() (int, int64, error) {
 			svc := service.New(service.Config{Slots: 1})
+			req := &service.Request{Graph: gDet, Algo: service.AlgoDet, K: 2}
+			calls := 0
+			return func() (int, int64, error) {
+				resp, src, err := svc.Do(context.Background(), req)
+				if err != nil {
+					return 0, 0, err
+				}
+				if !resp.Found {
+					return 0, 0, fmt.Errorf("service lost the det verdict")
+				}
+				calls++
+				if calls > 1 && src != service.SourceCache {
+					return 0, 0, fmt.Errorf("warmed request served from %q, not cache", src)
+				}
+				return 0, 0, nil
+			}
+		}()},
+		// Observability overhead, measured not asserted: the same pinned
+		// workloads with instrumentation armed. detect-even/observed runs
+		// the engine with a live per-session histogram hook (two atomic
+		// histogram observations plus one clock pair per session);
+		// service/hit-path/observed serves warmed cache hits on an
+		// Observe:true service (clock pair + latency histogram per
+		// request). The disarmed twins keep their original names, so the
+		// baseline diff shows the instrumentation cost as the gap between
+		// the pairs rather than as a regression.
+		perfScenario{"detect-even/observed/n=2000/k=2", func() func() (int, int64, error) {
+			sc := DetectScenarios[0]
+			reg := obs.NewRegistry()
+			rounds := reg.Histogram("bench_session_rounds", "", obs.RoundBuckets(), 1)
+			wall := reg.Histogram("bench_session_seconds", "", obs.DurationBuckets(), 1e-9)
+			observe := func(r int, w time.Duration) {
+				rounds.Observe(int64(r))
+				wall.ObserveDuration(w)
+			}
+			return func() (int, int64, error) {
+				res, err := core.DetectEvenCycle(gDet, sc.K, core.Options{
+					Seed: sc.Seed, MaxIterations: sc.Iters, KeepGoing: true,
+					Observe: observe,
+				})
+				if err != nil {
+					return 0, 0, err
+				}
+				if res.IterationsRun != sc.Iters {
+					return 0, 0, fmt.Errorf("ran %d iterations, want %d", res.IterationsRun, sc.Iters)
+				}
+				return res.Rounds, res.Messages, nil
+			}
+		}()},
+		perfScenario{"service/hit-path/observed/n=2000/k=2", func() func() (int, int64, error) {
+			svc := service.New(service.Config{Slots: 1, Observe: true})
 			req := &service.Request{Graph: gDet, Algo: service.AlgoDet, K: 2}
 			calls := 0
 			return func() (int, int64, error) {

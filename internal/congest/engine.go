@@ -8,6 +8,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/faultpoint"
 )
@@ -56,6 +57,16 @@ type Engine struct {
 	// with or without a flag installed. Configure before the first Run,
 	// like every other engine field.
 	Cancel *CancelFlag
+	// Observe, when set, is called once per completed session with the
+	// report's round count and the session's wall-clock duration. The
+	// disarmed cost is one nil-check per RunSession — the same
+	// discipline as faultpoint — and the armed path adds two
+	// monotonic-clock reads outside the round loop, so transcripts,
+	// reports, and the session's allocation count are identical either
+	// way. The hook runs on the session's goroutine and must not block;
+	// it is not called for failed sessions (panic, cancellation).
+	// Configure before the first Run, like every other engine field.
+	Observe func(rounds int, wall time.Duration)
 
 	// adjOff[u] is the base index of u's adjacency slots in the flat
 	// per-edge arrays (CSR layout over the sorted adjacency lists);
@@ -151,9 +162,16 @@ func (e *Engine) RunSession(h Handler, sess uint64) (rep *Report, err error) {
 			rep, err = nil, fmt.Errorf("congest: session panicked: %v", r)
 		}
 	}()
+	var start time.Time
+	if e.Observe != nil {
+		start = time.Now()
+	}
 	rep, err = s.run(h, sess)
 	s.cleanup()
 	e.sessions.Put(s)
+	if e.Observe != nil && err == nil {
+		e.Observe(rep.Rounds, time.Since(start))
+	}
 	return rep, err
 }
 

@@ -1,0 +1,101 @@
+package congest
+
+import (
+	"errors"
+	"reflect"
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// TestObserveHookFires pins the Observe contract: one callback per
+// completed session, carrying the report's own round count and a
+// positive wall clock, and an identical report with or without the hook.
+func TestObserveHookFires(t *testing.T) {
+	g := graph.Cycle(64)
+
+	bare := NewEngine(NewNetwork(g, 3))
+	wantRep, err := bare.Run(&pingpong{rounds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := NewEngine(NewNetwork(g, 3))
+	var calls int
+	var gotRounds int
+	var gotWall time.Duration
+	eng.Observe = func(rounds int, wall time.Duration) {
+		calls++
+		gotRounds = rounds
+		gotWall = wall
+	}
+	rep, err := eng.Run(&pingpong{rounds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("Observe called %d times, want 1", calls)
+	}
+	if gotRounds != rep.Rounds {
+		t.Fatalf("Observe rounds = %d, report says %d", gotRounds, rep.Rounds)
+	}
+	if gotWall <= 0 {
+		t.Fatalf("Observe wall = %v, want > 0", gotWall)
+	}
+	if !reflect.DeepEqual(rep, wantRep) {
+		t.Fatalf("observed report differs from bare report:\n got %+v\nwant %+v", rep, wantRep)
+	}
+}
+
+// TestObserveSkipsFailedSessions pins that cancellation (and any other
+// session error) does not invoke the hook.
+func TestObserveSkipsFailedSessions(t *testing.T) {
+	eng := NewEngine(NewNetwork(graph.Path(2), 1))
+	eng.Cancel = &CancelFlag{}
+	eng.Cancel.Cancel()
+	eng.Observe = func(rounds int, wall time.Duration) {
+		t.Errorf("Observe fired for a canceled session (rounds=%d)", rounds)
+	}
+	if _, err := eng.Run(&spinner{notify: make(chan struct{})}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestObserveSteadyStateAllocs pins that an ARMED observer keeps the
+// session at the disarmed allocation budget: the hook is a plain
+// closure call outside the round loop, so observation costs zero
+// allocations either way.
+func TestObserveSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	g := graph.Gnm(2048, 8192, graph.NewRand(7))
+	for _, armed := range []bool{false, true} {
+		name := "disarmed"
+		if armed {
+			name = "armed"
+		}
+		t.Run(name, func(t *testing.T) {
+			e := NewEngine(NewNetwork(g, 1))
+			if armed {
+				var sink int64
+				e.Observe = func(rounds int, wall time.Duration) { sink += int64(rounds) + int64(wall) }
+			}
+			h := &pingpong{rounds: 8}
+			run := func() {
+				if _, err := e.Run(h); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 5; i++ {
+				run()
+			}
+			if avg := testing.AllocsPerRun(20, run); avg > 1 {
+				t.Fatalf("allocs/run = %v, want ≤ 1 (the escaping Report)", avg)
+			}
+		})
+	}
+}

@@ -72,6 +72,7 @@ func DetectBoundedCycle(g *graph.Graph, k int, opt Options) (*BoundedResult, err
 	eng.ParallelThreshold = opt.ParallelThreshold
 	eng.MaxRounds = opt.MaxRounds
 	eng.Cancel = opt.Cancel
+	eng.Observe = opt.Observe
 
 	res := &BoundedResult{Params: params}
 	total := &congest.Report{}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand/v2"
+	"time"
 
 	"repro/internal/congest"
 	"repro/internal/graph"
@@ -68,6 +69,11 @@ type Options struct {
 	// congest.ErrCanceled. An untripped flag leaves every transcript
 	// bit-identical (see congest.CancelFlag).
 	Cancel *congest.CancelFlag
+	// Observe, when set, is handed to every engine session of the run
+	// and called with each completed session's round count and wall
+	// clock (see congest.Engine.Observe). Purely passive: transcripts,
+	// results, and allocation counts are identical with or without it.
+	Observe func(rounds int, wall time.Duration)
 }
 
 // Result reports the outcome and cost of a detection run.
@@ -185,6 +191,7 @@ func runAlgorithm1Capturing(g *graph.Graph, params Params, opt Options) (*Result
 	eng.MaxRounds = opt.MaxRounds
 	eng.DropProb = opt.DropProb
 	eng.Cancel = opt.Cancel
+	eng.Observe = opt.Observe
 
 	res := &Result{Params: params}
 	total := &congest.Report{}

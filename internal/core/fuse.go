@@ -83,6 +83,7 @@ func DetectEvenCycleFused(items []FusedItem, k int, opt Options) ([]*Result, err
 	eng.ParallelThreshold = opt.ParallelThreshold
 	eng.MaxRounds = opt.MaxRounds
 	eng.Cancel = opt.Cancel
+	eng.Observe = opt.Observe
 	total := eng.Network().NumNodes()
 
 	// Instructions 1–5 for the whole batch in one session: per-node p and

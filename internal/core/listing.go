@@ -109,6 +109,7 @@ func ListEvenCycles(g *graph.Graph, k int, opt Options) (*ListResult, error) {
 	eng.ParallelThreshold = opt.ParallelThreshold
 	eng.MaxRounds = opt.MaxRounds
 	eng.Cancel = opt.Cancel
+	eng.Observe = opt.Observe
 
 	res := &ListResult{}
 	total := &congest.Report{}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"slices"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/congest"
 	"repro/internal/graph"
@@ -51,6 +52,10 @@ type Options struct {
 	// Cancel aborts the broadcast session at the next round boundary when
 	// tripped (see congest.CancelFlag); untripped it changes nothing.
 	Cancel *congest.CancelFlag
+	// Observe receives each completed engine session's round count and
+	// wall clock (see congest.Engine.Observe); purely passive — the
+	// transcript stays a pure function of the graph.
+	Observe func(rounds int, wall time.Duration)
 }
 
 // Result reports a deterministic detection run.
@@ -326,6 +331,7 @@ func Detect(g *graph.Graph, k int, opt Options) (*Result, error) {
 	eng.ParallelThreshold = opt.ParallelThreshold
 	eng.MaxRounds = opt.MaxRounds
 	eng.Cancel = opt.Cancel
+	eng.Observe = opt.Observe
 
 	proto := newDetProto(n, k, tau)
 	rep, err := eng.Run(proto)

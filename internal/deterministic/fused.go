@@ -36,6 +36,7 @@ func DetectMulti(gs []*graph.Graph, k int, opt Options) ([]*Result, error) {
 	eng.ParallelThreshold = opt.ParallelThreshold
 	eng.MaxRounds = opt.MaxRounds
 	eng.Cancel = opt.Cancel
+	eng.Observe = opt.Observe
 
 	total := eng.Network().NumNodes()
 	proto := newDetProto(total, k, 0)

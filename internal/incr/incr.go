@@ -2,6 +2,7 @@ package incr
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/congest"
 	"repro/internal/deterministic"
@@ -23,6 +24,9 @@ type Options struct {
 	ParallelThreshold int
 	// Cancel aborts the localized session at the next round boundary.
 	Cancel *congest.CancelFlag
+	// Observe receives each completed engine session's round count and
+	// wall clock (see congest.Engine.Observe); purely passive.
+	Observe func(rounds int, wall time.Duration)
 }
 
 // Result reports one warm-start recheck.
@@ -121,6 +125,7 @@ func Recheck(g *graph.Graph, added [][2]graph.NodeID, k int, opt Options) (*Resu
 		Shards:            opt.Shards,
 		ParallelThreshold: opt.ParallelThreshold,
 		Cancel:            opt.Cancel,
+		Observe:           opt.Observe,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("incr: localized detect: %w", err)

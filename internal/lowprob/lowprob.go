@@ -3,6 +3,7 @@ package lowprob
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/congest"
 	"repro/internal/core"
@@ -109,6 +110,9 @@ type OddOptions struct {
 	// Cancel aborts in-flight engine sessions at the next round boundary
 	// when tripped (see congest.CancelFlag); untripped it changes nothing.
 	Cancel *congest.CancelFlag
+	// Observe receives each completed engine session's round count and
+	// wall clock (see congest.Engine.Observe); purely passive.
+	Observe func(rounds int, wall time.Duration)
 }
 
 // OddResult reports a run of the odd-cycle detector.
@@ -158,6 +162,7 @@ func DetectOdd(g *graph.Graph, k int, opt OddOptions) (*OddResult, error) {
 	eng.Shards = opt.Shards
 	eng.ParallelThreshold = opt.ParallelThreshold
 	eng.Cancel = opt.Cancel
+	eng.Observe = opt.Observe
 
 	all := make([]bool, n)
 	for v := range all {

@@ -1,0 +1,30 @@
+// Package obs is the zero-dependency observability layer: an atomic
+// metrics registry with Prometheus text exposition, and a per-request
+// stage tracer.
+//
+// The registry holds counters, gauges, sampled gauge funcs, and
+// fixed-bucket histograms. Hot-path operations (Counter.Add,
+// Histogram.Observe) are a handful of atomic adds — no locks, no
+// allocation — so instrumented paths keep their AllocsPerRun pins.
+// Registration is the only locked operation and happens at service
+// construction.
+//
+// Exposition (Registry.WritePrometheus) renders the text format version
+// 0.0.4: one # HELP and # TYPE line per family, cumulative histogram
+// buckets with a +Inf terminal bucket plus _sum/_count, no exemplars,
+// no timestamps. Histograms store native int64 units (nanoseconds,
+// rounds, bytes) and apply a scale factor only at exposition, so the
+// observe path stays integer-only.
+//
+// ParseExposition is the inverse: a strict parser for the same format,
+// shared by the golden exposition test and cycleload's /metrics
+// scraper, with histogram delta (Sub) and quantile estimation
+// (Quantile) for server-side p50/p99 gating.
+//
+// Trace accumulates wall-clock time per request stage (validate, queue
+// wait, batch linger, engine, cache install). A nil *Trace disables
+// tracing at the cost of one pointer compare per stage boundary — the
+// same disarmed-cost discipline as internal/faultpoint. Nothing in this
+// package feeds back into detector execution, so transcripts and
+// determinism fingerprints are unaffected by observation.
+package obs

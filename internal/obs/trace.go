@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one phase of a request's path through the service.
+// The enum is fixed: exposition names, trace JSON keys, and the
+// X-Evencycle-Stage-* response headers all derive from it.
+type Stage uint8
+
+// Stages in request-lifecycle order. A cache hit only records
+// StageValidate; a fused miss records all five.
+const (
+	StageValidate     Stage = iota // request validation and fingerprinting
+	StageQueueWait                 // waiting for an admission gate slot
+	StageBatchLinger               // waiting in an open fuse batch
+	StageEngine                    // the CONGEST engine session itself
+	StageCacheInstall              // installing the verdict into the cache
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"validate",
+	"queue_wait",
+	"batch_linger",
+	"engine",
+	"cache_install",
+}
+
+// String returns the stable snake_case stage name.
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// StageNames returns the stage names in lifecycle order.
+func StageNames() []string {
+	out := make([]string, NumStages)
+	copy(out, stageNames[:])
+	return out
+}
+
+// Trace accumulates per-stage wall-clock time for a single request. A
+// request that opted in carries one Trace pointer through the service;
+// on the fused miss path the batch leader stamps stages into every
+// member's Trace, so all fields are atomic. A nil *Trace means "not
+// traced" and costs one pointer compare at each stage boundary.
+type Trace struct {
+	ns [NumStages]atomic.Int64
+}
+
+// Add accumulates d into stage s. Negative durations are dropped (the
+// monotonic clock never produces them; belt and braces for stubs).
+func (t *Trace) Add(s Stage, d time.Duration) {
+	if t == nil || d < 0 || s >= NumStages {
+		return
+	}
+	t.ns[s].Add(int64(d))
+}
+
+// Ns returns the accumulated nanoseconds for stage s.
+func (t *Trace) Ns(s Stage) int64 {
+	if t == nil || s >= NumStages {
+		return 0
+	}
+	return t.ns[s].Load()
+}
+
+// Total returns the sum over all stages in nanoseconds. Stages do not
+// cover the full request wall clock (scheduling gaps between stages are
+// unattributed), so Total is a lower bound on elapsed time.
+func (t *Trace) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	var sum int64
+	for i := range t.ns {
+		sum += t.ns[i].Load()
+	}
+	return sum
+}
+
+// Each calls f for every stage that recorded a nonzero duration, in
+// lifecycle order.
+func (t *Trace) Each(f func(s Stage, ns int64)) {
+	if t == nil {
+		return
+	}
+	for i := Stage(0); i < NumStages; i++ {
+		if v := t.ns[i].Load(); v != 0 {
+			f(i, v)
+		}
+	}
+}

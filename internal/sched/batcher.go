@@ -50,6 +50,10 @@ type Batcher[K comparable, T, R any] struct {
 	// Exec computes a batch. It must return one result per item (or an
 	// error applied to every item).
 	Exec func(key K, items []T) ([]R, error)
+	// Observe, when set, receives the fill size of every executed batch
+	// (solo degenerate calls report 1; all-abandoned skipped batches are
+	// not reported). Purely passive; set before the batcher is shared.
+	Observe func(size int)
 
 	mu      sync.Mutex
 	pending map[K]*openBatch[T, R]
@@ -88,6 +92,9 @@ type openBatch[T, R any] struct {
 func (b *Batcher[K, T, R]) Do(ctx context.Context, key K, item T) (R, int, error) {
 	var zero R
 	if b.MaxBatch <= 1 {
+		if b.Observe != nil {
+			b.Observe(1)
+		}
 		results, err := b.Exec(key, []T{item})
 		if err != nil {
 			return zero, 1, err
@@ -193,6 +200,9 @@ func (b *Batcher[K, T, R]) dispatch(key K, ob *openBatch[T, R]) {
 			ob.results, ob.err = nil, PanicError{Value: r}
 		}
 	}()
+	if b.Observe != nil {
+		b.Observe(len(ob.items))
+	}
 	results, err := b.Exec(key, ob.items)
 	if err == nil && len(results) != len(ob.items) {
 		err = fmt.Errorf("sched: batch exec returned %d results for %d items", len(results), len(ob.items))

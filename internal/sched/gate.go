@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Gate is a bounded, FIFO-fair admission semaphore. The detection service
@@ -16,6 +17,12 @@ import (
 // Waiting is context-aware: a canceled waiter leaves the queue without
 // consuming a slot. The zero value is not usable; call NewGate.
 type Gate struct {
+	// Observe, when set, receives the queue-wait duration of every
+	// granted Acquire (zero for fast-path grants; canceled waiters are
+	// not reported). Purely passive; set before the gate is shared, like
+	// an engine field. The disarmed cost is one nil-check per Acquire.
+	Observe func(wait time.Duration)
+
 	mu      sync.Mutex
 	slots   int
 	inUse   int
@@ -54,7 +61,14 @@ func (g *Gate) Acquire(ctx context.Context) error {
 	if g.inUse < g.slots && len(g.waiters) == 0 {
 		g.inUse++
 		g.mu.Unlock()
+		if g.Observe != nil {
+			g.Observe(0)
+		}
 		return nil
+	}
+	var enqueued time.Time
+	if g.Observe != nil {
+		enqueued = time.Now()
 	}
 	ready := make(chan struct{})
 	g.waiters = append(g.waiters, ready)
@@ -62,6 +76,9 @@ func (g *Gate) Acquire(ctx context.Context) error {
 
 	select {
 	case <-ready:
+		if g.Observe != nil {
+			g.Observe(time.Since(enqueued))
+		}
 		return nil
 	case <-ctx.Done():
 		g.mu.Lock()

@@ -2,13 +2,13 @@ package service
 
 import (
 	"context"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/deterministic"
 	"repro/internal/faultpoint"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -59,6 +59,10 @@ type fuseItem struct {
 	fp    graph.Fingerprint
 	key   cacheKey
 	prior *entry
+	// enqueued is when the item entered the batcher, set only on timed
+	// requests (observed service or per-request trace); the batch leader
+	// measures the linger stage against it. Zero when untimed.
+	enqueued time.Time
 }
 
 // fuseOut is one item's outcome. Item-level errors ride here rather than
@@ -92,10 +96,28 @@ func runSeed(req *Request, fp graph.Fingerprint) uint64 {
 // batch that formed always runs, even if every waiter has gone away,
 // because its verdicts are cached.
 func (s *Service) execBatch(ck compatKey, items []*fuseItem) ([]fuseOut, error) {
+	// The batch is timed when the service observes or any rider opted
+	// into a trace; the leader then stamps the shared stage durations
+	// (queue wait, engine) into every rider's trace and the linger each
+	// rider individually accrued before dispatch.
+	timed := s.observe
+	for _, it := range items {
+		if it.req.Trace != nil {
+			timed = true
+		}
+	}
+	var tq time.Time
+	if timed {
+		tq = time.Now()
+	}
 	if err := s.gate.Acquire(context.Background()); err != nil {
 		return nil, err
 	}
 	defer s.gate.Release()
+	var queueWait time.Duration
+	if timed {
+		queueWait = time.Since(tq)
+	}
 	// Count a leader crash exactly once here, then let it unwind into
 	// the Batcher's dispatch fence: the deferred Release above runs
 	// first (no leaked slot), the fence wakes every waiter with a
@@ -115,7 +137,7 @@ func (s *Service) execBatch(ck compatKey, items []*fuseItem) ([]fuseOut, error) 
 	B := len(items)
 	s.batchesFormed.Add(1)
 	s.batchSizeSum.Add(int64(B))
-	storeMax(&s.maxBatchSize, int64(B))
+	s.maxBatchSize.Max(int64(B))
 
 	var outs []fuseOut
 	if B == 1 {
@@ -136,7 +158,24 @@ func (s *Service) execBatch(ck compatKey, items []*fuseItem) ([]fuseOut, error) 
 		}
 	}
 
-	s.noteSessionDuration(time.Since(start))
+	engineDur := time.Since(start)
+	s.noteSessionDuration(engineDur)
+	if timed {
+		// Each rider spent the shared queue-wait and engine time, plus
+		// its own pre-dispatch linger; the cache-install stage is stamped
+		// by DoInfo on the rider's own return path. noteStage tolerates a
+		// nil trace (histogram-only) and an armed-but-untraced rider.
+		for _, it := range items {
+			if !s.observe && it.req.Trace == nil {
+				continue
+			}
+			if !it.enqueued.IsZero() {
+				s.noteStage(it.req.Trace, obs.StageBatchLinger, tq.Sub(it.enqueued))
+			}
+			s.noteStage(it.req.Trace, obs.StageQueueWait, queueWait)
+			s.noteStage(it.req.Trace, obs.StageEngine, engineDur)
+		}
+	}
 
 	// Cache every component's verdict under its own fingerprint — here,
 	// not in Do, so verdicts of waiters that gave up are kept too.
@@ -172,6 +211,7 @@ func (s *Service) runFusedEven(ck compatKey, items []*fuseItem) []fuseOut {
 		Pipelined: ck.pipelined,
 		Workers:   s.cfg.Workers,
 		Shards:    s.cfg.Shards,
+		Observe:   s.engineObs,
 	})
 	if err != nil {
 		// A component the fused path cannot represent (e.g. a graph too
@@ -202,6 +242,7 @@ func (s *Service) runFusedDet(ck compatKey, items []*fuseItem) []fuseOut {
 		Threshold: ck.threshold,
 		Workers:   s.cfg.Workers,
 		Shards:    s.cfg.Shards,
+		Observe:   s.engineObs,
 	})
 	if err != nil {
 		return s.runSoloFallback(items)
@@ -245,14 +286,4 @@ func finishAmplify(it *fuseItem, resp *Response) fuseOut {
 	}
 	accumulatePrior(resp, it.prior.resp)
 	return fuseOut{resp: resp, amplified: true}
-}
-
-// storeMax raises *a to v (monotone, racy-increment-safe).
-func storeMax(a *atomic.Int64, v int64) {
-	for {
-		cur := a.Load()
-		if v <= cur || a.CompareAndSwap(cur, v) {
-			return
-		}
-	}
 }

@@ -1,0 +1,164 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metrics is the service's registry-backed counter and histogram set.
+// Every Stats atomic lives here as an obs.Counter/Gauge (same lock-free
+// atomic add, now scrapeable), so /v1/stats and /metrics read one
+// source of truth. Histogram families are registered unconditionally —
+// the exposition's shape does not depend on Config.Observe — but only
+// an armed service (Config.Observe) spends timer reads feeding them.
+type metrics struct {
+	reg *obs.Registry
+
+	// Request accounting. requests counts every Do entry; hits,
+	// coalesced, amplified, computed and errors partition the exits.
+	// Stats() relies on that entry/exit discipline for its coherence
+	// guarantee — see snapshotOrder in Stats.
+	requests                         *obs.Counter
+	hits, coalesced, amplified       *obs.Counter
+	computed, errors                 *obs.Counter
+	rejected, shed, deadlineExceeded *obs.Counter
+	cancelled, panics                *obs.Counter
+	soloSessions, fusedSessions      *obs.Counter
+	fusedRequests, batchesFormed     *obs.Counter
+	mutations, noopMutations         *obs.Counter
+	warmStarts, warmHits             *obs.Counter
+	warmFallbacks                    *obs.Counter
+
+	// batchSizeSum backs Stats.MeanBatchSize; the fill-size histogram
+	// below is the scrapeable distribution, so the raw sum stays
+	// unregistered.
+	batchSizeSum obs.Counter
+	maxBatchSize *obs.Gauge
+
+	// Latency histograms (armed by Config.Observe).
+	durHit, durCoalesced, durAmplified *obs.Histogram
+	durComputed, durFused              *obs.Histogram
+	stageDur                           [obs.NumStages]*obs.Histogram
+	engineRounds, engineWall           *obs.Histogram
+	gateWait                           *obs.Histogram
+	batchFill                          *obs.Histogram
+	storeFsync, storeCompact           *obs.Histogram
+	storeAppendBytes                   *obs.Histogram
+}
+
+// Metric names, grouped here so the docs' catalog table and the CI
+// scrape checks have one place to diff against.
+const (
+	mRequests       = "evencycle_requests_total"
+	mServed         = "evencycle_served_total"
+	mErrors         = "evencycle_errors_total"
+	mErrorReasons   = "evencycle_request_errors_total"
+	mEngineSessions = "evencycle_engine_sessions_total"
+	mFusedRequests  = "evencycle_fused_requests_total"
+	mBatchesFormed  = "evencycle_batches_formed_total"
+	mRequestDur     = "evencycle_request_duration_seconds"
+	mStageDur       = "evencycle_stage_duration_seconds"
+	mEngineRounds   = "evencycle_engine_session_rounds"
+	mEngineWall     = "evencycle_engine_session_seconds"
+	mGateWait       = "evencycle_gate_wait_seconds"
+	mBatchFill      = "evencycle_batch_fill_size"
+	mStoreFsync     = "evencycle_store_fsync_seconds"
+	mStoreAppend    = "evencycle_store_append_bytes"
+	mStoreCompact   = "evencycle_store_compact_seconds"
+)
+
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg}
+
+	m.requests = reg.Counter(mRequests, "Detection requests entered (every Do call).")
+	servedHelp := "Successful requests partitioned by serve path."
+	m.hits = reg.LabeledCounter(mServed, servedHelp, "path", "hit")
+	m.coalesced = reg.LabeledCounter(mServed, servedHelp, "path", "coalesced")
+	m.amplified = reg.LabeledCounter(mServed, servedHelp, "path", "amplified")
+	m.computed = reg.LabeledCounter(mServed, servedHelp, "path", "computed")
+
+	m.errors = reg.Counter(mErrors, "Failed requests (every error exit of Do).")
+	reasonHelp := "Failed requests attributed to the failure taxonomy."
+	m.rejected = reg.LabeledCounter(mErrorReasons, reasonHelp, "reason", "rejected")
+	m.shed = reg.LabeledCounter(mErrorReasons, reasonHelp, "reason", "shed")
+	m.deadlineExceeded = reg.LabeledCounter(mErrorReasons, reasonHelp, "reason", "deadline")
+	m.cancelled = reg.LabeledCounter(mErrorReasons, reasonHelp, "reason", "cancelled")
+	m.panics = reg.LabeledCounter(mErrorReasons, reasonHelp, "reason", "panic")
+
+	sessHelp := "Engine sessions run, split solo vs fused."
+	m.soloSessions = reg.LabeledCounter(mEngineSessions, sessHelp, "mode", "solo")
+	m.fusedSessions = reg.LabeledCounter(mEngineSessions, sessHelp, "mode", "fused")
+	m.fusedRequests = reg.Counter(mFusedRequests, "Requests served by fused sessions.")
+	m.batchesFormed = reg.Counter(mBatchesFormed, "Miss-path batches dispatched (any size).")
+	m.maxBatchSize = reg.Gauge("evencycle_batch_size_max", "Largest fused batch dispatched so far.")
+
+	mutHelp := "Corpus mutations, split applied vs all-duplicate no-ops."
+	m.mutations = reg.LabeledCounter("evencycle_corpus_mutations_total", mutHelp, "kind", "applied")
+	m.noopMutations = reg.LabeledCounter("evencycle_corpus_mutations_total", mutHelp, "kind", "noop")
+	warmHelp := "Warm-start lifecycle events (starts, later cache hits, full-run fallbacks)."
+	m.warmStarts = reg.LabeledCounter("evencycle_warm_total", warmHelp, "event", "start")
+	m.warmHits = reg.LabeledCounter("evencycle_warm_total", warmHelp, "event", "hit")
+	m.warmFallbacks = reg.LabeledCounter("evencycle_warm_total", warmHelp, "event", "fallback")
+
+	durHelp := "Server-side request latency by serve path (successes only)."
+	durBuckets := obs.DurationBuckets()
+	m.durHit = reg.LabeledHistogram(mRequestDur, durHelp, "path", "hit", durBuckets, 1e-9)
+	m.durCoalesced = reg.LabeledHistogram(mRequestDur, durHelp, "path", "coalesced", durBuckets, 1e-9)
+	m.durAmplified = reg.LabeledHistogram(mRequestDur, durHelp, "path", "amplified", durBuckets, 1e-9)
+	m.durComputed = reg.LabeledHistogram(mRequestDur, durHelp, "path", "computed", durBuckets, 1e-9)
+	m.durFused = reg.LabeledHistogram(mRequestDur, durHelp, "path", "fused", durBuckets, 1e-9)
+
+	stageHelp := "Wall-clock time spent in each request stage."
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		m.stageDur[st] = reg.LabeledHistogram(mStageDur, stageHelp, "stage", st.String(), durBuckets, 1e-9)
+	}
+
+	m.engineRounds = reg.Histogram(mEngineRounds, "CONGEST rounds per completed engine session.", obs.RoundBuckets(), 1)
+	m.engineWall = reg.Histogram(mEngineWall, "Wall-clock duration per completed engine session.", durBuckets, 1e-9)
+	m.gateWait = reg.Histogram(mGateWait, "Admission-gate queue wait per granted slot.", durBuckets, 1e-9)
+	m.batchFill = reg.Histogram(mBatchFill, "Fill size of executed miss-path batches.", obs.SizeBuckets(1024), 1)
+
+	m.storeFsync = reg.Histogram(mStoreFsync, "Journal fsync latency on the corpus append path.", durBuckets, 1e-9)
+	m.storeAppendBytes = reg.Histogram(mStoreAppend, "Framed size of journaled corpus records.", obs.SizeBuckets(16<<20), 1)
+	m.storeCompact = reg.Histogram(mStoreCompact, "Corpus snapshot compaction duration.", durBuckets, 1e-9)
+
+	return m
+}
+
+// durFor maps a successful serve outcome to its latency histogram;
+// fused when the request was computed in a batch of more than one.
+func (m *metrics) durFor(src Source, batch int) *obs.Histogram {
+	if batch > 1 {
+		return m.durFused
+	}
+	switch src {
+	case SourceCache:
+		return m.durHit
+	case SourceCoalesced:
+		return m.durCoalesced
+	case SourceAmplified:
+		return m.durAmplified
+	default:
+		return m.durComputed
+	}
+}
+
+// noteStage records one stage duration into the request's trace (when
+// traced) and, on an armed service, the stage histogram. Called only
+// from timed paths — the disarmed untraced hot path never reaches it.
+func (s *Service) noteStage(tr *obs.Trace, st obs.Stage, d time.Duration) {
+	tr.Add(st, d)
+	if s.observe {
+		s.stageDur[st].ObserveDuration(d)
+	}
+}
+
+// Metrics returns the service's metric registry for exposition
+// (cycleserved's GET /metrics). Always non-nil; histogram families are
+// registered even when observation is disarmed, so the exposition shape
+// is stable across configurations.
+func (s *Service) Metrics() *obs.Registry {
+	return s.reg
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/faultpoint"
 	"repro/internal/graph"
 	"repro/internal/lowprob"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/store"
 )
@@ -87,6 +88,15 @@ type Request struct {
 	// capped by Config.MaxDeadline. An expired deadline cancels the
 	// engine session cooperatively and surfaces as ErrDeadline.
 	Deadline time.Duration
+	// Trace, when non-nil, accumulates per-stage wall-clock time for
+	// THIS request (validate → queue wait → batch linger → engine →
+	// cache install) regardless of Config.Observe — tracing is a
+	// per-request opt-in. The Response body is untouched; callers
+	// surface the trace themselves (the HTTP server's opt-in `trace`
+	// field and X-Evencycle-Stage-* headers). Leave nil on shared
+	// Request templates: the tracer is written by whichever goroutine
+	// computes the stage, including a fused batch's leader.
+	Trace *obs.Trace
 }
 
 // Response is the cached, deterministic portion of a detection answer: it
@@ -167,6 +177,15 @@ type Config struct {
 	// over mutation of the store but not its lifecycle: the owner still
 	// closes it after the service drains.
 	Persist *store.Store
+	// Observe arms latency observation: serve-path and stage-duration
+	// histograms, engine session round/wall histograms, gate wait and
+	// batch fill distributions, and store fsync/append/compaction
+	// timings. Counters (and the /metrics endpoint itself) work either
+	// way. Disarmed (the zero value), the request hot path performs no
+	// clock reads and no observation hooks are installed anywhere —
+	// determinism fingerprints and zero-alloc pins are untouched, the
+	// same contract as congest.Engine.Observe.
+	Observe bool
 }
 
 // ErrOverloaded is returned when the admission queue is full. It wraps
@@ -260,13 +279,15 @@ type Service struct {
 
 	batcher *sched.Batcher[compatKey, *fuseItem, fuseOut]
 
-	requests, hits, coalesced, amplified, computed atomic.Int64
-	errors, rejected                               atomic.Int64
-	shed, deadlineExceeded, cancelled, panics      atomic.Int64
-	soloSessions, fusedSessions, fusedRequests     atomic.Int64
-	batchesFormed, batchSizeSum, maxBatchSize      atomic.Int64
-	mutations, noopMutations                       atomic.Int64
-	warmStarts, warmHits, warmFallbacks            atomic.Int64
+	// metrics holds every counter (registry-backed; see metrics.go) —
+	// the fields promote, so s.requests.Add(1) reads as before.
+	*metrics
+	// observe mirrors Config.Observe: true arms the latency/stage
+	// timers on the request path.
+	observe bool
+	// engineObs is handed to every detector run as Options.Observe when
+	// armed (nil when disarmed — the engine then skips its clock reads).
+	engineObs func(rounds int, wall time.Duration)
 
 	// lineageMu guards the most recent parent→child fingerprint edge a
 	// corpus mutation created (surfaced in Stats).
@@ -317,6 +338,8 @@ func New(cfg Config) *Service {
 		cache:    newLRU(cfg.CacheEntries),
 		inflight: make(map[cacheKey]*call),
 		corpus:   make(map[string]*graph.Graph),
+		metrics:  newMetrics(),
+		observe:  cfg.Observe,
 	}
 	if cfg.Persist != nil {
 		// Preload the recovered durable corpus: every graph acknowledged
@@ -341,6 +364,77 @@ func New(cfg Config) *Service {
 		}
 	}
 	s.jobs.init()
+
+	// State gauges and derived totals are registered unconditionally so
+	// the exposition's family set does not depend on configuration;
+	// families whose source is absent (no store, no batcher) read 0.
+	s.reg.GaugeFunc("evencycle_gate_in_use", "Admission slots currently held.",
+		func() int64 { return int64(s.gate.InUse()) })
+	s.reg.GaugeFunc("evencycle_gate_waiting", "Requests queued for an admission slot.",
+		func() int64 { return int64(s.gate.Waiting()) })
+	s.reg.GaugeFunc("evencycle_cache_entries", "Verdict-cache entries resident.", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(s.cache.len())
+	})
+	s.reg.GaugeFunc("evencycle_mean_session_ns",
+		"EWMA of engine-session wall time feeding the admission estimate (nanoseconds).",
+		s.meanSessionNs.Load)
+	s.reg.CounterFunc("evencycle_batches_skipped_total",
+		"Fused batches skipped because every waiter abandoned them.", func() int64 {
+			if s.batcher == nil {
+				return 0
+			}
+			return s.batcher.Skipped()
+		})
+	s.reg.GaugeFunc("evencycle_store_wal_bytes", "Corpus journal size on disk.", func() int64 {
+		if cfg.Persist == nil {
+			return 0
+		}
+		return cfg.Persist.Stats().WALBytes
+	})
+	s.reg.GaugeFunc("evencycle_store_graphs", "Durable corpus graphs resident.", func() int64 {
+		if cfg.Persist == nil {
+			return 0
+		}
+		return int64(cfg.Persist.Stats().Graphs)
+	})
+	s.reg.CounterFunc("evencycle_store_appends_total",
+		"Corpus mutations journaled by this process.", func() int64 {
+			if cfg.Persist == nil {
+				return 0
+			}
+			return cfg.Persist.Stats().Appended
+		})
+	s.reg.CounterFunc("evencycle_store_compactions_total",
+		"Corpus snapshot compactions taken by this process.", func() int64 {
+			if cfg.Persist == nil {
+				return 0
+			}
+			return cfg.Persist.Stats().Compactions
+		})
+
+	if cfg.Observe {
+		// Arm the per-layer hooks. Each is one histogram observation —
+		// two atomic adds — per event; none are installed when disarmed,
+		// so the zero-value Config costs only the nil checks the hooks'
+		// owners already perform.
+		s.gate.Observe = func(w time.Duration) { s.gateWait.ObserveDuration(w) }
+		if s.batcher != nil {
+			s.batcher.Observe = func(size int) { s.batchFill.Observe(int64(size)) }
+		}
+		s.engineObs = func(rounds int, wall time.Duration) {
+			s.engineRounds.Observe(int64(rounds))
+			s.engineWall.ObserveDuration(wall)
+		}
+		if cfg.Persist != nil {
+			cfg.Persist.SetObserver(&store.Observer{
+				Append:  func(n int) { s.storeAppendBytes.Observe(int64(n)) },
+				Fsync:   func(d time.Duration) { s.storeFsync.ObserveDuration(d) },
+				Compact: func(d time.Duration) { s.storeCompact.ObserveDuration(d) },
+			})
+		}
+	}
 	return s
 }
 
@@ -477,9 +571,20 @@ func (s *Service) DoInfo(ctx context.Context, req *Request) (*Response, Info, er
 	// data race.
 	local := *req
 	req = &local
+	// timed arms the stage/latency clock reads: for every request of an
+	// observed service, or for the single request that opted into a
+	// trace. Disarmed and untraced, this path reads no clocks at all.
+	timed := s.observe || req.Trace != nil
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	if err := validate(req); err != nil {
 		s.errors.Add(1)
 		return nil, Info{}, err
+	}
+	if timed {
+		s.noteStage(req.Trace, obs.StageValidate, time.Since(t0))
 	}
 	ctx, cancelCtx := s.requestContext(ctx, req)
 	defer cancelCtx()
@@ -495,6 +600,9 @@ func (s *Service) DoInfo(ctx context.Context, req *Request) (*Response, Info, er
 			s.hits.Add(1)
 			if warmed {
 				s.warmHits.Add(1)
+			}
+			if s.observe {
+				s.durHit.ObserveDuration(time.Since(t0))
 			}
 			return resp, Info{Source: SourceCache}, nil
 		}
@@ -513,6 +621,9 @@ func (s *Service) DoInfo(ctx context.Context, req *Request) (*Response, Info, er
 			}
 			if c.err == nil && (covered || c.resp.Found) {
 				s.coalesced.Add(1)
+				if s.observe {
+					s.durCoalesced.ObserveDuration(time.Since(t0))
+				}
 				return c.resp, Info{Source: SourceCoalesced}, nil
 			}
 			// Leader failed, or its budget was short of ours: re-enter.
@@ -556,10 +667,20 @@ func (s *Service) DoInfo(ctx context.Context, req *Request) (*Response, Info, er
 		} else {
 			s.computed.Add(1)
 		}
+		var tInstall time.Time
+		if timed {
+			tInstall = time.Now()
+		}
 		s.mu.Lock()
 		s.cache.put(key, &entry{resp: resp, budget: req.Iterations})
 		s.mu.Unlock()
+		if timed {
+			s.noteStage(req.Trace, obs.StageCacheInstall, time.Since(tInstall))
+		}
 		s.finish(key, c, resp, nil)
+		if s.observe {
+			s.durFor(source, batch).ObserveDuration(time.Since(t0))
+		}
 		return resp, Info{Source: source, Batch: batch}, nil
 	}
 }
@@ -568,20 +689,34 @@ func (s *Service) DoInfo(ctx context.Context, req *Request) (*Response, Info, er
 // request is fusable and batching is on, otherwise solo under its own
 // admission slot. It returns the batch size the work ran in.
 func (s *Service) dispatch(ctx context.Context, req *Request, fp graph.Fingerprint, key cacheKey, prior *entry) (*Response, bool, int, error) {
+	timed := s.observe || req.Trace != nil
 	if s.batcher == nil || !fusable(req.Algo) || s.computeHook != nil {
+		var tq time.Time
+		if timed {
+			tq = time.Now()
+		}
 		if err := s.gate.Acquire(ctx); err != nil {
 			return nil, false, 0, err
 		}
 		defer s.gate.Release()
 		start := time.Now()
+		if timed {
+			s.noteStage(req.Trace, obs.StageQueueWait, start.Sub(tq))
+		}
 		resp, amplified, err := s.computeGuarded(ctx, req, fp, prior)
 		if err == nil {
 			s.noteSessionDuration(time.Since(start))
 			s.soloSessions.Add(1)
 		}
+		if timed {
+			s.noteStage(req.Trace, obs.StageEngine, time.Since(start))
+		}
 		return resp, amplified, 1, err
 	}
 	item := &fuseItem{req: req, fp: fp, key: key, prior: prior}
+	if timed {
+		item.enqueued = time.Now()
+	}
 	out, batch, err := s.batcher.Do(ctx, compatFor(req), item)
 	if err != nil {
 		// ctx expired while waiting for the batch (the batch itself still
@@ -667,6 +802,7 @@ func (s *Service) compute(ctx context.Context, req *Request, fp graph.Fingerprin
 			Parallel:      s.cfg.Parallel,
 			Pipelined:     req.Pipelined,
 			Cancel:        cancel,
+			Observe:       s.engineObs,
 		}
 		if req.Algo == AlgoEven {
 			res, err := core.DetectEvenCycle(req.Graph, req.K, opt)
@@ -696,6 +832,7 @@ func (s *Service) compute(ctx context.Context, req *Request, fp graph.Fingerprin
 			Parallel:      s.cfg.Parallel,
 			SeedProb:      1,
 			Cancel:        cancel,
+			Observe:       s.engineObs,
 		})
 		if err != nil {
 			return nil, false, err
@@ -713,6 +850,7 @@ func (s *Service) compute(ctx context.Context, req *Request, fp graph.Fingerprin
 			Workers:   s.cfg.Workers,
 			Shards:    s.cfg.Shards,
 			Cancel:    cancel,
+			Observe:   s.engineObs,
 		})
 		if err != nil {
 			return nil, false, err
@@ -768,46 +906,66 @@ func (s *Service) Config() Config {
 }
 
 // Stats snapshots the service counters.
+//
+// The snapshot is coherent by read order, not by a global lock: every
+// request increments Requests at entry and exactly one partition
+// counter (a serve path, or Errors) at exit. Reading the exit counters
+// BEFORE the entry counter therefore guarantees
+//
+//	Requests ≥ Hits + Coalesced + Amplified + Computed + Errors
+//
+// in every snapshot, however many requests are mid-flight — a reader
+// can never observe an exit that lacks its entry. The same ordering
+// nests the error taxonomy (reason counters before Errors, which each
+// failed request increments first). Reorder these reads and the
+// invariant — which hammer tests and operators' dashboards rely on —
+// silently breaks under load.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	entries := s.cache.len()
 	s.mu.Unlock()
-	solo, fused := s.soloSessions.Load(), s.fusedSessions.Load()
-	batches := s.batchesFormed.Load()
+	rejected, shed := s.rejected.Value(), s.shed.Value()
+	deadline, cancelled := s.deadlineExceeded.Value(), s.cancelled.Value()
+	hits, coalesced := s.hits.Value(), s.coalesced.Value()
+	amplified, computed := s.amplified.Value(), s.computed.Value()
+	errs := s.errors.Value()
+	requests := s.requests.Value()
+	solo, fused := s.soloSessions.Value(), s.fusedSessions.Value()
+	batches := s.batchesFormed.Value()
 	st := Stats{
-		Requests:         s.requests.Load(),
-		Hits:             s.hits.Load(),
-		Coalesced:        s.coalesced.Load(),
-		Amplified:        s.amplified.Load(),
-		Computed:         s.computed.Load(),
-		Errors:           s.errors.Load(),
-		Rejected:         s.rejected.Load(),
-		Shed:             s.shed.Load(),
-		DeadlineExceeded: s.deadlineExceeded.Load(),
-		Cancelled:        s.cancelled.Load(),
-		Panics:           s.panics.Load(),
+		Requests:         requests,
+		Hits:             hits,
+		Coalesced:        coalesced,
+		Amplified:        amplified,
+		Computed:         computed,
+		Errors:           errs,
+		Rejected:         rejected,
+		Shed:             shed,
+		DeadlineExceeded: deadline,
+		Cancelled:        cancelled,
+		Panics:           s.panics.Value(),
 		MeanSessionMS:    float64(s.meanSessionNs.Load()) / 1e6,
 		EngineSessions:   solo + fused,
 		FusedSessions:    fused,
 		SoloSessions:     solo,
-		FusedRequests:    s.fusedRequests.Load(),
+		FusedRequests:    s.fusedRequests.Value(),
 		BatchesFormed:    batches,
-		MaxBatchSize:     s.maxBatchSize.Load(),
+		MaxBatchSize:     s.maxBatchSize.Value(),
 		CacheEntries:     entries,
 		InFlight:         s.gate.InUse(),
 		Queued:           s.gate.Waiting(),
 	}
 	if batches > 0 {
-		st.MeanBatchSize = float64(s.batchSizeSum.Load()) / float64(batches)
+		st.MeanBatchSize = float64(s.batchSizeSum.Value()) / float64(batches)
 	}
 	if s.batcher != nil {
 		st.BatchesSkipped = s.batcher.Skipped()
 	}
-	st.Mutations = s.mutations.Load()
-	st.NoopMutations = s.noopMutations.Load()
-	st.WarmStarts = s.warmStarts.Load()
-	st.WarmHits = s.warmHits.Load()
-	st.Fallbacks = s.warmFallbacks.Load()
+	st.Mutations = s.mutations.Value()
+	st.NoopMutations = s.noopMutations.Value()
+	st.WarmStarts = s.warmStarts.Value()
+	st.WarmHits = s.warmHits.Value()
+	st.Fallbacks = s.warmFallbacks.Value()
 	s.lineageMu.Lock()
 	if !s.lastChild.IsZero() {
 		st.LastMutationParent = s.lastParent.String()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // WireGraph is the inline edge-list form of a graph on the HTTP API.
@@ -35,6 +36,10 @@ type WireRequest struct {
 	// a request shed because its deadline cannot cover the estimated
 	// queue wait returns 429.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Trace opts this request into per-stage timing: the response gains
+	// a trace_ns object and X-Evencycle-Stage-* headers (the verdict
+	// fields are unchanged). Works on any server, observed or not.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // wireIsolatedSlack is the flat number of declared-but-untouched vertices
@@ -108,7 +113,7 @@ func (s *Service) Resolve(wr *WireRequest, defaultIterations int) (*Request, err
 	if wr.DeadlineMS < 0 {
 		return nil, fmt.Errorf("service: negative deadline_ms %d", wr.DeadlineMS)
 	}
-	return &Request{
+	req := &Request{
 		Graph:      g,
 		Algo:       algo,
 		K:          wr.K,
@@ -118,5 +123,9 @@ func (s *Service) Resolve(wr *WireRequest, defaultIterations int) (*Request, err
 		Eps:        wr.Eps,
 		Pipelined:  wr.Pipelined,
 		Deadline:   time.Duration(wr.DeadlineMS) * time.Millisecond,
-	}, nil
+	}
+	if wr.Trace {
+		req.Trace = &obs.Trace{}
+	}
+	return req, nil
 }

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"slices"
 	"sync"
+	"time"
 
 	"repro/internal/faultpoint"
 	"repro/internal/graph"
@@ -75,6 +76,20 @@ type Options struct {
 	Logf func(format string, args ...any)
 }
 
+// Observer receives passive measurements of the store's durability
+// work. Any field may be nil. Hooks run with the store lock held — they
+// must be cheap and must not call back into the store; feeding an
+// atomic histogram (internal/obs) is the intended use.
+type Observer struct {
+	// Append receives the framed byte size of every journaled record.
+	Append func(bytes int)
+	// Fsync receives the duration of every journal fsync on the append
+	// path (only fired when Options.Fsync is on).
+	Fsync func(d time.Duration)
+	// Compact receives the duration of every successful compaction.
+	Compact func(d time.Duration)
+}
+
 // Stats is a point-in-time snapshot of store counters.
 type Stats struct {
 	// Graphs is the number of corpus graphs; LastSeq the sequence number
@@ -121,6 +136,8 @@ type Store struct {
 	compactions int64
 	recovered   int64
 	tornTail    bool
+
+	observer *Observer // nil when unobserved; read under mu
 }
 
 // Open opens (or initializes) the store in dir, replaying snapshot and
@@ -460,10 +477,21 @@ func (st *Store) appendLocked(rec *record) error {
 		return fmt.Errorf("store: journal append: %w", err)
 	}
 	if st.opts.Fsync {
+		var start time.Time
+		obs := st.observer
+		if obs != nil && obs.Fsync != nil {
+			start = time.Now()
+		}
 		if err := st.sync(st.wal); err != nil {
 			st.failed = err
 			return fmt.Errorf("store: journal fsync: %w", err)
 		}
+		if obs != nil && obs.Fsync != nil {
+			obs.Fsync(time.Since(start))
+		}
+	}
+	if obs := st.observer; obs != nil && obs.Append != nil {
+		obs.Append(len(frame))
 	}
 	st.seq = rec.seq
 	st.walSize += int64(len(frame))
@@ -514,6 +542,10 @@ func (st *Store) Compact() error {
 }
 
 func (st *Store) compactLocked() error {
+	var start time.Time
+	if obs := st.observer; obs != nil && obs.Compact != nil {
+		start = time.Now()
+	}
 	tmp := filepath.Join(st.dir, snapTmpName)
 	if err := writeSnapshotFile(tmp, st.seq, st.graphs, st.sync); err != nil {
 		return fmt.Errorf("store: writing snapshot: %w", err)
@@ -541,7 +573,19 @@ func (st *Store) compactLocked() error {
 	}
 	st.walSize = int64(magicLen)
 	st.compactions++
+	if obs := st.observer; obs != nil && obs.Compact != nil {
+		obs.Compact(time.Since(start))
+	}
 	return nil
+}
+
+// SetObserver installs (or, with nil, removes) the store's passive
+// measurement hooks. Safe to call while mutations are in flight; the
+// new observer takes effect for subsequent appends and compactions.
+func (st *Store) SetObserver(o *Observer) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.observer = o
 }
 
 // Close flushes and closes the journal. The store refuses all further
